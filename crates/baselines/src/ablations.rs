@@ -1,0 +1,199 @@
+//! Ablation comparators built from a HiGNN hierarchy (paper
+//! Section IV.B.2):
+//!
+//! * **GE** — single-level graph embedding: use only level 1 of the
+//!   hierarchy.
+//! * **CGNN** — community GNN (Li et al., IJCAI 2019): hierarchical user
+//!   embeddings fixed to 2 levels, no item hierarchy.
+//! * **HUP-only** — hierarchical user preference, no item hierarchy.
+//! * **HIA-only** — hierarchical item attractiveness, no user hierarchy.
+//!
+//! Each variant is expressed as a truncation of the full hierarchy's
+//! embeddings and consumed by the same predictor, mirroring the paper's
+//! framing of every baseline as a special case of HiGNN.
+
+use hignn::stack::Hierarchy;
+use hignn_tensor::Matrix;
+
+/// Concatenated user embeddings of the first `levels` hierarchy levels.
+pub fn truncated_user_embeddings(h: &Hierarchy, levels: usize) -> Matrix {
+    let levels = levels.clamp(1, h.num_levels());
+    let dim: usize = h.levels()[..levels]
+        .iter()
+        .map(|l| l.user_embeddings.cols())
+        .sum();
+    let mut out = Matrix::zeros(h.num_users(), dim);
+    for u in 0..h.num_users() {
+        let chain = h.user_chain(u);
+        let mut off = 0;
+        for (level, &v) in h.levels()[..levels].iter().zip(&chain) {
+            let src = level.user_embeddings.row(v);
+            out.row_mut(u)[off..off + src.len()].copy_from_slice(src);
+            off += src.len();
+        }
+    }
+    out
+}
+
+/// Concatenated item embeddings of the first `levels` hierarchy levels.
+pub fn truncated_item_embeddings(h: &Hierarchy, levels: usize) -> Matrix {
+    let levels = levels.clamp(1, h.num_levels());
+    let dim: usize = h.levels()[..levels]
+        .iter()
+        .map(|l| l.item_embeddings.cols())
+        .sum();
+    let mut out = Matrix::zeros(h.num_items(), dim);
+    for i in 0..h.num_items() {
+        let chain = h.item_chain(i);
+        let mut off = 0;
+        for (level, &v) in h.levels()[..levels].iter().zip(&chain) {
+            let src = level.item_embeddings.row(v);
+            out.row_mut(i)[off..off + src.len()].copy_from_slice(src);
+            off += src.len();
+        }
+    }
+    out
+}
+
+/// The embedding blocks each comparator feeds the predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Variant {
+    /// Full HiGNN: all levels on both sides.
+    HiGnn,
+    /// GE: level 1 only, both sides.
+    Ge,
+    /// CGNN: user levels 1-2 only, no item embeddings (the paper: "Both
+    /// HUP-only and CGNN consider user hierarchical embedding without
+    /// item hierarchical embedding. Because CGNN fixes the level to 2, it
+    /// is relatively worse than HUP-only").
+    Cgnn,
+    /// HUP-only: all user levels, no item embeddings.
+    HupOnly,
+    /// HIA-only: all item levels, no user embeddings.
+    HiaOnly,
+    /// DIN-equivalent input: no graph embeddings at all (level 0).
+    Din,
+}
+
+impl Variant {
+    /// Human-readable name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::HiGnn => "HiGNN",
+            Variant::Ge => "GE",
+            Variant::Cgnn => "CGNN",
+            Variant::HupOnly => "HUP-only",
+            Variant::HiaOnly => "HIA-only",
+            Variant::Din => "DIN",
+        }
+    }
+
+    /// Builds `(user_embeddings, item_embeddings)` for this variant from a
+    /// trained hierarchy (`None` = the block is omitted).
+    pub fn embeddings(self, h: &Hierarchy) -> (Option<Matrix>, Option<Matrix>) {
+        match self {
+            Variant::HiGnn => (
+                Some(truncated_user_embeddings(h, h.num_levels())),
+                Some(truncated_item_embeddings(h, h.num_levels())),
+            ),
+            Variant::Ge => {
+                (Some(truncated_user_embeddings(h, 1)), Some(truncated_item_embeddings(h, 1)))
+            }
+            Variant::Cgnn => (Some(truncated_user_embeddings(h, 2)), None),
+            Variant::HupOnly => (Some(truncated_user_embeddings(h, h.num_levels())), None),
+            Variant::HiaOnly => (None, Some(truncated_item_embeddings(h, h.num_levels()))),
+            Variant::Din => (None, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hignn::prelude::*;
+    use hignn_graph::{BipartiteGraph, SamplingMode};
+    use hignn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn hierarchy() -> Hierarchy {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut edges = Vec::new();
+        for u in 0..20u32 {
+            for _ in 0..4 {
+                edges.push((u, rng.gen_range(0..20u32), 1.0));
+            }
+        }
+        let g = BipartiteGraph::from_edges(20, 20, edges);
+        let uf = init::xavier_uniform(20, 6, &mut rng);
+        let if_ = init::xavier_uniform(20, 6, &mut rng);
+        let cfg = HignnConfig {
+            levels: 3,
+            sage: BipartiteSageConfig {
+                input_dim: 6,
+                dim: 6,
+                fanouts: vec![3, 2],
+                sampling: SamplingMode::Uniform,
+                ..Default::default()
+            },
+            train: SageTrainConfig { epochs: 1, batch_edges: 32, neg_pool: 8, ..Default::default() },
+            cluster_counts: ClusterCounts::Fixed(vec![(8, 8), (4, 4), (2, 2)]),
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 3,
+        };
+        build_hierarchy(&g, &uf, &if_, &cfg)
+    }
+
+    #[test]
+    fn truncation_dims() {
+        let h = hierarchy();
+        assert_eq!(truncated_user_embeddings(&h, 1).cols(), 6);
+        assert_eq!(truncated_user_embeddings(&h, 2).cols(), 12);
+        assert_eq!(truncated_user_embeddings(&h, 3).cols(), 18);
+        // Clamped above the available levels.
+        assert_eq!(truncated_user_embeddings(&h, 99).cols(), 6 * h.num_levels());
+    }
+
+    #[test]
+    fn truncation_prefix_of_full() {
+        let h = hierarchy();
+        let full = h.hierarchical_users();
+        let two = truncated_user_embeddings(&h, 2);
+        for u in 0..h.num_users() {
+            assert_eq!(&full.row(u)[..12], two.row(u));
+        }
+        let full_i = h.hierarchical_items();
+        let one = truncated_item_embeddings(&h, 1);
+        for i in 0..h.num_items() {
+            assert_eq!(&full_i.row(i)[..6], one.row(i));
+        }
+    }
+
+    #[test]
+    fn variants_produce_expected_blocks() {
+        let h = hierarchy();
+        let l = h.num_levels();
+        let (u, i) = Variant::HiGnn.embeddings(&h);
+        assert_eq!(u.unwrap().cols(), 6 * l);
+        assert_eq!(i.unwrap().cols(), 6 * l);
+        let (u, i) = Variant::Ge.embeddings(&h);
+        assert_eq!(u.unwrap().cols(), 6);
+        assert_eq!(i.unwrap().cols(), 6);
+        let (u, i) = Variant::Cgnn.embeddings(&h);
+        assert_eq!(u.unwrap().cols(), 12);
+        assert!(i.is_none());
+        let (u, i) = Variant::HupOnly.embeddings(&h);
+        assert!(u.is_some() && i.is_none());
+        let (u, i) = Variant::HiaOnly.embeddings(&h);
+        assert!(u.is_none() && i.is_some());
+        let (u, i) = Variant::Din.embeddings(&h);
+        assert!(u.is_none() && i.is_none());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Variant::HiGnn.name(), "HiGNN");
+        assert_eq!(Variant::HupOnly.name(), "HUP-only");
+    }
+}

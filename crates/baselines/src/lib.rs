@@ -1,0 +1,21 @@
+//! # hignn-baselines
+//!
+//! Every comparator the paper evaluates against (Tables III and VII):
+//!
+//! * [`din`] — Deep Interest Network, the graph-free deep-learning
+//!   baseline ("HiGNN at level 0").
+//! * [`shoal`] — Alibaba's deployed taxonomy solution: hierarchical
+//!   agglomerative clustering over fixed embeddings, no trainable GNN.
+//! * [`ablations`] — GE / CGNN / HUP-only / HIA-only, each expressed as a
+//!   truncation of a trained HiGNN hierarchy, matching the paper's
+//!   "special case of our proposed method" framing.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod din;
+pub mod shoal;
+
+pub use ablations::{truncated_item_embeddings, truncated_user_embeddings, Variant};
+pub use din::{DinConfig, DinModel};
+pub use shoal::{build_shoal, ShoalTaxonomy};

@@ -1,0 +1,180 @@
+//! Criterion benchmarks of the model pipeline: GraphSAGE minibatch
+//! embedding (training path), full-graph inference, one unsupervised
+//! training step, predictor forward, word2vec training, and taxonomy
+//! description scoring (BM25). These cover the operations behind every
+//! table/figure plus the design-choice ablations DESIGN.md §6 lists
+//! (mean vs sum aggregator, uniform vs weight-biased sampling).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hignn::prelude::*;
+use hignn::sage::with_null_row;
+use hignn_graph::{BipartiteGraph, SamplingMode, Side};
+use hignn_tensor::{init, ParamStore, Tape};
+use hignn_text::{train_word2vec, Bm25Index, Word2VecConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(num_left: usize, num_right: usize, edges: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let list: Vec<(u32, u32, f32)> = (0..edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..num_left as u32),
+                rng.gen_range(0..num_right as u32),
+                rng.gen_range(1.0..5.0),
+            )
+        })
+        .collect();
+    BipartiteGraph::from_edges(num_left, num_right, list)
+}
+
+fn sage_cfg(sampling: SamplingMode, aggregator: Aggregator) -> BipartiteSageConfig {
+    BipartiteSageConfig {
+        input_dim: 32,
+        dim: 32,
+        fanouts: vec![8, 4],
+        sampling,
+        aggregator,
+        ..Default::default()
+    }
+}
+
+fn bench_embed_batch(c: &mut Criterion) {
+    let g = random_graph(2000, 1000, 20_000, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+    let uf = with_null_row(&init::xavier_uniform(2000, 32, &mut rng));
+    let if_ = with_null_row(&init::xavier_uniform(1000, 32, &mut rng));
+    let batch: Vec<usize> = (0..256).collect();
+    let mut group = c.benchmark_group("embed_batch_256");
+    group.sample_size(20);
+    for (name, sampling, agg) in [
+        ("uniform_mean", SamplingMode::Uniform, Aggregator::Mean),
+        ("weighted_mean", SamplingMode::WeightBiased, Aggregator::Mean),
+        ("weighted_sum", SamplingMode::WeightBiased, Aggregator::Sum),
+    ] {
+        group.bench_function(name, |bench| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut store = ParamStore::new();
+            let sage = BipartiteSage::new(&mut store, "s", sage_cfg(sampling, agg), &mut rng);
+            bench.iter(|| {
+                let mut tape = Tape::new(&store);
+                black_box(sage.embed_batch(
+                    &mut tape,
+                    &g,
+                    Side::Left,
+                    &batch,
+                    &uf,
+                    &if_,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_embed_all(c: &mut Criterion) {
+    let g = random_graph(2000, 1000, 20_000, 4);
+    let mut rng = StdRng::seed_from_u64(5);
+    let uf = init::xavier_uniform(2000, 32, &mut rng);
+    let if_ = init::xavier_uniform(1000, 32, &mut rng);
+    let mut store = ParamStore::new();
+    let sage = BipartiteSage::new(
+        &mut store,
+        "s",
+        sage_cfg(SamplingMode::WeightBiased, Aggregator::Mean),
+        &mut rng,
+    );
+    let mut group = c.benchmark_group("embed_all_2000x1000");
+    group.sample_size(10);
+    group.bench_function("full_inference", |bench| {
+        bench.iter(|| black_box(sage.embed_all(&store, &g, &uf, &if_)));
+    });
+    group.finish();
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let g = random_graph(500, 300, 4000, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+    let uf = init::xavier_uniform(500, 32, &mut rng);
+    let if_ = init::xavier_uniform(300, 32, &mut rng);
+    let mut group = c.benchmark_group("unsupervised_train");
+    group.sample_size(10);
+    group.bench_function("one_epoch_500x300", |bench| {
+        bench.iter(|| {
+            let cfg = SageTrainConfig { epochs: 1, batch_edges: 256, ..Default::default() };
+            black_box(train_unsupervised(
+                &g,
+                &uf,
+                &if_,
+                sage_cfg(SamplingMode::WeightBiased, Aggregator::Mean),
+                &cfg,
+                42,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let uh = init::xavier_uniform(1000, 96, &mut rng);
+    let ih = init::xavier_uniform(500, 96, &mut rng);
+    let up = init::xavier_uniform(1000, 3, &mut rng);
+    let is = init::xavier_uniform(500, 4, &mut rng);
+    let features = FeatureBlocks {
+        user_hier: Some(&uh),
+        item_hier: Some(&ih),
+        user_profiles: &up,
+        item_stats: &is,
+    };
+    let samples: Vec<hignn::predictor::Sample> = (0..2048)
+        .map(|k| hignn::predictor::Sample::new((k % 1000) as u32, (k % 500) as u32, k % 5 == 0))
+        .collect();
+    let cfg = PredictorConfig { epochs: 1, batch: 512, ..Default::default() };
+    let model = CvrPredictor::train(&features, &samples, &cfg);
+    c.bench_function("predictor/predict_2048", |bench| {
+        bench.iter(|| black_box(model.predict(&features, &samples)));
+    });
+}
+
+fn bench_word2vec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let sentences: Vec<Vec<u32>> = (0..200)
+        .map(|_| (0..10).map(|_| rng.gen_range(0..500u32)).collect())
+        .collect();
+    let counts = vec![10u64; 500];
+    let mut group = c.benchmark_group("word2vec");
+    group.sample_size(10);
+    group.bench_function("sgns_200_sentences", |bench| {
+        bench.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            let cfg = Word2VecConfig { dim: 32, epochs: 1, ..Default::default() };
+            black_box(train_word2vec(&sentences, &counts, &cfg, &mut rng))
+        });
+    });
+    group.finish();
+}
+
+fn bench_bm25(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let docs: Vec<Vec<u32>> = (0..100)
+        .map(|_| (0..200).map(|_| rng.gen_range(0..2000u32)).collect())
+        .collect();
+    let idx = Bm25Index::new(&docs);
+    let query: Vec<u32> = (0..5).map(|_| rng.gen_range(0..2000u32)).collect();
+    c.bench_function("bm25/score_all_100_topics", |bench| {
+        bench.iter(|| black_box(idx.score_all(&query)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_embed_batch,
+    bench_embed_all,
+    bench_train_step,
+    bench_predictor,
+    bench_word2vec,
+    bench_bm25
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks of the substrate crates: matrix kernels,
+//! neighbour/negative sampling, coarsening, clustering (Lloyd vs
+//! single-pass vs mini-batch — the Section III.D complexity ablation),
+//! and the AUC metric.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hignn_cluster::kmeans::{kmeans, KMeansConfig};
+use hignn_cluster::streaming::{minibatch_kmeans, single_pass_kmeans};
+use hignn_graph::coarsen::{coarsen, Assignment};
+use hignn_graph::{sample_neighbors, BipartiteGraph, NegativeSampler, SamplingMode, Side};
+use hignn_metrics::auc;
+use hignn_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_graph(num_left: usize, num_right: usize, edges: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let list: Vec<(u32, u32, f32)> = (0..edges)
+        .map(|_| {
+            (
+                rng.gen_range(0..num_left as u32),
+                rng.gen_range(0..num_right as u32),
+                rng.gen_range(1.0..5.0),
+            )
+        })
+        .collect();
+    BipartiteGraph::from_edges(num_left, num_right, list)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matrix");
+    for &n in &[32usize, 128] {
+        let a = init::xavier_uniform(n, n, &mut rng);
+        let b = init::xavier_uniform(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("matmul_nt", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul_nt(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let g = random_graph(2000, 1000, 20_000, 2);
+    let vertices: Vec<usize> = (0..256).collect();
+    let mut group = c.benchmark_group("sampling");
+    for (name, mode) in [
+        ("uniform", SamplingMode::Uniform),
+        ("weight_biased", SamplingMode::WeightBiased),
+    ] {
+        group.bench_function(name, |bench| {
+            let mut rng = StdRng::seed_from_u64(3);
+            bench.iter(|| {
+                black_box(sample_neighbors(&g, Side::Left, &vertices, 8, mode, &mut rng))
+            });
+        });
+    }
+    group.bench_function("negative_alias", |bench| {
+        let sampler = NegativeSampler::new(&g, Side::Right, 0.75);
+        let mut rng = StdRng::seed_from_u64(4);
+        bench.iter(|| black_box(sampler.sample_many(256, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let g = random_graph(2000, 1000, 20_000, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let left = Assignment::new((0..2000).map(|_| rng.gen_range(0..400u32)).collect(), 400);
+    let right = Assignment::new((0..1000).map(|_| rng.gen_range(0..200u32)).collect(), 200);
+    c.bench_function("coarsen/2000x1000_20k_edges", |bench| {
+        bench.iter(|| black_box(coarsen(&g, &left, &right)));
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = init::xavier_uniform(2000, 32, &mut rng);
+    let mut group = c.benchmark_group("kmeans_2000x32_k50");
+    group.sample_size(10);
+    group.bench_function("lloyd", |bench| {
+        let mut rng = StdRng::seed_from_u64(8);
+        bench.iter(|| black_box(kmeans(&data, &KMeansConfig::new(50), &mut rng)));
+    });
+    group.bench_function("single_pass", |bench| {
+        let mut rng = StdRng::seed_from_u64(9);
+        bench.iter(|| black_box(single_pass_kmeans(&data, 50, 200, &mut rng)));
+    });
+    group.bench_function("minibatch", |bench| {
+        let mut rng = StdRng::seed_from_u64(10);
+        bench.iter(|| black_box(minibatch_kmeans(&data, 50, 128, 30, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let scores: Vec<f32> = (0..100_000).map(|_| rng.gen_range(0.0f32..1.0)).collect();
+    let labels: Vec<bool> = (0..100_000).map(|_| rng.gen_bool(0.2)).collect();
+    c.bench_function("auc/100k", |bench| {
+        bench.iter(|| black_box(auc(&scores, &labels)));
+    });
+}
+
+fn bench_segment_mean(c: &mut Criterion) {
+    let g = random_graph(2000, 1000, 20_000, 12);
+    let mut rng = StdRng::seed_from_u64(13);
+    let emb = init::xavier_uniform(1000, 32, &mut rng);
+    c.bench_function("neighborhood_mean/2000_vertices", |bench| {
+        bench.iter(|| {
+            black_box(hignn::sage::neighborhood_mean(
+                &g,
+                Side::Left,
+                &emb,
+                hignn::sage::Aggregator::Mean,
+            ))
+        });
+    });
+    let _ = Matrix::zeros(1, 1);
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_sampling,
+    bench_coarsen,
+    bench_kmeans,
+    bench_auc,
+    bench_segment_mean
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Minimal command-line argument handling shared by all experiment
+//! binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--scale <f64>`   — dataset scale factor (default 0.5; 1.0 doubles
+//!   users/items/interactions),
+//! * `--seed <u64>`    — base RNG seed,
+//! * `--quick`         — shrink everything hard for smoke runs,
+//! * `--levels <usize>` — hierarchy depth override where applicable.
+
+/// Parsed experiment arguments.
+#[derive(Clone, Debug)]
+pub struct ExpArgs {
+    /// Dataset scale factor.
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Smoke-test mode.
+    pub quick: bool,
+    /// Optional hierarchy-depth override.
+    pub levels: Option<usize>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs { scale: 0.5, seed: 2020, quick: false, levels: None }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`, panicking with a usage message on
+    /// malformed input.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = ExpArgs::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    out.scale = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--scale needs a float"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--levels" => {
+                    out.levels = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--levels needs an integer")),
+                    );
+                }
+                "--quick" => out.quick = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: <bin> [--scale F] [--seed N] [--levels L] [--quick]"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument `{other}`"),
+            }
+        }
+        if out.quick {
+            out.scale = out.scale.min(0.1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExpArgs {
+        ExpArgs::from_iter(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, 0.5);
+        assert!(!a.quick);
+        assert!(a.levels.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&["--scale", "2.0", "--seed", "7", "--levels", "4"]);
+        assert_eq!(a.scale, 2.0);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.levels, Some(4));
+    }
+
+    #[test]
+    fn quick_caps_scale() {
+        let a = parse(&["--scale", "3.0", "--quick"]);
+        assert!(a.quick);
+        assert!(a.scale <= 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        parse(&["--bogus"]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Section V.D.4 — online A/B test of taxonomy-matched recommendations:
+//! HiGNN topics vs SHOAL topics driving the same topic-affinity ranker.
+//!
+//! Both methods produce an item → topic assignment over the serving
+//! catalogue; recommendations then match users to items whose topic they
+//! historically clicked. A better taxonomy groups items by true intent,
+//! so its recommendations land closer to user affinity. Paper shape to
+//! reproduce: the HiGNN-taxonomy arm lifts CTR (+3.8% in the paper).
+
+use hignn_baselines::build_shoal;
+use hignn_bench::pipeline::train_hierarchy;
+use hignn_bench::report::banner;
+use hignn_bench::ExpArgs;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_simulator::{run_ab, AbConfig, TopicAffinityRanker};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
+    eprintln!(
+        "dataset: {} users, {} items, {} edges",
+        ds.num_users(),
+        ds.num_items(),
+        ds.graph.num_edges()
+    );
+
+    eprintln!("training HiGNN hierarchy ...");
+    let hierarchy = train_hierarchy(&ds, args.levels.unwrap_or(3), 5.0, args.seed);
+    // Serve from a mid-granularity level: fine enough to be topical,
+    // coarse enough that user histories cover the topics.
+    let serve_level = 2.min(hierarchy.num_levels());
+    let hignn_topics: Vec<u32> = {
+        let a = hierarchy.item_clusters_at(serve_level);
+        (0..ds.num_items()).map(|i| a.cluster_of(i)).collect()
+    };
+    let k = hignn_topics.iter().copied().max().map_or(1, |m| m as usize + 1);
+    eprintln!("HiGNN serving topics: {k} clusters (hierarchy level {serve_level})");
+
+    // SHOAL: same cluster count, agglomerative clustering over a fixed
+    // (non-trainable) graph metric: each item's one-step propagated
+    // neighbourhood features. This mirrors SHOAL's "well-defined metric"
+    // embeddings — collaborative signal, but no trainable non-linear GNN.
+    eprintln!("building SHOAL topics ({k} clusters) over fixed propagated features ...");
+    let prop1 = hignn::sage::neighborhood_mean(
+        &ds.graph,
+        hignn_graph::Side::Right,
+        &ds.user_features,
+        hignn::sage::Aggregator::Mean,
+    );
+    // Second hop: item <- users <- items, aggregating co-clicked items.
+    let user_side = hignn::sage::neighborhood_mean(
+        &ds.graph,
+        hignn_graph::Side::Left,
+        &ds.item_features,
+        hignn::sage::Aggregator::Mean,
+    );
+    let prop2 = hignn::sage::neighborhood_mean(
+        &ds.graph,
+        hignn_graph::Side::Right,
+        &user_side,
+        hignn::sage::Aggregator::Mean,
+    );
+    let shoal_feats =
+        hignn_tensor::Matrix::concat_cols(&[&ds.item_features, &prop1, &prop2]);
+    let shoal = build_shoal(&shoal_feats, &[k]);
+    let shoal_topics = shoal.item_levels[0].clone();
+
+    let popularity: Vec<f32> = (0..ds.num_items())
+        .map(|i| ds.graph.neighbors(hignn_graph::Side::Right, i).1.iter().sum::<f32>())
+        .collect();
+    let control =
+        TopicAffinityRanker::new("SHOAL-topics", shoal_topics, &ds.histories, popularity.clone());
+    let treatment =
+        TopicAffinityRanker::new("HiGNN-topics", hignn_topics, &ds.histories, popularity);
+
+    let pool: Vec<u32> = (0..ds.num_items() as u32).collect();
+    let sessions = ((30_000.0 * args.scale) as usize).max(1000);
+    let cfg = AbConfig {
+        sessions_per_day: sessions,
+        days: 1,
+        seed: args.seed ^ 0x3A,
+        ..Default::default()
+    };
+    eprintln!("running A/B with {} sessions ...", cfg.sessions_per_day);
+    let outcome = run_ab(&ds.truth, &pool, &control, &treatment, &cfg);
+    let total = outcome.total();
+
+    banner("Section V.D.4 — taxonomy-matched recommendation A/B (CTR)");
+    println!("{total}");
+    println!(
+        "\nHiGNN-topic recommendations vs SHOAL-topic recommendations: CTR {:+.2}% (paper: +3.8%)",
+        total.ctr_lift()
+    );
+}

@@ -1,0 +1,89 @@
+//! Table III — CVR prediction AUC of CGNN / DIN / GE / HUP-only /
+//! HIA-only / HiGNN on the dense (#1) and cold-start (#2) datasets.
+//!
+//! Paper shape to reproduce (absolute numbers depend on the synthetic
+//! substrate):
+//!
+//! * HiGNN best on both datasets,
+//! * GE > DIN (graph embeddings beat no-graph),
+//! * HUP-only / HIA-only between GE and HiGNN,
+//! * CGNN below HUP-only (fixed 2-level user hierarchy),
+//! * HiGNN's margin over DIN larger on the sparser #2.
+
+use hignn_baselines::Variant;
+use hignn_bench::pipeline::{din_auc, train_hierarchy, variant_auc};
+use hignn_bench::report::{banner, f3, Table};
+use hignn_bench::ExpArgs;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let levels = args.levels.unwrap_or(3);
+    let alpha = 5.0;
+
+    let datasets = [
+        ("Taobao #1", TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) }, true),
+        (
+            "Taobao #2",
+            TaobaoConfig { seed: args.seed + 1, ..TaobaoConfig::taobao2(args.scale) },
+            false,
+        ),
+    ];
+    let variants = [
+        Variant::Cgnn,
+        Variant::Din,
+        Variant::Ge,
+        Variant::HupOnly,
+        Variant::HiaOnly,
+        Variant::HiGnn,
+    ];
+
+    banner("Table III — Performance Evaluation (AUC)");
+    let mut table = Table::new(&["Dataset", "CGNN", "DIN", "GE", "HUP-o", "HIA-o", "HiGNN"]);
+    let mut din_scores = Vec::new();
+    let mut hignn_scores = Vec::new();
+
+    for (name, cfg, replicate) in datasets {
+        eprintln!("[{name}] generating dataset (scale {})...", args.scale);
+        let ds = generate_taobao(&cfg);
+        eprintln!(
+            "[{name}] {} users, {} items, {} edges",
+            ds.num_users(),
+            ds.num_items(),
+            ds.graph.num_edges()
+        );
+        let t0 = Instant::now();
+        let hierarchy = train_hierarchy(&ds, levels, alpha, args.seed);
+        eprintln!(
+            "[{name}] hierarchy trained: {} levels in {:.1}s",
+            hierarchy.num_levels(),
+            t0.elapsed().as_secs_f64()
+        );
+        let mut row = vec![name.to_string()];
+        for v in variants {
+            let t0 = Instant::now();
+            let a = match v {
+                Variant::Din => din_auc(&ds, replicate, args.seed),
+                _ => variant_auc(&ds, &hierarchy, v, replicate, args.seed),
+            };
+            eprintln!("[{name}] {:<8} AUC {a:.4} ({:.1}s)", v.name(), t0.elapsed().as_secs_f64());
+            if v == Variant::Din {
+                din_scores.push(a);
+            }
+            if v == Variant::HiGnn {
+                hignn_scores.push(a);
+            }
+            row.push(f3(a));
+        }
+        table.row(&row);
+    }
+    table.print();
+
+    for (k, name) in ["Taobao #1", "Taobao #2"].iter().enumerate() {
+        let gain = (hignn_scores[k] - din_scores[k]) / din_scores[k] * 100.0;
+        println!(
+            "{name}: HiGNN over DIN {gain:+.2}% (paper: +3.08% on #1, +3.33% on #2)"
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Table IV — online A/B test of HiGNN-ranked recommendations for new
+//! arrival products (cold-start pool) over two days.
+//!
+//! Control arm: the production-style DIN ranking. Treatment arm: HiGNN's
+//! CVR predictor ranking. Paper shape to reproduce: positive lift on all
+//! four metrics, with CNT and CVR improved by ≈2% or more on both days.
+
+use hignn::prelude::*;
+use hignn_baselines::{DinConfig, DinModel, Variant};
+use hignn_bench::pipeline::{predictor_config, to_pred, train_hierarchy};
+use hignn_bench::report::banner;
+use hignn_bench::ExpArgs;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_simulator::{run_ab, AbConfig, ScoreFnRanker};
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Cold-start dataset: the paper applies the model "on the real Taobao
+    // e-commerce online system for new arrival products".
+    let ds = generate_taobao(&TaobaoConfig {
+        seed: args.seed + 1,
+        ..TaobaoConfig::taobao2(args.scale)
+    });
+    eprintln!(
+        "dataset: {} users, {} items, {} edges",
+        ds.num_users(),
+        ds.num_items(),
+        ds.graph.num_edges()
+    );
+
+    // Control: DIN.
+    eprintln!("training DIN (control) ...");
+    let din = DinModel::train(
+        ds.num_items(),
+        &ds.histories,
+        &ds.user_profiles,
+        &ds.item_stats,
+        &to_pred(&ds.train),
+        &DinConfig { seed: args.seed, epochs: 2, ..Default::default() },
+    );
+
+    // Treatment: HiGNN predictor.
+    eprintln!("training HiGNN (treatment) ...");
+    let hierarchy = train_hierarchy(&ds, args.levels.unwrap_or(3), 5.0, args.seed);
+    let (uh, ih) = Variant::HiGnn.embeddings(&hierarchy);
+    let features = FeatureBlocks {
+        user_hier: uh.as_ref(),
+        item_hier: ih.as_ref(),
+        user_profiles: &ds.user_profiles,
+        item_stats: &ds.item_stats,
+    };
+    let hignn_model = CvrPredictor::train(&features, &to_pred(&ds.train), &predictor_config(args.seed));
+
+    let din_ranker = ScoreFnRanker::new("DIN", |user, candidates| {
+        let samples: Vec<hignn::predictor::Sample> = candidates
+            .iter()
+            .map(|&i| hignn::predictor::Sample::new(user as u32, i, false))
+            .collect();
+        din.predict(&ds.histories, &ds.user_profiles, &ds.item_stats, &samples)
+    });
+    let hignn_ranker = ScoreFnRanker::new("HiGNN", |user, candidates| {
+        let samples: Vec<hignn::predictor::Sample> = candidates
+            .iter()
+            .map(|&i| hignn::predictor::Sample::new(user as u32, i, false))
+            .collect();
+        hignn_model.predict(&features, &samples)
+    });
+
+    // Candidate pool: the sparsest third of items ("new arrivals").
+    let mut by_clicks: Vec<(u32, f32)> = (0..ds.num_items() as u32)
+        .map(|i| {
+            let w: f32 = ds
+                .graph
+                .neighbors(hignn_graph::Side::Right, i as usize)
+                .1
+                .iter()
+                .sum();
+            (i, w)
+        })
+        .collect();
+    by_clicks.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let pool: Vec<u32> = by_clicks[..ds.num_items() / 3].iter().map(|&(i, _)| i).collect();
+
+    let sessions = ((20_000.0 * args.scale) as usize).max(500);
+    let cfg = AbConfig { sessions_per_day: sessions, days: 2, seed: args.seed ^ 0xAB, ..Default::default() };
+    eprintln!("running A/B: {} sessions/day x {} days ...", cfg.sessions_per_day, cfg.days);
+    let outcome = run_ab(&ds.truth, &pool, &din_ranker, &hignn_ranker, &cfg);
+
+    banner("Table IV — Online A/B Testing of Performance Evaluation");
+    for (d, cmp) in outcome.days.iter().enumerate() {
+        println!("\nDay {}:\n{cmp}", d + 1);
+    }
+    println!("\nAll days combined:\n{}", outcome.total());
+    println!(
+        "\npaper shape: all four metrics lifted; CNT and CVR improved by more than 2% on both days."
+    );
+}

@@ -1,0 +1,130 @@
+//! Table VII — taxonomy quality: SHOAL vs HiGNN on the query-item
+//! dataset (accuracy via sampled expert-style judgment against the
+//! planted ground truth, diversity via the qualified-topic ratio).
+//!
+//! Paper shape to reproduce: HiGNN beats SHOAL on both accuracy (+4pts in
+//! the paper) and diversity (+6pts), at a comparable number of levels.
+//! Per the paper, SHOAL's per-level cluster counts are set equal to
+//! HiGNN's for fairness.
+
+use hignn_baselines::build_shoal;
+use hignn_bench::pipeline::build_query_item_taxonomy;
+use hignn_bench::report::{banner, Table};
+use hignn_bench::ExpArgs;
+use hignn_datasets::query_item::{generate_query_item, QueryItemConfig};
+use hignn_metrics::{normalized_mutual_info, taxonomy_accuracy, taxonomy_diversity};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ground-truth labels for judging a taxonomy level: the planted tree
+/// level whose node count is closest to the level's topic count.
+fn truth_labels_for(
+    ds: &hignn_datasets::QueryItemDataset,
+    topic_count: usize,
+) -> Vec<u32> {
+    let h = &ds.truth.hierarchy;
+    let best_level = (1..=h.depth())
+        .min_by_key(|&l| (h.level_nodes(l).len() as i64 - topic_count as i64).abs())
+        .unwrap();
+    (0..ds.graph.num_right())
+        .map(|i| ds.truth.item_topic_at_level(i, best_level))
+        .collect()
+}
+
+/// Topics smaller than this are excluded from judgment — the paper's
+/// experts evaluate real browsing topics, and near-singleton clusters
+/// would trivially score 100% purity (inflating agglomerative baselines
+/// that produce many tiny fringe clusters).
+const MIN_TOPIC_SIZE: usize = 5;
+
+/// Evaluates a taxonomy the way the paper's experts do: pool the topics
+/// of every level into one population, sample 100 topics, sample up to
+/// 100 items per topic, and judge items against the topic's majority
+/// ground-truth label. Diversity is the qualified-topic ratio over the
+/// same pooled population.
+fn evaluate(
+    name: &str,
+    levels: &[Vec<u32>],
+    ds: &hignn_datasets::QueryItemDataset,
+    rng: &mut StdRng,
+) -> (f64, f64, usize) {
+    // Re-encode each level's topics with level-unique ids so a single
+    // pooled assignment covers the whole taxonomy: item i appears once
+    // per level, labelled (level, topic).
+    let mut pooled_assignment: Vec<u32> = Vec::new();
+    let mut pooled_truth: Vec<u32> = Vec::new();
+    let mut pooled_categories: Vec<u32> = Vec::new();
+    let mut topic_offset = 0u32;
+    for (lvl, assignment) in levels.iter().enumerate() {
+        let topic_count = assignment.iter().copied().max().map_or(1, |m| m as usize + 1);
+        let truth = truth_labels_for(ds, topic_count);
+        let leaf_truth: Vec<u32> =
+            (0..ds.graph.num_right()).map(|i| ds.truth.item_leaf_index(i)).collect();
+        eprintln!(
+            "[{name}] level {} ({topic_count} topics): leafNMI {:.3}",
+            lvl + 1,
+            normalized_mutual_info(assignment, &leaf_truth)
+        );
+        let mut sizes = vec![0usize; topic_count];
+        for &t in assignment.iter() {
+            sizes[t as usize] += 1;
+        }
+        for (i, &t) in assignment.iter().enumerate() {
+            if sizes[t as usize] < MIN_TOPIC_SIZE {
+                continue;
+            }
+            pooled_assignment.push(topic_offset + t);
+            pooled_truth.push(truth[i]);
+            pooled_categories.push(ds.truth.item_category[i]);
+        }
+        topic_offset += topic_count as u32;
+    }
+    let acc = taxonomy_accuracy(&pooled_assignment, &pooled_truth, 100, 100, rng);
+    let div = taxonomy_diversity(&pooled_assignment, &pooled_categories, 3);
+    eprintln!("[{name}] pooled accuracy {acc:.3}, pooled diversity {div:.3}");
+    (acc, div, levels.len())
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let levels = args.levels.unwrap_or(4);
+    let ds = generate_query_item(&QueryItemConfig {
+        seed: args.seed + 3,
+        ..QueryItemConfig::taobao3(args.scale)
+    });
+    eprintln!(
+        "dataset: {} queries, {} items, {} edges",
+        ds.graph.num_left(),
+        ds.graph.num_right(),
+        ds.graph.num_edges()
+    );
+
+    eprintln!("building HiGNN taxonomy (L = {levels}) ...");
+    let (tax, _qf, item_feats) = build_query_item_taxonomy(&ds, levels, args.seed);
+    let hignn_levels: Vec<Vec<u32>> =
+        (1..=tax.num_levels()).map(|l| tax.item_assignment(l)).collect();
+
+    // SHOAL: same cluster counts, agglomerative over the fixed word2vec
+    // item features (no trainable GNN).
+    let counts: Vec<usize> = hignn_levels
+        .iter()
+        .map(|a| a.iter().copied().max().map_or(1, |m| m as usize + 1))
+        .collect();
+    eprintln!("building SHOAL taxonomy with cluster counts {counts:?} ...");
+    let shoal = build_shoal(&item_feats, &counts);
+
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0x77);
+    let (sa, sd, sl) = evaluate("SHOAL", &shoal.item_levels, &ds, &mut rng);
+    let (ha, hd, hl) = evaluate("HiGNN", &hignn_levels, &ds, &mut rng);
+
+    banner("Table VII — Taxonomy Quality Evaluation");
+    let mut t = Table::new(&["Algorithm", "#Level", "Accuracy", "Diversity"]);
+    t.row(&["SHOAL".into(), sl.to_string(), format!("{:.0}%", sa * 100.0), format!("{:.0}%", sd * 100.0)]);
+    t.row(&["HiGNN".into(), hl.to_string(), format!("{:.0}%", ha * 100.0), format!("{:.0}%", hd * 100.0)]);
+    t.print();
+    println!(
+        "\nHiGNN vs SHOAL: accuracy {:+.1} pts (paper +4), diversity {:+.1} pts (paper +6)",
+        (ha - sa) * 100.0,
+        (hd - sd) * 100.0
+    );
+}

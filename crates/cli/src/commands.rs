@@ -1,0 +1,302 @@
+//! The `hignn` subcommands.
+
+use crate::opts::Opts;
+use hignn::io::{load_hierarchy, save_hierarchy};
+use hignn::prelude::*;
+use hignn_graph::edgelist::read_edge_list;
+use hignn_graph::GraphStats;
+use hignn_tensor::serialize::write_matrix;
+use hignn_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+/// Usage text printed by `hignn help`.
+pub const USAGE: &str = "\
+hignn — Hierarchical Bipartite Graph Neural Networks (ICDE 2020)
+
+USAGE:
+  hignn stats    --edges FILE
+  hignn train    --edges FILE --out MODEL [--levels 3] [--alpha 5]
+                 [--dim 32] [--epochs 4] [--seed 0] [--no-normalize]
+  hignn info     --model MODEL
+  hignn embed    --model MODEL --side user|item --out FILE.hgmx
+  hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
+  hignn help
+
+FORMATS:
+  edges  : text lines `left right [weight]` (tab/space/comma separated,
+           `#` comments); vertex ids are compacted to dense ranges
+  MODEL  : binary hierarchy (hignn::io)
+  .hgmx  : binary matrix (hignn_tensor::serialize)
+";
+
+/// Runs a parsed command, writing human output to `out`. Returns an
+/// error message on failure (the binary maps it to exit code 1).
+pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    match opts.command.as_str() {
+        "stats" => stats(opts, out),
+        "train" => train(opts, out),
+        "info" => info(opts, out),
+        "embed" => embed(opts, out),
+        "generate" => generate(opts, out),
+        "help" | "" => {
+            let _ = writeln!(out, "{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `hignn help`)")),
+    }
+}
+
+fn emit(out: &mut dyn Write, text: String) {
+    let _ = writeln!(out, "{text}");
+}
+
+fn load_edges(opts: &Opts) -> Result<hignn_graph::edgelist::ParsedEdgeList, String> {
+    let path = opts.require("edges")?;
+    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    read_edge_list(file).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    let parsed = load_edges(opts)?;
+    emit(out, GraphStats::compute(&parsed.graph).to_string());
+    Ok(())
+}
+
+fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    let parsed = load_edges(opts)?;
+    let model_path = opts.require("out")?.to_string();
+    let levels: usize = opts.get_or("levels", 3)?;
+    let alpha: f64 = opts.get_or("alpha", 5.0)?;
+    let dim: usize = opts.get_or("dim", 32)?;
+    let epochs: usize = opts.get_or("epochs", 4)?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let g = &parsed.graph;
+    emit(
+        out,
+        format!(
+            "training HiGNN: {} x {} vertices, {} edges, L = {levels}, alpha = {alpha}",
+            g.num_left(),
+            g.num_right(),
+            g.num_edges()
+        ),
+    );
+    // Text edge lists carry no vertex features; use trainable random
+    // tables (the featureless-graph treatment, see DESIGN.md §6).
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCE1);
+    let scale = 1.0 / (dim as f32).sqrt();
+    let uf = init::normal(g.num_left(), dim, scale, &mut rng);
+    let if_ = init::normal(g.num_right(), dim, scale, &mut rng);
+    let cfg = HignnConfig {
+        levels,
+        sage: BipartiteSageConfig { input_dim: dim, dim, ..Default::default() },
+        train: SageTrainConfig { epochs, trainable_features: true, ..Default::default() },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: !opts.flag("no-normalize"),
+        seed,
+    };
+    let hierarchy = build_hierarchy(g, &uf, &if_, &cfg);
+    for (l, level) in hierarchy.levels().iter().enumerate() {
+        emit(
+            out,
+            format!(
+                "level {}: {} -> {} user clusters, {} -> {} item clusters, loss {:.4}",
+                l + 1,
+                level.user_embeddings.rows(),
+                level.user_assignment.num_clusters(),
+                level.item_embeddings.rows(),
+                level.item_assignment.num_clusters(),
+                level.epoch_losses.last().copied().unwrap_or(f32::NAN)
+            ),
+        );
+    }
+    save_hierarchy(&model_path, &hierarchy).map_err(|e| format!("{model_path}: {e}"))?;
+    emit(out, format!("saved model to {model_path}"));
+    Ok(())
+}
+
+fn info(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    let path = opts.require("model")?;
+    let h = load_hierarchy(path).map_err(|e| format!("{path}: {e}"))?;
+    emit(
+        out,
+        format!(
+            "hierarchy: {} levels | {} users (dim {}) | {} items (dim {})",
+            h.num_levels(),
+            h.num_users(),
+            h.user_dim(),
+            h.num_items(),
+            h.item_dim()
+        ),
+    );
+    for (l, level) in h.levels().iter().enumerate() {
+        emit(
+            out,
+            format!(
+                "  level {}: {} user clusters, {} item clusters, coarsened graph {} edges",
+                l + 1,
+                level.user_assignment.num_clusters(),
+                level.item_assignment.num_clusters(),
+                level.coarsened.num_edges()
+            ),
+        );
+    }
+    Ok(())
+}
+
+fn embed(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    let path = opts.require("model")?;
+    let side = opts.require("side")?.to_string();
+    let out_path = opts.require("out")?.to_string();
+    let h = load_hierarchy(path).map_err(|e| format!("{path}: {e}"))?;
+    let matrix: Matrix = match side.as_str() {
+        "user" => h.hierarchical_users(),
+        "item" => h.hierarchical_items(),
+        other => return Err(format!("--side must be `user` or `item`, got `{other}`")),
+    };
+    let file = File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_matrix(&mut w, &matrix).map_err(|e| format!("{out_path}: {e}"))?;
+    emit(
+        out,
+        format!("wrote {} {}x{} hierarchical embeddings to {out_path}", side, matrix.rows(), matrix.cols()),
+    );
+    Ok(())
+}
+
+fn generate(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+    use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+    use hignn_graph::edgelist::write_edge_list;
+    let out_path = opts.require("out")?.to_string();
+    let kind = opts.get("kind").unwrap_or("taobao1");
+    let scale: f64 = opts.get_or("scale", 0.5)?;
+    let seed: u64 = opts.get_or("seed", 0)?;
+    let cfg = match kind {
+        "taobao1" => TaobaoConfig { seed, ..TaobaoConfig::taobao1(scale) },
+        "taobao2" => TaobaoConfig { seed, ..TaobaoConfig::taobao2(scale) },
+        other => return Err(format!("--kind must be taobao1 or taobao2, got `{other}`")),
+    };
+    let ds = generate_taobao(&cfg);
+    let file = File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    write_edge_list(&mut w, &ds.graph).map_err(|e| format!("{out_path}: {e}"))?;
+    emit(
+        out,
+        format!(
+            "wrote {} edges ({} users x {} items, {kind}, scale {scale}) to {out_path}",
+            ds.graph.num_edges(),
+            ds.num_users(),
+            ds.num_items()
+        ),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::Opts;
+
+    fn run_args(args: &[&str]) -> (Result<(), String>, String) {
+        let opts = Opts::parse(args.iter().map(|s| s.to_string())).unwrap();
+        let mut buf = Vec::new();
+        let result = run(&opts, &mut buf);
+        (result, String::from_utf8(buf).unwrap())
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hignn_cli_test_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (res, text) = run_args(&["help"]);
+        assert!(res.is_ok());
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let (res, _) = run_args(&["bogus"]);
+        assert!(res.unwrap_err().contains("bogus"));
+    }
+
+    #[test]
+    fn generate_stats_train_info_embed_roundtrip() {
+        let edges = temp_path("edges.tsv");
+        let model = temp_path("model.hgh");
+        let emb = temp_path("users.hgmx");
+        let edges_s = edges.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+        let emb_s = emb.to_str().unwrap();
+
+        // generate
+        let (res, text) =
+            run_args(&["generate", "--out", edges_s, "--kind", "taobao2", "--scale", "0.05", "--seed", "4"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("wrote"));
+
+        // stats
+        let (res, text) = run_args(&["stats", "--edges", edges_s]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("density"));
+
+        // train (tiny settings)
+        let (res, text) = run_args(&[
+            "train", "--edges", edges_s, "--out", model_s, "--levels", "2", "--dim", "8",
+            "--epochs", "1", "--alpha", "6",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("saved model"));
+
+        // info
+        let (res, text) = run_args(&["info", "--model", model_s]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("hierarchy: 2 levels"), "{text}");
+
+        // embed
+        let (res, text) = run_args(&["embed", "--model", model_s, "--side", "user", "--out", emb_s]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("hierarchical embeddings"));
+        // The written matrix parses back.
+        let m = hignn_tensor::serialize::read_matrix(
+            &mut std::io::BufReader::new(File::open(&emb).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(m.cols(), 16); // 2 levels x dim 8
+
+        for p in [edges, model, emb] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn embed_rejects_bad_side() {
+        let (res, _) = run_args(&["embed", "--model", "nope.hgh", "--side", "user", "--out", "x"]);
+        assert!(res.is_err()); // missing model file
+        let model = temp_path("side_model.hgh");
+        let edges = temp_path("side_edges.tsv");
+        let (r1, _) = run_args(&["generate", "--out", edges.to_str().unwrap(), "--scale", "0.05"]);
+        assert!(r1.is_ok());
+        let (r2, _) = run_args(&[
+            "train", "--edges", edges.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--levels", "1", "--dim", "4", "--epochs", "1",
+        ]);
+        assert!(r2.is_ok());
+        let (res, _) = run_args(&[
+            "embed", "--model", model.to_str().unwrap(), "--side", "sideways", "--out", "x",
+        ]);
+        assert!(res.unwrap_err().contains("sideways"));
+        let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_file(edges);
+    }
+
+    #[test]
+    fn stats_reports_missing_file() {
+        let (res, _) = run_args(&["stats", "--edges", "/nonexistent/x.tsv"]);
+        assert!(res.is_err());
+    }
+}

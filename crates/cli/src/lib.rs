@@ -1,0 +1,13 @@
+//! # hignn-cli
+//!
+//! Command implementations behind the `hignn` binary: train a hierarchy
+//! from a text edge list, inspect graphs and saved models, export
+//! hierarchical embeddings, and generate synthetic datasets. The binary
+//! is a thin `main` over [`run`]; everything here is unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod opts;
+
+pub use commands::run;

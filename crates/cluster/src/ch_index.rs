@@ -1,0 +1,165 @@
+//! Calinski-Harabasz index and CH-guided cluster-count selection.
+//!
+//! Section V.C.1 of the paper: *"the taxonomy results are very sensitive
+//! to the number of clusters ... we exploit the Calinski-Harabasz Index to
+//! maximize the between-cluster variance and minimize the within-cluster
+//! variance"* (Eq. 13):
+//!
+//! `CH = (D_B(k) / D_W(k)) * ((N - k) / (k - 1))`
+
+use crate::kmeans::{kmeans, KMeansConfig};
+use hignn_tensor::Matrix;
+use rand::Rng;
+
+/// Computes the Calinski-Harabasz index of a clustering.
+///
+/// Returns 0 for degenerate cases (`k < 2`, `k >= n`, or zero
+/// within-cluster variance paired with zero between-cluster variance).
+pub fn calinski_harabasz(data: &Matrix, assignment: &[u32], k: usize) -> f64 {
+    assert_eq!(data.rows(), assignment.len(), "calinski_harabasz: size mismatch");
+    let n = data.rows();
+    if k < 2 || n <= k {
+        return 0.0;
+    }
+    let d = data.cols();
+    // Global mean.
+    let mut global = vec![0f64; d];
+    for i in 0..n {
+        for (g, &v) in global.iter_mut().zip(data.row(i)) {
+            *g += v as f64;
+        }
+    }
+    for g in &mut global {
+        *g /= n as f64;
+    }
+    // Cluster means and sizes.
+    let mut means = vec![vec![0f64; d]; k];
+    let mut sizes = vec![0usize; k];
+    for i in 0..n {
+        let c = assignment[i] as usize;
+        sizes[c] += 1;
+        for (m, &v) in means[c].iter_mut().zip(data.row(i)) {
+            *m += v as f64;
+        }
+    }
+    for c in 0..k {
+        if sizes[c] > 0 {
+            for m in &mut means[c] {
+                *m /= sizes[c] as f64;
+            }
+        }
+    }
+    // Between-cluster dispersion.
+    let mut db = 0f64;
+    for c in 0..k {
+        if sizes[c] == 0 {
+            continue;
+        }
+        let dist: f64 = means[c]
+            .iter()
+            .zip(&global)
+            .map(|(m, g)| (m - g) * (m - g))
+            .sum();
+        db += sizes[c] as f64 * dist;
+    }
+    // Within-cluster dispersion.
+    let mut dw = 0f64;
+    for i in 0..n {
+        let c = assignment[i] as usize;
+        let dist: f64 = data
+            .row(i)
+            .iter()
+            .zip(&means[c])
+            .map(|(&v, m)| (v as f64 - m) * (v as f64 - m))
+            .sum();
+        dw += dist;
+    }
+    if dw <= 1e-12 {
+        return if db <= 1e-12 { 0.0 } else { f64::INFINITY };
+    }
+    (db / dw) * ((n - k) as f64 / (k - 1) as f64)
+}
+
+/// Picks the `k` among `candidates` that maximises the CH index of a
+/// k-means clustering, returning `(best_k, best_assignment, best_ch)`.
+pub fn select_k_by_ch(
+    data: &Matrix,
+    candidates: &[usize],
+    rng: &mut impl Rng,
+) -> (usize, Vec<u32>, f64) {
+    assert!(!candidates.is_empty(), "select_k_by_ch: no candidates");
+    let mut best: Option<(usize, Vec<u32>, f64)> = None;
+    for &k in candidates {
+        if k < 2 || k >= data.rows() {
+            continue;
+        }
+        let res = kmeans(data, &KMeansConfig::new(k), rng);
+        let ch = calinski_harabasz(data, &res.assignment, res.k());
+        if best.as_ref().is_none_or(|(_, _, b)| ch > *b) {
+            best = Some((res.k(), res.assignment, ch));
+        }
+    }
+    best.unwrap_or_else(|| {
+        // All candidates degenerate: fall back to the smallest valid k.
+        let k = candidates.iter().copied().min().unwrap().max(1).min(data.rows());
+        let res = kmeans(data, &KMeansConfig::new(k), rng);
+        (res.k(), res.assignment, 0.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs(k: usize, per: usize, spread: f32, rng: &mut StdRng) -> (Matrix, Vec<u32>) {
+        let mut data = Matrix::zeros(k * per, 2);
+        let mut truth = Vec::new();
+        for c in 0..k {
+            let cx = (c as f32) * 20.0;
+            for i in 0..per {
+                let r = c * per + i;
+                data.set(r, 0, cx + rng.gen_range(-spread..spread));
+                data.set(r, 1, rng.gen_range(-spread..spread));
+                truth.push(c as u32);
+            }
+        }
+        (data, truth)
+    }
+
+    #[test]
+    fn true_clustering_scores_higher_than_random() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (data, truth) = blobs(3, 30, 1.0, &mut rng);
+        let random: Vec<u32> = (0..90).map(|_| rng.gen_range(0..3)).collect();
+        let good = calinski_harabasz(&data, &truth, 3);
+        let bad = calinski_harabasz(&data, &random, 3);
+        assert!(good > bad * 10.0, "good {good} bad {bad}");
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero() {
+        let data = Matrix::from_vec(3, 1, vec![0.0, 1.0, 2.0]);
+        assert_eq!(calinski_harabasz(&data, &[0, 0, 0], 1), 0.0);
+        assert_eq!(calinski_harabasz(&data, &[0, 1, 2], 3), 0.0);
+    }
+
+    #[test]
+    fn zero_within_variance_is_infinite() {
+        // Two distinct points each forming their own tight "cluster" of two.
+        let data = Matrix::from_vec(4, 1, vec![0.0, 0.0, 10.0, 10.0]);
+        let ch = calinski_harabasz(&data, &[0, 0, 1, 1], 2);
+        assert!(ch.is_infinite());
+    }
+
+    #[test]
+    fn select_k_finds_true_k() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (data, _) = blobs(4, 40, 1.0, &mut rng);
+        let (k, assignment, ch) = select_k_by_ch(&data, &[2, 3, 4, 5, 6, 8], &mut rng);
+        assert_eq!(k, 4, "CH selected k = {k} (ch = {ch})");
+        assert_eq!(assignment.len(), 160);
+        assert!(ch > 100.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! K-means clustering (k-means++ seeding + Lloyd iterations).
+//!
+//! This is the deterministic clustering stage of HiGNN (Algorithm 1,
+//! `K_u(Z_u^l)` / `K_i(Z_i^l)`): given the embedding matrix a bipartite
+//! GraphSAGE level produced, cluster each side in its own feature space.
+
+use hignn_tensor::Matrix;
+use rand::Rng;
+
+/// Configuration for [`kmeans`].
+#[derive(Clone, Debug)]
+pub struct KMeansConfig {
+    /// Number of clusters. Clamped to the number of points.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on relative inertia improvement.
+    pub tol: f64,
+}
+
+impl KMeansConfig {
+    /// Standard configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansConfig { k, max_iters: 50, tol: 1e-4 }
+    }
+}
+
+/// Result of a clustering run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// `k x d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster id per point.
+    pub assignment: Vec<u32>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+}
+
+/// Runs k-means++ seeding followed by Lloyd iterations.
+///
+/// ```
+/// use hignn_cluster::kmeans::{kmeans, KMeansConfig};
+/// use hignn_tensor::Matrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let data = Matrix::from_vec(4, 1, vec![0.0, 0.1, 9.9, 10.0]);
+/// let res = kmeans(&data, &KMeansConfig::new(2), &mut StdRng::seed_from_u64(0));
+/// assert_eq!(res.assignment[0], res.assignment[1]);
+/// assert_ne!(res.assignment[0], res.assignment[3]);
+/// ```
+///
+/// # Panics
+/// Panics if `data` has no rows or `cfg.k == 0`.
+pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansResult {
+    assert!(data.rows() > 0, "kmeans: empty data");
+    assert!(cfg.k > 0, "kmeans: k must be positive");
+    let k = cfg.k.min(data.rows());
+    let mut centroids = kmeans_pp_seed(data, k, rng);
+    let mut assignment = vec![0u32; data.rows()];
+    let mut inertia = f64::MAX;
+    let mut iterations = 0;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut new_inertia = 0f64;
+        for i in 0..data.rows() {
+            let (c, d) = nearest_centroid(&centroids, data.row(i));
+            assignment[i] = c as u32;
+            new_inertia += d as f64;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, data.cols());
+        let mut counts = vec![0usize; k];
+        for i in 0..data.rows() {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            let row = data.row(i);
+            for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // centroid, the standard fix that keeps k clusters alive.
+                let far = (0..data.rows())
+                    .max_by(|&a, &b| {
+                        let da = centroids.row_sq_dist(assignment[a] as usize, data.row(a));
+                        let db = centroids.row_sq_dist(assignment[b] as usize, data.row(b));
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids.set_row(c, data.row(far));
+            } else {
+                let inv = 1.0 / counts[c] as f32;
+                let sum_row: Vec<f32> = sums.row(c).iter().map(|&s| s * inv).collect();
+                centroids.set_row(c, &sum_row);
+            }
+        }
+        // Convergence check on relative improvement.
+        if inertia.is_finite() {
+            let improvement = (inertia - new_inertia) / inertia.max(1e-12);
+            if improvement.abs() < cfg.tol {
+                break;
+            }
+        }
+        inertia = new_inertia;
+    }
+
+    // Final assignment against the last centroid update.
+    let mut final_inertia = 0f64;
+    for i in 0..data.rows() {
+        let (c, d) = nearest_centroid(&centroids, data.row(i));
+        assignment[i] = c as u32;
+        final_inertia += d as f64;
+    }
+    KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
+}
+
+/// k-means++ seeding: first centre uniform, subsequent centres with
+/// probability proportional to squared distance from the nearest chosen
+/// centre.
+pub fn kmeans_pp_seed(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
+    let n = data.rows();
+    let k = k.min(n);
+    let mut centroids = Matrix::zeros(k, data.cols());
+    let first = rng.gen_range(0..n);
+    centroids.set_row(0, data.row(first));
+    let mut dist2: Vec<f32> = (0..n)
+        .map(|i| centroids.row_sq_dist(0, data.row(i)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut x = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &d) in dist2.iter().enumerate() {
+                x -= d as f64;
+                if x <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.set_row(c, data.row(chosen));
+        for (i, d) in dist2.iter_mut().enumerate() {
+            let nd = centroids.row_sq_dist(c, data.row(i));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+    centroids
+}
+
+/// Index and squared distance of the centroid nearest to `point`.
+#[inline]
+pub fn nearest_centroid(centroids: &Matrix, point: &[f32]) -> (usize, f32) {
+    let mut best = 0usize;
+    let mut best_d = f32::MAX;
+    for c in 0..centroids.rows() {
+        let d = centroids.row_sq_dist(c, point);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+/// Mean member embedding per cluster — the paper's cluster feature
+/// `X_{C_u}` ("the average user embedding of users who belong to the
+/// cluster").
+///
+/// Clusters with no members get a zero row.
+pub fn mean_by_cluster(data: &Matrix, assignment: &[u32], k: usize) -> Matrix {
+    assert_eq!(data.rows(), assignment.len(), "mean_by_cluster: size mismatch");
+    let mut out = Matrix::zeros(k, data.cols());
+    let mut counts = vec![0usize; k];
+    for (i, &c) in assignment.iter().enumerate() {
+        let c = c as usize;
+        assert!(c < k, "cluster id {c} out of range");
+        counts[c] += 1;
+        for (o, &v) in out.row_mut(c).iter_mut().zip(data.row(i)) {
+            *o += v;
+        }
+    }
+    for c in 0..k {
+        if counts[c] > 0 {
+            let inv = 1.0 / counts[c] as f32;
+            for o in out.row_mut(c) {
+                *o *= inv;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs(rng: &mut StdRng) -> (Matrix, Vec<u32>) {
+        let centers = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 10.0)];
+        let mut data = Matrix::zeros(90, 2);
+        let mut truth = Vec::with_capacity(90);
+        for i in 0..90 {
+            let c = i % 3;
+            let (cx, cy) = centers[c];
+            data.set(i, 0, cx + rng.gen_range(-1.0..1.0));
+            data.set(i, 1, cy + rng.gen_range(-1.0..1.0));
+            truth.push(c as u32);
+        }
+        (data, truth)
+    }
+
+    /// Fraction of point pairs on which two clusterings agree (Rand index).
+    fn rand_index(a: &[u32], b: &[u32]) -> f64 {
+        let n = a.len();
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                if (a[i] == a[j]) == (b[i] == b[j]) {
+                    agree += 1;
+                }
+            }
+        }
+        agree as f64 / total as f64
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (data, truth) = blobs(&mut rng);
+        let res = kmeans(&data, &KMeansConfig::new(3), &mut rng);
+        assert_eq!(res.k(), 3);
+        assert!(rand_index(&res.assignment, &truth) > 0.99);
+        assert!(res.inertia < 90.0 * 2.0); // within-blob variance only
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = Matrix::from_vec(2, 1, vec![0.0, 5.0]);
+        let res = kmeans(&data, &KMeansConfig::new(10), &mut rng);
+        assert_eq!(res.k(), 2);
+        assert!(res.inertia < 1e-9);
+    }
+
+    #[test]
+    fn single_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Matrix::from_vec(4, 1, vec![0.0, 1.0, 2.0, 3.0]);
+        let res = kmeans(&data, &KMeansConfig::new(1), &mut rng);
+        assert!(res.assignment.iter().all(|&c| c == 0));
+        assert!((res.centroids.get(0, 0) - 1.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identical_points_dont_crash() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Matrix::from_vec(5, 2, vec![1.0; 10]);
+        let res = kmeans(&data, &KMeansConfig::new(3), &mut rng);
+        assert!(res.inertia < 1e-9);
+        assert!(res.assignment.iter().all(|&c| (c as usize) < res.k()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs(&mut StdRng::seed_from_u64(9));
+        let r1 = kmeans(&data, &KMeansConfig::new(3), &mut StdRng::seed_from_u64(5));
+        let r2 = kmeans(&data, &KMeansConfig::new(3), &mut StdRng::seed_from_u64(5));
+        assert_eq!(r1.assignment, r2.assignment);
+    }
+
+    #[test]
+    fn mean_by_cluster_averages() {
+        let data = Matrix::from_vec(4, 2, vec![0.0, 0.0, 2.0, 2.0, 10.0, 0.0, 0.0, 10.0]);
+        let m = mean_by_cluster(&data, &[0, 0, 1, 1], 3);
+        assert_eq!(m.row(0), &[1.0, 1.0]);
+        assert_eq!(m.row(1), &[5.0, 5.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0]); // empty cluster
+    }
+
+    #[test]
+    fn seeding_spreads_centers() {
+        // With two tight far-apart blobs, the two seeds should land in
+        // different blobs essentially always.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = Matrix::zeros(20, 1);
+        for i in 0..10 {
+            data.set(i, 0, rng.gen_range(-0.1..0.1));
+            data.set(10 + i, 0, 100.0 + rng.gen_range(-0.1..0.1));
+        }
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            let seeds = kmeans_pp_seed(&data, 2, &mut r);
+            let gap = (seeds.get(0, 0) - seeds.get(1, 0)).abs();
+            assert!(gap > 50.0, "seed {seed}: centers too close ({gap})");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Single-pass and mini-batch K-means.
+//!
+//! The paper's complexity analysis (Section III.D) states: *"For the first
+//! layer of Kmeans, we use the single-pass version which estimates the
+//! cluster centers with a single pass over all data and is appropriate for
+//! large-scale clustering"*, giving `O(M*K_u + N*K_i)`. [`SequentialKMeans`]
+//! implements that estimator (MacQueen-style running means); a mini-batch
+//! variant is provided for the middle ground between single-pass and full
+//! Lloyd.
+
+use crate::kmeans::{kmeans_pp_seed, nearest_centroid};
+use hignn_tensor::Matrix;
+use rand::Rng;
+
+/// MacQueen sequential (single-pass) K-means.
+///
+/// Centres are seeded with k-means++ on a bounded prefix sample, then each
+/// point is assigned to its nearest centre exactly once and the centre is
+/// moved by the running-mean rule `c += (x - c) / n_c`.
+#[derive(Clone, Debug)]
+pub struct SequentialKMeans {
+    centroids: Matrix,
+    counts: Vec<usize>,
+}
+
+impl SequentialKMeans {
+    /// Seeds `k` centres from `seed_sample` (k-means++).
+    pub fn new(seed_sample: &Matrix, k: usize, rng: &mut impl Rng) -> Self {
+        let centroids = kmeans_pp_seed(seed_sample, k, rng);
+        let counts = vec![0usize; centroids.rows()];
+        SequentialKMeans { centroids, counts }
+    }
+
+    /// Consumes one point, returning its assigned cluster.
+    pub fn observe(&mut self, point: &[f32]) -> u32 {
+        let (c, _) = nearest_centroid(&self.centroids, point);
+        self.counts[c] += 1;
+        let lr = 1.0 / self.counts[c] as f32;
+        let row = self.centroids.row_mut(c);
+        for (cv, &pv) in row.iter_mut().zip(point) {
+            *cv += lr * (pv - *cv);
+        }
+        c as u32
+    }
+
+    /// Current centroids.
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Points consumed per cluster.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Assigns a point without updating centres.
+    pub fn assign(&self, point: &[f32]) -> u32 {
+        nearest_centroid(&self.centroids, point).0 as u32
+    }
+}
+
+/// Runs single-pass K-means over an entire matrix: seed on a prefix
+/// sample, stream all rows once, then re-assign every row against the
+/// final centres (so the output assignment is consistent).
+pub fn single_pass_kmeans(
+    data: &Matrix,
+    k: usize,
+    seed_sample_size: usize,
+    rng: &mut impl Rng,
+) -> (Matrix, Vec<u32>) {
+    assert!(data.rows() > 0, "single_pass_kmeans: empty data");
+    let sample_rows = seed_sample_size.clamp(k.min(data.rows()), data.rows());
+    let sample_idx: Vec<usize> = (0..sample_rows).collect();
+    let sample = data.gather_rows(&sample_idx);
+    let mut skm = SequentialKMeans::new(&sample, k, rng);
+    for i in 0..data.rows() {
+        skm.observe(data.row(i));
+    }
+    let assignment: Vec<u32> = (0..data.rows()).map(|i| skm.assign(data.row(i))).collect();
+    (skm.centroids, assignment)
+}
+
+/// Mini-batch K-means (Sculley 2010): repeated small batches with
+/// per-centre learning rates.
+pub fn minibatch_kmeans(
+    data: &Matrix,
+    k: usize,
+    batch_size: usize,
+    num_batches: usize,
+    rng: &mut impl Rng,
+) -> (Matrix, Vec<u32>) {
+    assert!(data.rows() > 0, "minibatch_kmeans: empty data");
+    let k = k.min(data.rows());
+    let mut centroids = kmeans_pp_seed(data, k, rng);
+    let mut counts = vec![0usize; k];
+    for _ in 0..num_batches {
+        let batch: Vec<usize> = (0..batch_size.min(data.rows()))
+            .map(|_| rng.gen_range(0..data.rows()))
+            .collect();
+        // Cache assignments then apply updates.
+        let assigned: Vec<usize> = batch
+            .iter()
+            .map(|&i| nearest_centroid(&centroids, data.row(i)).0)
+            .collect();
+        for (&i, &c) in batch.iter().zip(&assigned) {
+            counts[c] += 1;
+            let lr = 1.0 / counts[c] as f32;
+            let row = centroids.row_mut(c);
+            for (cv, &pv) in row.iter_mut().zip(data.row(i)) {
+                *cv += lr * (pv - *cv);
+            }
+        }
+    }
+    let assignment: Vec<u32> = (0..data.rows())
+        .map(|i| nearest_centroid(&centroids, data.row(i)).0 as u32)
+        .collect();
+    (centroids, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_blobs(rng: &mut StdRng, n_per: usize) -> Matrix {
+        let mut data = Matrix::zeros(2 * n_per, 2);
+        for i in 0..n_per {
+            data.set(i, 0, rng.gen_range(-1.0..1.0));
+            data.set(i, 1, rng.gen_range(-1.0..1.0));
+            data.set(n_per + i, 0, 20.0 + rng.gen_range(-1.0..1.0));
+            data.set(n_per + i, 1, 20.0 + rng.gen_range(-1.0..1.0));
+        }
+        data
+    }
+
+    #[test]
+    fn single_pass_separates_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = two_blobs(&mut rng, 200);
+        let (_c, assignment) = single_pass_kmeans(&data, 2, 64, &mut rng);
+        // All of blob A in one cluster, all of blob B in the other.
+        let a = assignment[0];
+        assert!(assignment[..200].iter().all(|&x| x == a));
+        assert!(assignment[200..].iter().all(|&x| x != a));
+    }
+
+    #[test]
+    fn sequential_running_mean_is_exact_for_one_cluster() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let seed = Matrix::from_vec(1, 1, vec![0.0]);
+        let mut skm = SequentialKMeans::new(&seed, 1, &mut rng);
+        for v in [2.0f32, 4.0, 6.0] {
+            skm.observe(&[v]);
+        }
+        // Running mean starting from seed 0: after 2,4,6 -> mean of [2,4,6]
+        // because the first observation resets toward (0 + (2-0)/1) = 2.
+        assert!((skm.centroids().get(0, 0) - 4.0).abs() < 1e-5);
+        assert_eq!(skm.counts(), &[3]);
+    }
+
+    #[test]
+    fn minibatch_separates_blobs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = two_blobs(&mut rng, 150);
+        let (_c, assignment) = minibatch_kmeans(&data, 2, 32, 50, &mut rng);
+        let a = assignment[0];
+        assert!(assignment[..150].iter().all(|&x| x == a));
+        assert!(assignment[150..].iter().all(|&x| x != a));
+    }
+
+    #[test]
+    fn assign_does_not_mutate() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let seed = Matrix::from_vec(2, 1, vec![0.0, 10.0]);
+        let skm = SequentialKMeans::new(&seed, 2, &mut rng);
+        let before = skm.centroids().clone();
+        let _ = skm.assign(&[3.0]);
+        assert_eq!(skm.centroids(), &before);
+    }
+
+    #[test]
+    fn handles_k_greater_than_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = Matrix::from_vec(3, 1, vec![0.0, 5.0, 10.0]);
+        let (c, assignment) = single_pass_kmeans(&data, 10, 10, &mut rng);
+        assert!(c.rows() <= 3);
+        assert_eq!(assignment.len(), 3);
+    }
+}

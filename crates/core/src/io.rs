@@ -1,0 +1,239 @@
+//! Persistence for trained hierarchies.
+//!
+//! Training the HiGNN stack is the expensive step; serving only needs
+//! the per-level embeddings and cluster assignments. [`save_hierarchy`]
+//! / [`load_hierarchy`] write the whole structure in a dependency-free
+//! binary format built from the substrate formats
+//! (`hignn_tensor::serialize`, `hignn_graph::serialize`):
+//!
+//! ```text
+//! hierarchy := "HGHI" u32(version=1) u64(num_users) u64(num_items)
+//!              u64(num_levels) level*
+//! level     := matrix(user_emb) matrix(item_emb)
+//!              assignment(user) assignment(item) graph(coarsened)
+//!              u64(num_losses) f32*
+//! assignment := u64(num_clusters) u64(len) u32*
+//! ```
+
+use crate::stack::{Hierarchy, Level};
+use hignn_graph::serialize::{read_graph, write_graph};
+use hignn_graph::Assignment;
+use hignn_tensor::serialize::{read_matrix, write_matrix};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const HIERARCHY_MAGIC: &[u8; 4] = b"HGHI";
+const VERSION: u32 = 1;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_assignment<W: Write>(w: &mut W, a: &Assignment) -> io::Result<()> {
+    write_u64(w, a.num_clusters() as u64)?;
+    write_u64(w, a.len() as u64)?;
+    for &c in a.as_slice() {
+        w.write_all(&c.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_assignment<R: Read>(r: &mut R) -> io::Result<Assignment> {
+    let num_clusters = read_u64(r)? as usize;
+    let len = read_u64(r)? as usize;
+    if len > 1 << 32 || num_clusters > 1 << 32 {
+        return Err(bad_data("assignment: implausible size"));
+    }
+    let mut values = Vec::with_capacity(len);
+    let mut buf = [0u8; 4];
+    for _ in 0..len {
+        r.read_exact(&mut buf)?;
+        let c = u32::from_le_bytes(buf);
+        if c as usize >= num_clusters {
+            return Err(bad_data("assignment: cluster id out of range"));
+        }
+        values.push(c);
+    }
+    Ok(Assignment::new(values, num_clusters))
+}
+
+/// Writes a hierarchy to any writer.
+pub fn write_hierarchy<W: Write>(w: &mut W, h: &Hierarchy) -> io::Result<()> {
+    w.write_all(HIERARCHY_MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    write_u64(w, h.num_users() as u64)?;
+    write_u64(w, h.num_items() as u64)?;
+    write_u64(w, h.num_levels() as u64)?;
+    for level in h.levels() {
+        write_matrix(w, &level.user_embeddings)?;
+        write_matrix(w, &level.item_embeddings)?;
+        write_assignment(w, &level.user_assignment)?;
+        write_assignment(w, &level.item_assignment)?;
+        write_graph(w, &level.coarsened)?;
+        write_u64(w, level.epoch_losses.len() as u64)?;
+        for &l in &level.epoch_losses {
+            w.write_all(&l.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a hierarchy from any reader.
+pub fn read_hierarchy<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != HIERARCHY_MAGIC {
+        return Err(bad_data("hierarchy: bad magic"));
+    }
+    let mut vbuf = [0u8; 4];
+    r.read_exact(&mut vbuf)?;
+    if u32::from_le_bytes(vbuf) != VERSION {
+        return Err(bad_data("hierarchy: unsupported version"));
+    }
+    let num_users = read_u64(r)? as usize;
+    let num_items = read_u64(r)? as usize;
+    let num_levels = read_u64(r)? as usize;
+    if num_levels > 64 {
+        return Err(bad_data("hierarchy: implausible level count"));
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    for _ in 0..num_levels {
+        let user_embeddings = read_matrix(r)?;
+        let item_embeddings = read_matrix(r)?;
+        let user_assignment = read_assignment(r)?;
+        let item_assignment = read_assignment(r)?;
+        let coarsened = read_graph(r)?;
+        let num_losses = read_u64(r)? as usize;
+        if num_losses > 1 << 20 {
+            return Err(bad_data("hierarchy: implausible loss count"));
+        }
+        let mut epoch_losses = Vec::with_capacity(num_losses);
+        let mut buf = [0u8; 4];
+        for _ in 0..num_losses {
+            r.read_exact(&mut buf)?;
+            epoch_losses.push(f32::from_le_bytes(buf));
+        }
+        if user_assignment.len() != user_embeddings.rows()
+            || item_assignment.len() != item_embeddings.rows()
+        {
+            return Err(bad_data("hierarchy: level shape mismatch"));
+        }
+        levels.push(Level {
+            user_embeddings,
+            item_embeddings,
+            user_assignment,
+            item_assignment,
+            coarsened,
+            epoch_losses,
+        });
+    }
+    Hierarchy::from_parts(levels, num_users, num_items)
+        .map_err(|e| bad_data(&format!("hierarchy: {e}")))
+}
+
+/// Saves a hierarchy to a file.
+pub fn save_hierarchy(path: impl AsRef<Path>, h: &Hierarchy) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write_hierarchy(&mut w, h)
+}
+
+/// Loads a hierarchy from a file.
+pub fn load_hierarchy(path: impl AsRef<Path>) -> io::Result<Hierarchy> {
+    let mut r = BufReader::new(File::open(path)?);
+    read_hierarchy(&mut r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use hignn_graph::{BipartiteGraph, SamplingMode};
+    use hignn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_hierarchy() -> Hierarchy {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut edges = Vec::new();
+        for u in 0..16u32 {
+            for _ in 0..3 {
+                edges.push((u, rng.gen_range(0..16u32), 1.0));
+            }
+        }
+        let g = BipartiteGraph::from_edges(16, 16, edges);
+        let uf = init::xavier_uniform(16, 6, &mut rng);
+        let if_ = init::xavier_uniform(16, 6, &mut rng);
+        let cfg = HignnConfig {
+            levels: 2,
+            sage: BipartiteSageConfig {
+                input_dim: 6,
+                dim: 6,
+                fanouts: vec![3, 2],
+                sampling: SamplingMode::Uniform,
+                ..Default::default()
+            },
+            train: SageTrainConfig { epochs: 1, batch_edges: 16, neg_pool: 8, ..Default::default() },
+            cluster_counts: ClusterCounts::Fixed(vec![(6, 6), (2, 2)]),
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 4,
+        };
+        build_hierarchy(&g, &uf, &if_, &cfg)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let h = tiny_hierarchy();
+        let mut buf = Vec::new();
+        write_hierarchy(&mut buf, &h).unwrap();
+        let back = read_hierarchy(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_levels(), h.num_levels());
+        assert_eq!(back.num_users(), h.num_users());
+        assert_eq!(back.num_items(), h.num_items());
+        for (a, b) in h.levels().iter().zip(back.levels()) {
+            assert_eq!(a.user_embeddings, b.user_embeddings);
+            assert_eq!(a.item_embeddings, b.item_embeddings);
+            assert_eq!(a.user_assignment, b.user_assignment);
+            assert_eq!(a.item_assignment, b.item_assignment);
+            assert_eq!(a.coarsened.edges(), b.coarsened.edges());
+            assert_eq!(a.epoch_losses, b.epoch_losses);
+        }
+        // Derived hierarchical embeddings are identical.
+        assert!(h.hierarchical_users().max_abs_diff(&back.hierarchical_users()) < 1e-9);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let h = tiny_hierarchy();
+        let path = std::env::temp_dir().join("hignn_io_test.hgh");
+        save_hierarchy(&path, &h).unwrap();
+        let back = load_hierarchy(&path).unwrap();
+        assert_eq!(back.num_levels(), h.num_levels());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_corrupt_stream() {
+        let h = tiny_hierarchy();
+        let mut buf = Vec::new();
+        write_hierarchy(&mut buf, &h).unwrap();
+        buf[0] = b'X';
+        assert!(read_hierarchy(&mut buf.as_slice()).is_err());
+        // Truncation errors out rather than panicking.
+        let mut buf2 = Vec::new();
+        write_hierarchy(&mut buf2, &h).unwrap();
+        buf2.truncate(buf2.len() / 2);
+        assert!(read_hierarchy(&mut buf2.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! # hignn
+//!
+//! A from-scratch Rust implementation of **HiGNN** — *Hierarchical
+//! Bipartite Graph Neural Networks: Towards Large-Scale E-commerce
+//! Applications* (Li et al., ICDE 2020).
+//!
+//! HiGNN stacks bipartite GraphSAGE modules and a deterministic clustering
+//! algorithm alternately: each level trains a two-sided GraphSAGE on the
+//! current bipartite graph, K-means clusters both sides' embeddings, and
+//! the clusters become the vertices of a coarsened graph for the next
+//! level. The result is *hierarchical user preference* and *hierarchical
+//! item attractiveness* embeddings used for CVR/CTR prediction
+//! (Section IV) and unsupervised topic-driven taxonomy construction
+//! (Section V).
+//!
+//! Modules:
+//!
+//! * [`sage`] — bipartite GraphSAGE (Eqs. 1-4; shared-weight query-item
+//!   variant of Eqs. 8-11).
+//! * [`trainer`] — unsupervised edge-reconstruction training with negative
+//!   sampling (Eqs. 5, 12).
+//! * [`stack`] — the HiGNN hierarchy (Algorithm 1), coarsening via Eq. 6.
+//! * [`predictor`] — the supervised DNN of Fig. 2 (Eq. 7).
+//! * [`taxonomy`] — topic-driven taxonomy with representative-query
+//!   descriptions (Eqs. 13-16).
+//! * [`io`] — binary persistence for trained hierarchies.
+//! * [`model`] — trained model with fold-in inference for unseen users.
+//! * [`recommend`] — top-K recommendation and evaluation utilities.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hignn::prelude::*;
+//! use hignn_graph::BipartiteGraph;
+//! use hignn_tensor::init;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A toy 2-community user-item graph.
+//! let mut edges = Vec::new();
+//! for u in 0..20u32 {
+//!     let base = if u < 10 { 0 } else { 10 };
+//!     for k in 0..4u32 { edges.push((u, base + (u + k) % 10, 1.0)); }
+//! }
+//! let graph = BipartiteGraph::from_edges(20, 20, edges);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let user_feats = init::xavier_uniform(20, 8, &mut rng);
+//! let item_feats = init::xavier_uniform(20, 8, &mut rng);
+//!
+//! let cfg = HignnConfig {
+//!     levels: 2,
+//!     sage: BipartiteSageConfig { input_dim: 8, dim: 8, fanouts: vec![3, 2],
+//!                                 ..Default::default() },
+//!     train: SageTrainConfig { epochs: 1, batch_edges: 32, ..Default::default() },
+//!     cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
+//!     kmeans: KMeansAlgo::Lloyd,
+//!     normalize: true,
+//!     seed: 7,
+//! };
+//! let hierarchy = build_hierarchy(&graph, &user_feats, &item_feats, &cfg);
+//! assert_eq!(hierarchy.hierarchical_users().rows(), 20);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod model;
+pub mod predictor;
+pub mod recommend;
+pub mod sage;
+pub mod stack;
+pub mod taxonomy;
+pub mod trainer;
+
+/// Convenient re-exports of the main API surface.
+pub mod prelude {
+    pub use crate::predictor::{CvrPredictor, FeatureBlocks, PredictorConfig, Sample};
+    pub use crate::sage::{Aggregator, BipartiteSage, BipartiteSageConfig};
+    pub use crate::stack::{
+        build_hierarchy, ClusterCounts, Hierarchy, HignnConfig, KMeansAlgo, Level,
+    };
+    pub use crate::taxonomy::{build_taxonomy, Taxonomy, TaxonomyConfig, Topic};
+    pub use crate::model::HignnModel;
+    pub use crate::recommend::{evaluate_top_k, recommend_top_k, TopKReport};
+    pub use crate::trainer::{train_unsupervised, SageTrainConfig, TrainedSage};
+}
+
+pub use prelude::*;

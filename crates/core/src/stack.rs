@@ -1,0 +1,557 @@
+//! The HiGNN hierarchy (paper Algorithm 1).
+//!
+//! HiGNN stacks bipartite GraphSAGE modules and a deterministic clustering
+//! algorithm alternately: level `l` trains a GraphSAGE on `G^{l-1}`,
+//! K-means clusters each side's embeddings (`K_u(Z_u^l)`, `K_i(Z_i^l)`),
+//! the clusters become the vertices of a coarsened graph `G^l` with
+//! summed edge weights (Eq. 6) and mean-member-embedding features, and the
+//! process repeats until `L` levels are built.
+//!
+//! The learned [`Hierarchy`] exposes the paper's *hierarchical user
+//! preference* `z_u^H = CONCAT(z_u^1, ..., z_u^L)` and *hierarchical item
+//! attractiveness* `z_i^H` by chasing each vertex up its cluster chain.
+
+use crate::sage::BipartiteSageConfig;
+use crate::trainer::{train_unsupervised, SageTrainConfig};
+use hignn_cluster::ch_index::select_k_by_ch;
+use hignn_cluster::kmeans::{kmeans, mean_by_cluster, KMeansConfig};
+use hignn_cluster::streaming::single_pass_kmeans;
+use hignn_graph::{coarsen, Assignment, BipartiteGraph};
+use hignn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many clusters each level uses.
+#[derive(Clone, Debug)]
+pub enum ClusterCounts {
+    /// `K_l = K_{l-1} / alpha` (the supervised pipeline's strategy;
+    /// the paper finds `alpha = 5` best).
+    AlphaDecay {
+        /// The decay factor `alpha`.
+        alpha: f64,
+    },
+    /// Explicit `(K_u, K_i)` per level.
+    Fixed(Vec<(usize, usize)>),
+    /// Calinski-Harabasz-guided selection (the taxonomy pipeline's
+    /// strategy, Eq. 13): per level, the candidate `k` maximising CH wins.
+    ChSelect {
+        /// Candidate divisors of the current vertex count.
+        divisors: Vec<f64>,
+    },
+}
+
+/// Which K-means variant clusters each level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KMeansAlgo {
+    /// Full Lloyd iterations (k-means++ seeded).
+    Lloyd,
+    /// Single-pass (MacQueen) K-means — the paper's large-scale choice.
+    SinglePass,
+}
+
+/// Configuration of the full HiGNN stack.
+#[derive(Clone, Debug)]
+pub struct HignnConfig {
+    /// Number of levels `L` (the paper uses 3 for prediction, 4 for
+    /// taxonomy).
+    pub levels: usize,
+    /// GraphSAGE configuration (its `input_dim` is overridden per level).
+    pub sage: BipartiteSageConfig,
+    /// Unsupervised training hyper-parameters.
+    pub train: SageTrainConfig,
+    /// Cluster-count strategy.
+    pub cluster_counts: ClusterCounts,
+    /// K-means variant.
+    pub kmeans: KMeansAlgo,
+    /// L2-normalise each level's embeddings before clustering and
+    /// output (GraphSAGE's standard practice; keeps Euclidean K-means
+    /// from clustering by degree-driven norm instead of topic).
+    pub normalize: bool,
+    /// Base RNG seed (each level derives its own).
+    pub seed: u64,
+}
+
+impl Default for HignnConfig {
+    fn default() -> Self {
+        HignnConfig {
+            levels: 3,
+            sage: BipartiteSageConfig::default(),
+            train: SageTrainConfig::default(),
+            cluster_counts: ClusterCounts::AlphaDecay { alpha: 5.0 },
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 0,
+        }
+    }
+}
+
+/// One learned level of the hierarchy.
+#[derive(Clone, Debug)]
+pub struct Level {
+    /// `Z_u^l`: embeddings of the left vertices of `G^{l-1}`.
+    pub user_embeddings: Matrix,
+    /// `Z_i^l`: embeddings of the right vertices of `G^{l-1}`.
+    pub item_embeddings: Matrix,
+    /// `C_u^l`: left vertices of `G^{l-1}` → left vertices of `G^l`.
+    pub user_assignment: Assignment,
+    /// `C_i^l`: right-side assignment.
+    pub item_assignment: Assignment,
+    /// The coarsened graph `G^l`.
+    pub coarsened: BipartiteGraph,
+    /// Mean unsupervised loss per training epoch (diagnostic).
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The full hierarchical structure `{G^l, Z_u^l, Z_i^l}`.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+    num_users: usize,
+    num_items: usize,
+}
+
+impl Hierarchy {
+    /// Reassembles a hierarchy from its parts (used by
+    /// [`crate::io::read_hierarchy`]). Validates that assignment chains
+    /// line up: level 1 covers the original vertices, and each level's
+    /// cluster count matches the next level's vertex count.
+    pub fn from_parts(
+        levels: Vec<Level>,
+        num_users: usize,
+        num_items: usize,
+    ) -> Result<Self, String> {
+        if levels.is_empty() {
+            return Err("no levels".into());
+        }
+        if levels[0].user_assignment.len() != num_users {
+            return Err(format!(
+                "level 1 covers {} users, expected {num_users}",
+                levels[0].user_assignment.len()
+            ));
+        }
+        if levels[0].item_assignment.len() != num_items {
+            return Err(format!(
+                "level 1 covers {} items, expected {num_items}",
+                levels[0].item_assignment.len()
+            ));
+        }
+        for w in levels.windows(2) {
+            if w[0].user_assignment.num_clusters() != w[1].user_assignment.len() {
+                return Err("user assignment chain mismatch".into());
+            }
+            if w[0].item_assignment.num_clusters() != w[1].item_assignment.len() {
+                return Err("item assignment chain mismatch".into());
+            }
+        }
+        Ok(Hierarchy { levels, num_users, num_items })
+    }
+
+    /// Number of levels actually built (may be fewer than requested when
+    /// the graph collapses early).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels, finest first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Number of original users.
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
+    /// Number of original items.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Dimensionality of the hierarchical user embedding `z_u^H`.
+    pub fn user_dim(&self) -> usize {
+        self.levels.iter().map(|l| l.user_embeddings.cols()).sum()
+    }
+
+    /// Dimensionality of the hierarchical item embedding `z_i^H`.
+    pub fn item_dim(&self) -> usize {
+        self.levels.iter().map(|l| l.item_embeddings.cols()).sum()
+    }
+
+    /// The cluster chain of user `u`: its vertex id in `G^{l-1}` for each
+    /// level `l = 1..=L` (`chain[0] == u`).
+    pub fn user_chain(&self, u: usize) -> Vec<usize> {
+        let mut chain = Vec::with_capacity(self.levels.len());
+        let mut v = u;
+        for level in &self.levels {
+            chain.push(v);
+            v = level.user_assignment.cluster_of(v) as usize;
+        }
+        chain
+    }
+
+    /// The cluster chain of item `i`.
+    pub fn item_chain(&self, i: usize) -> Vec<usize> {
+        let mut chain = Vec::with_capacity(self.levels.len());
+        let mut v = i;
+        for level in &self.levels {
+            chain.push(v);
+            v = level.item_assignment.cluster_of(v) as usize;
+        }
+        chain
+    }
+
+    /// `z_u^H = CONCAT(z_u^1, z_u^2, ..., z_u^L)` for one user.
+    pub fn hierarchical_user(&self, u: usize) -> Vec<f32> {
+        let chain = self.user_chain(u);
+        let mut out = Vec::with_capacity(self.user_dim());
+        for (level, &v) in self.levels.iter().zip(&chain) {
+            out.extend_from_slice(level.user_embeddings.row(v));
+        }
+        out
+    }
+
+    /// `z_i^H` for one item.
+    pub fn hierarchical_item(&self, i: usize) -> Vec<f32> {
+        let chain = self.item_chain(i);
+        let mut out = Vec::with_capacity(self.item_dim());
+        for (level, &v) in self.levels.iter().zip(&chain) {
+            out.extend_from_slice(level.item_embeddings.row(v));
+        }
+        out
+    }
+
+    /// Hierarchical embeddings of all users (`num_users x user_dim`).
+    pub fn hierarchical_users(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.num_users, self.user_dim());
+        for u in 0..self.num_users {
+            out.set_row(u, &self.hierarchical_user(u));
+        }
+        out
+    }
+
+    /// Hierarchical embeddings of all items (`num_items x item_dim`).
+    pub fn hierarchical_items(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.num_items, self.item_dim());
+        for i in 0..self.num_items {
+            out.set_row(i, &self.hierarchical_item(i));
+        }
+        out
+    }
+
+    /// Item assignment at hierarchy level `l` (1-based), composed down to
+    /// the original items — i.e. each original item's cluster id in `G^l`.
+    pub fn item_clusters_at(&self, l: usize) -> Assignment {
+        assert!(l >= 1 && l <= self.levels.len(), "level out of range");
+        let mut acc = self.levels[0].item_assignment.clone();
+        for level in &self.levels[1..l] {
+            acc = acc.compose(&level.item_assignment);
+        }
+        acc
+    }
+
+    /// User assignment at hierarchy level `l` (1-based), composed down to
+    /// the original users.
+    pub fn user_clusters_at(&self, l: usize) -> Assignment {
+        assert!(l >= 1 && l <= self.levels.len(), "level out of range");
+        let mut acc = self.levels[0].user_assignment.clone();
+        for level in &self.levels[1..l] {
+            acc = acc.compose(&level.user_assignment);
+        }
+        acc
+    }
+}
+
+/// `(k, precomputed assignment)` per side — CH selection already ran
+/// K-means, so its assignment is reused instead of clustering twice.
+type SideCounts = (usize, Option<Vec<u32>>);
+
+fn pick_counts(
+    strategy: &ClusterCounts,
+    level: usize,
+    zu: &Matrix,
+    zi: &Matrix,
+    rng: &mut StdRng,
+) -> (SideCounts, SideCounts) {
+    let clamp = |k: usize, n: usize| k.clamp(2.min(n.max(1)), n.max(1));
+    match strategy {
+        ClusterCounts::AlphaDecay { alpha } => {
+            let ku = clamp((zu.rows() as f64 / alpha).round() as usize, zu.rows());
+            let ki = clamp((zi.rows() as f64 / alpha).round() as usize, zi.rows());
+            ((ku, None), (ki, None))
+        }
+        ClusterCounts::Fixed(counts) => {
+            let (ku, ki) = counts
+                .get(level - 1)
+                .copied()
+                .unwrap_or_else(|| *counts.last().expect("Fixed counts empty"));
+            ((clamp(ku, zu.rows()), None), (clamp(ki, zi.rows()), None))
+        }
+        ClusterCounts::ChSelect { divisors } => {
+            let pick = |z: &Matrix, rng: &mut StdRng| -> SideCounts {
+                let candidates: Vec<usize> = divisors
+                    .iter()
+                    .map(|d| clamp((z.rows() as f64 / d).round() as usize, z.rows()))
+                    .filter(|&k| k >= 2 && k < z.rows())
+                    .collect();
+                if candidates.is_empty() {
+                    return (clamp(2, z.rows()), None);
+                }
+                let (k, assignment, _ch) = select_k_by_ch(z, &candidates, rng);
+                (k, Some(assignment))
+            };
+            (pick(zu, rng), pick(zi, rng))
+        }
+    }
+}
+
+/// Builds the full HiGNN hierarchy over `graph` (Algorithm 1).
+///
+/// Stops early (returning fewer levels) if a coarsened graph becomes too
+/// small to cluster further or loses all edges.
+pub fn build_hierarchy(
+    graph: &BipartiteGraph,
+    user_feats: &Matrix,
+    item_feats: &Matrix,
+    cfg: &HignnConfig,
+) -> Hierarchy {
+    assert!(cfg.levels >= 1, "build_hierarchy: need at least one level");
+    assert_eq!(user_feats.rows(), graph.num_left(), "user feature rows");
+    assert_eq!(item_feats.rows(), graph.num_right(), "item feature rows");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC1A5);
+    let mut g = graph.clone();
+    let mut xu = user_feats.clone();
+    let mut xi = item_feats.clone();
+    let mut levels = Vec::with_capacity(cfg.levels);
+
+    for level in 1..=cfg.levels {
+        // (Z_u^l, Z_i^l) <- BG(G^{l-1}, X_u^{l-1}, X_i^{l-1})
+        let sage_cfg = BipartiteSageConfig { input_dim: xu.cols(), ..cfg.sage.clone() };
+        // Trainable feature tables only make sense at level 1 (raw
+        // vertices with uninformative features); coarser levels inherit
+        // informative mean-member embeddings.
+        let mut train_cfg = cfg.train.clone();
+        if level > 1 {
+            train_cfg.trainable_features = false;
+        }
+        // Coarsened graphs are orders of magnitude smaller; give them
+        // proportionally more epochs (still cheap) so the upper levels
+        // are not undertrained relative to level 1.
+        if g.num_edges() < 2000 {
+            train_cfg.epochs = (train_cfg.epochs * 4).min(60);
+        }
+        let trained = train_unsupervised(
+            &g,
+            &xu,
+            &xi,
+            sage_cfg,
+            &train_cfg,
+            cfg.seed.wrapping_add(level as u64),
+        );
+        let (mut zu, mut zi) = trained.embed_all(&g, &xu, &xi);
+        if cfg.normalize {
+            zu.l2_normalize_rows();
+            zi.l2_normalize_rows();
+        }
+
+        // C_u^l, C_i^l <- K_u(Z_u^l), K_i(Z_i^l)
+        let ((ku, au_pre), (ki, ai_pre)) =
+            pick_counts(&cfg.cluster_counts, level, &zu, &zi, &mut rng);
+        let cluster = |z: &Matrix, k: usize, pre: Option<Vec<u32>>, rng: &mut StdRng| -> Vec<u32> {
+            if let Some(a) = pre {
+                return a;
+            }
+            match cfg.kmeans {
+                KMeansAlgo::Lloyd => kmeans(z, &KMeansConfig::new(k), rng).assignment,
+                KMeansAlgo::SinglePass => single_pass_kmeans(z, k, 4 * k, rng).1,
+            }
+        };
+        let au_raw = cluster(&zu, ku, au_pre, &mut rng);
+        let ai_raw = cluster(&zi, ki, ai_pre, &mut rng);
+        let num_ku = au_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ku.min(zu.rows()));
+        let num_ki = ai_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ki.min(zi.rows()));
+        let au = Assignment::new(au_raw, num_ku);
+        let ai = Assignment::new(ai_raw, num_ki);
+
+        // (G^l, X_u^l, X_i^l) <- F(C_u^l, C_i^l, G^{l-1})
+        let coarsened = coarsen(&g, &au, &ai);
+        let new_xu = mean_by_cluster(&zu, au.as_slice(), au.num_clusters());
+        let new_xi = mean_by_cluster(&zi, ai.as_slice(), ai.num_clusters());
+
+        let done = coarsened.num_edges() == 0
+            || coarsened.num_left() < 4
+            || coarsened.num_right() < 4;
+
+        levels.push(Level {
+            user_embeddings: zu,
+            item_embeddings: zi,
+            user_assignment: au,
+            item_assignment: ai,
+            coarsened: coarsened.clone(),
+            epoch_losses: trained.epoch_losses,
+        });
+
+        if done && level < cfg.levels {
+            break;
+        }
+        g = coarsened;
+        xu = new_xu;
+        xi = new_xi;
+    }
+
+    Hierarchy { levels, num_users: graph.num_left(), num_items: graph.num_right() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hignn_graph::SamplingMode;
+    use hignn_tensor::init;
+    use rand::Rng;
+
+    fn block_graph(blocks: usize, per: usize, rng: &mut StdRng) -> BipartiteGraph {
+        let n = blocks * per;
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            let b = u as usize / per;
+            for _ in 0..5 {
+                let i = (b * per + rng.gen_range(0..per)) as u32;
+                edges.push((u, i, 1.0));
+            }
+        }
+        BipartiteGraph::from_edges(n, n, edges)
+    }
+
+    fn small_cfg(levels: usize) -> HignnConfig {
+        HignnConfig {
+            levels,
+            sage: BipartiteSageConfig {
+                input_dim: 8,
+                dim: 8,
+                fanouts: vec![4, 3],
+                sampling: SamplingMode::Uniform,
+                ..Default::default()
+            },
+            train: SageTrainConfig {
+                epochs: 3,
+                batch_edges: 32,
+                lr: 5e-3,
+                neg_pool: 16,
+                ..Default::default()
+            },
+            cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn builds_requested_levels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = block_graph(4, 10, &mut rng);
+        let uf = init::xavier_uniform(40, 8, &mut rng);
+        let if_ = init::xavier_uniform(40, 8, &mut rng);
+        let h = build_hierarchy(&g, &uf, &if_, &small_cfg(2));
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.num_users(), 40);
+        // Level 1 embeds original vertices; level 2 embeds ~40/4 clusters.
+        assert_eq!(h.levels()[0].user_embeddings.rows(), 40);
+        let k1 = h.levels()[0].user_assignment.num_clusters();
+        assert_eq!(h.levels()[1].user_embeddings.rows(), k1);
+        assert!((2..=12).contains(&k1), "k1 = {k1}");
+    }
+
+    #[test]
+    fn hierarchical_embeddings_concat_levels() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = block_graph(3, 8, &mut rng);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        let h = build_hierarchy(&g, &uf, &if_, &small_cfg(2));
+        assert_eq!(h.user_dim(), 16);
+        let zh = h.hierarchical_users();
+        assert_eq!(zh.shape(), (24, 16));
+        // The chained embedding equals level embeddings at chain positions.
+        let chain = h.user_chain(5);
+        let manual: Vec<f32> = h.levels()[0]
+            .user_embeddings
+            .row(chain[0])
+            .iter()
+            .chain(h.levels()[1].user_embeddings.row(chain[1]))
+            .copied()
+            .collect();
+        assert_eq!(zh.row(5), manual.as_slice());
+    }
+
+    #[test]
+    fn coarsening_preserves_total_weight() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = block_graph(3, 8, &mut rng);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        let h = build_hierarchy(&g, &uf, &if_, &small_cfg(2));
+        for level in h.levels() {
+            assert!((level.coarsened.total_weight() - g.total_weight()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn clusters_at_composes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = block_graph(3, 8, &mut rng);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        let h = build_hierarchy(&g, &uf, &if_, &small_cfg(2));
+        let at2 = h.item_clusters_at(2);
+        for i in 0..24 {
+            let chain = h.item_chain(i);
+            let expected = h.levels()[1].item_assignment.cluster_of(chain[1]);
+            assert_eq!(at2.cluster_of(i), expected);
+        }
+    }
+
+    #[test]
+    fn recovers_block_structure_at_top_level() {
+        // 3 blocks of 12; after one level with alpha ~ 12 the user clusters
+        // should align with blocks far better than chance.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = block_graph(3, 12, &mut rng);
+        let uf = init::xavier_uniform(36, 8, &mut rng);
+        let if_ = init::xavier_uniform(36, 8, &mut rng);
+        let mut cfg = small_cfg(1);
+        cfg.cluster_counts = ClusterCounts::Fixed(vec![(3, 3)]);
+        cfg.train.epochs = 30;
+        cfg.train.lr = 1e-2;
+        let h = build_hierarchy(&g, &uf, &if_, &cfg);
+        let assignment: Vec<u32> = (0..36)
+            .map(|u| h.levels()[0].user_assignment.cluster_of(u))
+            .collect();
+        let truth: Vec<u32> = (0..36).map(|u| (u / 12) as u32).collect();
+        let nmi = hignn_metrics::normalized_mutual_info(&assignment, &truth);
+        assert!(nmi > 0.5, "block recovery NMI {nmi}");
+    }
+
+    #[test]
+    fn ch_select_strategy_runs() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = block_graph(3, 8, &mut rng);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        let mut cfg = small_cfg(2);
+        cfg.cluster_counts = ClusterCounts::ChSelect { divisors: vec![3.0, 5.0, 8.0] };
+        let h = build_hierarchy(&g, &uf, &if_, &cfg);
+        assert!(h.num_levels() >= 1);
+    }
+
+    #[test]
+    fn single_pass_kmeans_strategy_runs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = block_graph(3, 8, &mut rng);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        let mut cfg = small_cfg(1);
+        cfg.kmeans = KMeansAlgo::SinglePass;
+        let h = build_hierarchy(&g, &uf, &if_, &cfg);
+        assert_eq!(h.num_levels(), 1);
+    }
+}

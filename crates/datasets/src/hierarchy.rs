@@ -1,0 +1,293 @@
+//! Ground-truth topic hierarchies for synthetic data generation.
+//!
+//! The paper's motivating example (Fig. 1) is a topic tree over shopping
+//! scenarios ("trip to beach" ⊂ "outdoor activities"). Our generators
+//! plant such a tree as the *latent* structure behind every synthetic
+//! dataset: items live at leaves, users/queries have affinities to
+//! subtrees, and HiGNN's job is to rediscover the tree from interactions
+//! alone. Keeping the tree explicit gives every experiment exact ground
+//! truth (taking the role of the paper's human experts).
+
+use rand::Rng;
+
+/// A rooted tree of topics. Node 0 is the root; nodes are stored in BFS
+/// order, so all nodes of one level are contiguous.
+#[derive(Clone, Debug)]
+pub struct TopicHierarchy {
+    parent: Vec<usize>,
+    children: Vec<Vec<usize>>,
+    level: Vec<usize>,
+    level_ranges: Vec<std::ops::Range<usize>>,
+    names: Vec<String>,
+    token_pools: Vec<Vec<String>>,
+}
+
+/// Word roots used to compose pseudo-realistic topic names and token
+/// pools (deterministic in the node id).
+const ROOTS: &[&str] = &[
+    "home", "kitchen", "beauty", "care", "clean", "sport", "outdoor", "baby", "garden", "pet",
+    "phone", "audio", "camp", "beach", "dress", "shoe", "skin", "hair", "health", "smart",
+    "office", "travel", "light", "cook", "bath", "tea", "toy", "game", "bike", "run",
+    "yoga", "fish", "art", "music", "book", "craft", "wine", "snack", "fresh", "cozy",
+];
+
+impl TopicHierarchy {
+    /// Builds a hierarchy with the given branching factors;
+    /// `branching.len()` is the depth below the root. For example
+    /// `&[5, 4, 3]` creates 5 level-1 topics, 20 level-2 topics, and 60
+    /// leaf topics.
+    pub fn new(branching: &[usize]) -> Self {
+        assert!(!branching.is_empty(), "TopicHierarchy: need at least one level");
+        assert!(branching.iter().all(|&b| b > 0), "TopicHierarchy: zero branching");
+        let mut parent = vec![0usize];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new()];
+        let mut level = vec![0usize];
+        let mut level_ranges = vec![0..1];
+        let mut frontier = vec![0usize];
+        for (depth, &b) in branching.iter().enumerate() {
+            let start = parent.len();
+            let mut next = Vec::with_capacity(frontier.len() * b);
+            for &node in &frontier {
+                for _ in 0..b {
+                    let id = parent.len();
+                    parent.push(node);
+                    children.push(Vec::new());
+                    children[node].push(id);
+                    level.push(depth + 1);
+                    next.push(id);
+                }
+            }
+            level_ranges.push(start..parent.len());
+            frontier = next;
+        }
+        let n = parent.len();
+        let names = (0..n)
+            .map(|id| {
+                if id == 0 {
+                    "root".to_owned()
+                } else {
+                    let a = ROOTS[id % ROOTS.len()];
+                    let b = ROOTS[(id * 7 + 3) % ROOTS.len()];
+                    format!("{a}-{b}-{id}")
+                }
+            })
+            .collect();
+        // Token pool per node: a few tokens distinctive to the node.
+        let token_pools = (0..n)
+            .map(|id| {
+                (0..4)
+                    .map(|k| {
+                        let root = ROOTS[(id * 13 + k * 5) % ROOTS.len()];
+                        format!("{root}{id}x{k}")
+                    })
+                    .collect()
+            })
+            .collect();
+        TopicHierarchy { parent, children, level, level_ranges, names, token_pools }
+    }
+
+    /// Total number of nodes, including the root.
+    pub fn num_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Depth below the root (number of branching levels).
+    pub fn depth(&self) -> usize {
+        self.level_ranges.len() - 1
+    }
+
+    /// Ids of all nodes on `level` (0 = root).
+    pub fn level_nodes(&self, level: usize) -> std::ops::Range<usize> {
+        self.level_ranges[level].clone()
+    }
+
+    /// Ids of the leaf topics (deepest level).
+    pub fn leaves(&self) -> std::ops::Range<usize> {
+        self.level_ranges[self.depth()].clone()
+    }
+
+    /// Number of leaf topics.
+    pub fn num_leaves(&self) -> usize {
+        self.leaves().len()
+    }
+
+    /// Parent of `node` (the root is its own parent).
+    pub fn parent(&self, node: usize) -> usize {
+        self.parent[node]
+    }
+
+    /// Children of `node`.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Level of `node` (0 = root).
+    pub fn level(&self, node: usize) -> usize {
+        self.level[node]
+    }
+
+    /// The ancestor of `node` at `level` (walks up; `level` must not
+    /// exceed the node's own level).
+    pub fn ancestor_at_level(&self, node: usize, level: usize) -> usize {
+        assert!(level <= self.level[node], "ancestor_at_level: node is above level");
+        let mut cur = node;
+        while self.level[cur] > level {
+            cur = self.parent[cur];
+        }
+        cur
+    }
+
+    /// True when `ancestor` lies on the root path of `node` (inclusive).
+    pub fn is_ancestor(&self, ancestor: usize, node: usize) -> bool {
+        if self.level[ancestor] > self.level[node] {
+            return false;
+        }
+        self.ancestor_at_level(node, self.level[ancestor]) == ancestor
+    }
+
+    /// All leaves under `node`.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        if self.level[node] == self.depth() {
+            return vec![node];
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            if self.level[n] == self.depth() {
+                out.push(n);
+            } else {
+                stack.extend_from_slice(&self.children[n]);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Human-readable name of `node`.
+    pub fn name(&self, node: usize) -> &str {
+        &self.names[node]
+    }
+
+    /// Distinctive tokens of `node` itself.
+    pub fn own_tokens(&self, node: usize) -> &[String] {
+        &self.token_pools[node]
+    }
+
+    /// Samples `count` tokens for content attached to `node`: mostly the
+    /// node's own tokens, mixed with ancestor tokens with decreasing
+    /// probability — this plants the hierarchical co-occurrence signal
+    /// word2vec and HiGNN pick up. Equivalent to
+    /// [`TopicHierarchy::sample_tokens_with`] at `own_prob = 0.6`,
+    /// `generic_prob = 0.0`.
+    pub fn sample_tokens(&self, node: usize, count: usize, rng: &mut impl Rng) -> Vec<String> {
+        self.sample_tokens_with(node, count, 0.6, 0.0, rng)
+    }
+
+    /// Token sampling with explicit ambiguity controls.
+    ///
+    /// * `own_prob` — probability of stopping at each node while walking
+    ///   toward the root (lower = more ancestor mixing, more ambiguous
+    ///   text).
+    /// * `generic_prob` — probability of emitting a topic-free generic
+    ///   token instead (stopword-like noise shared across all topics).
+    ///
+    /// Real e-commerce titles are ambiguous: the same words appear across
+    /// many topics, and only interaction structure disambiguates. These
+    /// knobs reproduce that — the taxonomy experiments rely on them so
+    /// that fixed text embeddings (SHOAL) genuinely underdetermine the
+    /// topic while click structure (HiGNN) resolves it.
+    pub fn sample_tokens_with(
+        &self,
+        node: usize,
+        count: usize,
+        own_prob: f64,
+        generic_prob: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<String> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            if rng.gen_range(0.0..1.0) < generic_prob {
+                out.push(ROOTS[rng.gen_range(0..ROOTS.len())].to_owned());
+                continue;
+            }
+            let mut cur = node;
+            while cur != 0 && rng.gen_range(0.0..1.0) > own_prob {
+                cur = self.parent[cur];
+            }
+            let pool = &self.token_pools[cur];
+            out.push(pool[rng.gen_range(0..pool.len())].clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_of_tree() {
+        let h = TopicHierarchy::new(&[3, 2]);
+        assert_eq!(h.num_nodes(), 1 + 3 + 6);
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.num_leaves(), 6);
+        assert_eq!(h.level_nodes(1), 1..4);
+        assert_eq!(h.leaves(), 4..10);
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let h = TopicHierarchy::new(&[2, 3]);
+        for node in 1..h.num_nodes() {
+            let p = h.parent(node);
+            assert!(h.children(p).contains(&node));
+            assert_eq!(h.level(node), h.level(p) + 1);
+        }
+        assert_eq!(h.parent(0), 0);
+    }
+
+    #[test]
+    fn ancestors_and_leaves_under() {
+        let h = TopicHierarchy::new(&[2, 2, 2]);
+        let leaf = h.leaves().start;
+        let l1 = h.ancestor_at_level(leaf, 1);
+        assert_eq!(h.level(l1), 1);
+        assert!(h.is_ancestor(l1, leaf));
+        assert!(h.is_ancestor(0, leaf));
+        assert!(!h.is_ancestor(leaf, l1));
+        let under = h.leaves_under(l1);
+        assert_eq!(under.len(), 4);
+        assert!(under.iter().all(|&l| h.is_ancestor(l1, l)));
+        assert_eq!(h.leaves_under(leaf), vec![leaf]);
+    }
+
+    #[test]
+    fn token_sampling_prefers_own_pool() {
+        let h = TopicHierarchy::new(&[2, 2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let leaf = h.leaves().start;
+        let toks = h.sample_tokens(leaf, 1000, &mut rng);
+        let own: Vec<&String> = h.own_tokens(leaf).iter().collect();
+        let own_frac =
+            toks.iter().filter(|t| own.contains(t)).count() as f64 / toks.len() as f64;
+        assert!(own_frac > 0.5, "own fraction {own_frac}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let h = TopicHierarchy::new(&[4, 4]);
+        let mut names: Vec<&str> = (0..h.num_nodes()).map(|n| h.name(n)).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), h.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "node is above level")]
+    fn ancestor_above_level_panics() {
+        let h = TopicHierarchy::new(&[2]);
+        h.ancestor_at_level(0, 1);
+    }
+}

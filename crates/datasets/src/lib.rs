@@ -1,0 +1,29 @@
+//! # hignn-datasets
+//!
+//! Synthetic dataset generators substituting the paper's proprietary
+//! Taobao logs (see DESIGN.md §5 for the substitution rationale):
+//!
+//! * [`hierarchy`] — planted ground-truth topic trees (the latent
+//!   structure of Fig. 1).
+//! * [`taobao`] — user-item click/purchase logs: dense
+//!   ([`taobao::TaobaoConfig::taobao1`]) and cold-start
+//!   ([`taobao::TaobaoConfig::taobao2`]) variants, with user profiles,
+//!   item statistics, GNN input features, and exact ground truth.
+//! * [`query_item`] — query-item click logs with per-topic vocabularies
+//!   for the taxonomy pipeline (Taobao #3 analogue).
+//! * [`samples`] — labelled CVR samples and the paper's 1:3 replicate
+//!   sampling.
+//!
+//! Everything is deterministic given the config seed.
+
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod query_item;
+pub mod samples;
+pub mod taobao;
+
+pub use hierarchy::TopicHierarchy;
+pub use query_item::{generate_query_item, QueryItemConfig, QueryItemDataset, QueryItemTruth};
+pub use samples::{replicate_positives, Sample, SampleStats};
+pub use taobao::{generate_taobao, GroundTruth, InteractionDataset, TaobaoConfig};

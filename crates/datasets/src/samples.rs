@@ -1,0 +1,156 @@
+//! Labelled samples and the paper's replicate-sampling strategy.
+//!
+//! *"We consider purchase behaviors as positive samples, and click
+//! behaviors without purchasing as negative samples. Because the number of
+//! positive samples is relatively small ... we adopt a replicate sampling
+//! strategy to make the ratio of positive samples to negative samples
+//! as 1:3"* (Section IV.B.1).
+
+use rand::Rng;
+use std::fmt;
+
+/// One supervised CVR sample: a clicked `(user, item)` pair and whether
+/// the click converted into a purchase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// User id.
+    pub user: u32,
+    /// Item id.
+    pub item: u32,
+    /// True when the user purchased the item.
+    pub label: bool,
+}
+
+/// Counts of positives / negatives in a sample set (paper Tables II, VI).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Number of positive samples.
+    pub positives: usize,
+    /// Number of negative samples.
+    pub negatives: usize,
+}
+
+impl SampleStats {
+    /// Computes statistics over `samples`.
+    pub fn of(samples: &[Sample]) -> Self {
+        let positives = samples.iter().filter(|s| s.label).count();
+        SampleStats { positives, negatives: samples.len() - positives }
+    }
+
+    /// Total sample count.
+    pub fn total(&self) -> usize {
+        self.positives + self.negatives
+    }
+
+    /// Negative-to-positive ratio (`inf` when there are no positives).
+    pub fn neg_per_pos(&self) -> f64 {
+        if self.positives == 0 {
+            f64::INFINITY
+        } else {
+            self.negatives as f64 / self.positives as f64
+        }
+    }
+}
+
+impl fmt::Display for SampleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} positive / {} negative / {} total (1:{:.2})",
+            self.positives,
+            self.negatives,
+            self.total(),
+            self.neg_per_pos()
+        )
+    }
+}
+
+/// Replicates positive samples until the positive:negative ratio reaches
+/// `1:target_neg_per_pos` (e.g. 3.0 for the paper's 1:3), then shuffles.
+///
+/// If positives are already abundant enough, the input is returned
+/// shuffled but otherwise unchanged.
+pub fn replicate_positives(
+    samples: &[Sample],
+    target_neg_per_pos: f64,
+    rng: &mut impl Rng,
+) -> Vec<Sample> {
+    assert!(target_neg_per_pos > 0.0, "replicate_positives: ratio must be positive");
+    let stats = SampleStats::of(samples);
+    let mut out: Vec<Sample> = samples.to_vec();
+    if stats.positives > 0 {
+        let wanted_pos = (stats.negatives as f64 / target_neg_per_pos).ceil() as usize;
+        if wanted_pos > stats.positives {
+            let positives: Vec<Sample> =
+                samples.iter().copied().filter(|s| s.label).collect();
+            let extra = wanted_pos - stats.positives;
+            out.reserve(extra);
+            for _ in 0..extra {
+                out.push(positives[rng.gen_range(0..positives.len())]);
+            }
+        }
+    }
+    // Fisher-Yates shuffle.
+    for i in (1..out.len()).rev() {
+        out.swap(i, rng.gen_range(0..=i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mk(pos: usize, neg: usize) -> Vec<Sample> {
+        let mut v = Vec::new();
+        for i in 0..pos {
+            v.push(Sample { user: i as u32, item: 0, label: true });
+        }
+        for i in 0..neg {
+            v.push(Sample { user: i as u32, item: 1, label: false });
+        }
+        v
+    }
+
+    #[test]
+    fn stats_counts() {
+        let s = SampleStats::of(&mk(2, 6));
+        assert_eq!(s.positives, 2);
+        assert_eq!(s.negatives, 6);
+        assert_eq!(s.total(), 8);
+        assert!((s.neg_per_pos() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replicate_reaches_target_ratio() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let balanced = replicate_positives(&mk(10, 300), 3.0, &mut rng);
+        let s = SampleStats::of(&balanced);
+        assert_eq!(s.negatives, 300);
+        assert!(s.positives >= 100, "positives {}", s.positives);
+        assert!(s.neg_per_pos() <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn replicate_noop_when_already_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = replicate_positives(&mk(100, 100), 3.0, &mut rng);
+        assert_eq!(out.len(), 200);
+    }
+
+    #[test]
+    fn replicate_handles_no_positives() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = replicate_positives(&mk(0, 50), 3.0, &mut rng);
+        assert_eq!(out.len(), 50);
+        assert!(SampleStats::of(&out).neg_per_pos().is_infinite());
+    }
+
+    #[test]
+    fn display_mentions_ratio() {
+        let text = SampleStats::of(&mk(1, 3)).to_string();
+        assert!(text.contains("1:3.00"), "{text}");
+    }
+}

@@ -1,0 +1,574 @@
+//! Synthetic user-item interaction datasets (Taobao #1 / #2 analogues).
+//!
+//! The paper's datasets are proprietary Taobao click/transaction logs.
+//! This generator substitutes them with synthetic logs that preserve the
+//! properties HiGNN exploits (see DESIGN.md §5):
+//!
+//! * a **latent hierarchical topic tree** governs interactions — every
+//!   item sits at a leaf, every user has a preferred root-to-leaf path and
+//!   descends it stochastically when clicking, so co-click structure is
+//!   hierarchical exactly as Fig. 1 motivates;
+//! * **power-law** user activity and item popularity;
+//! * purchases follow a logistic model on latent user-item affinity and
+//!   item quality — the signal the CVR predictor must recover;
+//! * a **cold-start** variant ([`TaobaoConfig::taobao2`]) with an order of
+//!   magnitude lower density, reproducing the #1 vs #2 density gap.
+//!
+//! Ground truth (`GroundTruth`) is retained so experiments can compute
+//! exact affinities — playing the role of the paper's online system and
+//! human judgment.
+
+use crate::hierarchy::TopicHierarchy;
+use crate::samples::Sample;
+use hignn_graph::{AliasTable, BipartiteGraph};
+use hignn_tensor::{init, stable_sigmoid, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Configuration of the user-item generator.
+#[derive(Clone, Debug)]
+pub struct TaobaoConfig {
+    /// Number of users.
+    pub num_users: usize,
+    /// Number of items.
+    pub num_items: usize,
+    /// Click events in the training window ("one week's logs").
+    pub train_interactions: usize,
+    /// Click events in the test window ("the following day").
+    pub test_interactions: usize,
+    /// Topic-tree branching factors.
+    pub branching: Vec<usize>,
+    /// Number of ontology categories (independent of the topic tree).
+    pub num_categories: usize,
+    /// Probability of descending to the preferred child at each tree
+    /// level when clicking (higher = more focused users).
+    pub focus: f64,
+    /// Intercept of the purchase logit (calibrates base CVR).
+    pub base_purchase_logit: f32,
+    /// Purchase-logit gain on centred affinity.
+    pub affinity_gain: f32,
+    /// Purchase-logit gain on item quality.
+    pub quality_gain: f32,
+    /// Dimensionality of the GNN input features.
+    pub feature_dim: usize,
+    /// Maximum clicked-item history length kept per user (for DIN).
+    pub max_history: usize,
+    /// RNG seed; everything is deterministic given the seed.
+    pub seed: u64,
+}
+
+impl TaobaoConfig {
+    /// Dense dataset in the spirit of Taobao #1 (Table I), scaled by
+    /// `scale` (1.0 ≈ 4k users, 1.6k items, 80k train clicks).
+    pub fn taobao1(scale: f64) -> Self {
+        let s = scale.max(0.01);
+        TaobaoConfig {
+            num_users: (4000.0 * s) as usize,
+            num_items: (1600.0 * s) as usize,
+            train_interactions: (80_000.0 * s) as usize,
+            test_interactions: (30_000.0 * s) as usize,
+            branching: vec![3, 3, 3],
+            num_categories: 40,
+            focus: 0.65,
+            base_purchase_logit: -4.2,
+            affinity_gain: 6.0,
+            quality_gain: 0.35,
+            feature_dim: 32,
+            max_history: 30,
+            seed: 20200420,
+        }
+    }
+
+    /// Sparse cold-start dataset in the spirit of Taobao #2: an order of
+    /// magnitude fewer interactions per item ("new arrival products") and
+    /// a lower base conversion rate.
+    pub fn taobao2(scale: f64) -> Self {
+        let s = scale.max(0.01);
+        TaobaoConfig {
+            num_users: (3000.0 * s) as usize,
+            num_items: (3000.0 * s) as usize,
+            train_interactions: (11_000.0 * s) as usize,
+            test_interactions: (6_000.0 * s) as usize,
+            branching: vec![3, 3, 3],
+            num_categories: 40,
+            focus: 0.65,
+            base_purchase_logit: -4.6,
+            affinity_gain: 6.0,
+            quality_gain: 0.35,
+            feature_dim: 32,
+            max_history: 30,
+            seed: 20200421,
+        }
+    }
+}
+
+/// The latent structure behind a generated dataset.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// The planted topic tree.
+    pub hierarchy: TopicHierarchy,
+    /// Preferred root-to-leaf path per user (length `depth + 1`).
+    pub user_paths: Vec<Vec<usize>>,
+    /// Leaf topic node id per item.
+    pub item_leaf: Vec<u32>,
+    /// Latent item quality (standard-normal-ish).
+    pub item_quality: Vec<f32>,
+    /// Ontology category per item (independent of the topic tree).
+    pub item_category: Vec<u32>,
+    base_purchase_logit: f32,
+    affinity_gain: f32,
+    quality_gain: f32,
+}
+
+impl GroundTruth {
+    /// Latent affinity in `[0, 1]`: the common-prefix depth of the user's
+    /// preferred path and the item's leaf path, normalised by tree depth.
+    pub fn affinity(&self, user: usize, item: usize) -> f32 {
+        let depth = self.hierarchy.depth();
+        let path = &self.user_paths[user];
+        let leaf = self.item_leaf[item] as usize;
+        let mut matching = 0usize;
+        for level in 1..=depth {
+            if self.hierarchy.ancestor_at_level(leaf, level) == path[level] {
+                matching = level;
+            } else {
+                break;
+            }
+        }
+        matching as f32 / depth as f32
+    }
+
+    /// Probability that a click by `user` on `item` converts into a
+    /// purchase — the planted logistic model.
+    pub fn purchase_prob(&self, user: usize, item: usize) -> f32 {
+        let a = self.affinity(user, item);
+        stable_sigmoid(
+            self.base_purchase_logit
+                + self.affinity_gain * (a - 0.5)
+                + self.quality_gain * self.item_quality[item],
+        )
+    }
+
+    /// The item's leaf topic as a dense index in `0..num_leaves`.
+    pub fn item_leaf_index(&self, item: usize) -> u32 {
+        self.item_leaf[item] - self.hierarchy.leaves().start as u32
+    }
+}
+
+/// A generated user-item dataset.
+#[derive(Clone, Debug)]
+pub struct InteractionDataset {
+    /// Train-window click graph (edge weight = click count).
+    pub graph: BipartiteGraph,
+    /// Train CVR samples (clicked pairs, label = purchased).
+    pub train: Vec<Sample>,
+    /// Test CVR samples.
+    pub test: Vec<Sample>,
+    /// GNN input features per user (`num_users x feature_dim`).
+    pub user_features: Matrix,
+    /// GNN input features per item (`num_items x feature_dim`).
+    pub item_features: Matrix,
+    /// Predictor-side user profile features (gender, purchasing power,
+    /// activity) — `num_users x 3`.
+    pub user_profiles: Matrix,
+    /// Predictor-side item statistics (log clicks, log purchases, noisy
+    /// quality, popularity) — `num_items x 4`.
+    pub item_stats: Matrix,
+    /// Clicked-item history per user (most-clicked first, truncated).
+    pub histories: Vec<Vec<u32>>,
+    /// The planted latent structure.
+    pub truth: GroundTruth,
+}
+
+impl InteractionDataset {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.graph.num_left()
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.graph.num_right()
+    }
+}
+
+/// Draws an approximately standard-normal value (Irwin-Hall).
+fn normalish(rng: &mut impl Rng) -> f32 {
+    (0..12).map(|_| rng.gen_range(0.0f32..1.0)).sum::<f32>() - 6.0
+}
+
+/// Power-law weight `u^{-alpha}` clamped to `max`.
+fn power_law(rng: &mut impl Rng, alpha: f64, max: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-4..1.0);
+    u.powf(-alpha).min(max)
+}
+
+/// Generates a dataset from `cfg`.
+pub fn generate_taobao(cfg: &TaobaoConfig) -> InteractionDataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let hierarchy = TopicHierarchy::new(&cfg.branching);
+    let depth = hierarchy.depth();
+    let leaves: Vec<usize> = hierarchy.leaves().collect();
+
+    // Each leaf topic spans a handful of ontology categories, so that
+    // *qualified* discovered topics (diversity metric) are achievable.
+    let leaf_categories: Vec<Vec<u32>> = leaves
+        .iter()
+        .map(|_| {
+            let count = rng.gen_range(3..=5);
+            (0..count).map(|_| rng.gen_range(0..cfg.num_categories as u32)).collect()
+        })
+        .collect();
+
+    // ---- items -------------------------------------------------------
+    let mut item_leaf = Vec::with_capacity(cfg.num_items);
+    let mut item_quality = Vec::with_capacity(cfg.num_items);
+    let mut item_category = Vec::with_capacity(cfg.num_items);
+    let mut item_popularity = Vec::with_capacity(cfg.num_items);
+    for _ in 0..cfg.num_items {
+        let leaf_idx = rng.gen_range(0..leaves.len());
+        item_leaf.push(leaves[leaf_idx] as u32);
+        item_quality.push(normalish(&mut rng));
+        let cats = &leaf_categories[leaf_idx];
+        item_category.push(cats[rng.gen_range(0..cats.len())]);
+        item_popularity.push(power_law(&mut rng, 0.7, 60.0));
+    }
+
+    // Per-leaf item alias tables.
+    let mut leaf_items: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &leaf) in item_leaf.iter().enumerate() {
+        leaf_items.entry(leaf as usize).or_default().push(i);
+    }
+    let leaf_alias: HashMap<usize, AliasTable> = leaf_items
+        .iter()
+        .map(|(&leaf, items)| {
+            let w: Vec<f64> = items.iter().map(|&i| item_popularity[i]).collect();
+            (leaf, AliasTable::new(&w))
+        })
+        .collect();
+    let global_alias = AliasTable::new(&item_popularity);
+
+    // ---- users --------------------------------------------------------
+    let mut user_paths = Vec::with_capacity(cfg.num_users);
+    let mut user_activity = Vec::with_capacity(cfg.num_users);
+    for _ in 0..cfg.num_users {
+        let mut path = vec![0usize];
+        let mut node = 0usize;
+        for _ in 0..depth {
+            let kids = hierarchy.children(node);
+            node = kids[rng.gen_range(0..kids.len())];
+            path.push(node);
+        }
+        user_paths.push(path);
+        user_activity.push(power_law(&mut rng, 0.6, 40.0));
+    }
+    let user_alias = AliasTable::new(&user_activity);
+
+    let truth = GroundTruth {
+        hierarchy,
+        user_paths,
+        item_leaf,
+        item_quality,
+        item_category,
+        base_purchase_logit: cfg.base_purchase_logit,
+        affinity_gain: cfg.affinity_gain,
+        quality_gain: cfg.quality_gain,
+    };
+
+    // ---- click / purchase event streams --------------------------------
+    let draw_event = |rng: &mut StdRng| -> (u32, u32, bool) {
+        let user = user_alias.sample(rng);
+        // Descend the tree: preferred child with prob `focus`, else random.
+        let path = &truth.user_paths[user];
+        let mut node = 0usize;
+        for level in 0..depth {
+            let kids = truth.hierarchy.children(node);
+            node = if rng.gen_range(0.0..1.0) < cfg.focus {
+                path[level + 1]
+            } else {
+                kids[rng.gen_range(0..kids.len())]
+            };
+        }
+        let item = match leaf_alias.get(&node) {
+            Some(alias) => leaf_items[&node][alias.sample(rng)],
+            None => global_alias.sample(rng), // leaf without items: popular fallback
+        };
+        let purchased = rng.gen_range(0.0f32..1.0) < truth.purchase_prob(user, item);
+        (user as u32, item as u32, purchased)
+    };
+
+    let mut train_pairs: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+    for _ in 0..cfg.train_interactions {
+        let (u, i, p) = draw_event(&mut rng);
+        let e = train_pairs.entry((u, i)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += p as u32;
+    }
+    let mut test_pairs: HashMap<(u32, u32), (u32, u32)> = HashMap::new();
+    for _ in 0..cfg.test_interactions {
+        let (u, i, p) = draw_event(&mut rng);
+        let e = test_pairs.entry((u, i)).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += p as u32;
+    }
+
+    let graph = BipartiteGraph::from_edges(
+        cfg.num_users,
+        cfg.num_items,
+        train_pairs.iter().map(|(&(u, i), &(c, _))| (u, i, c as f32)),
+    );
+
+    let mut sorted_train: Vec<_> = train_pairs.iter().collect();
+    sorted_train.sort_unstable_by_key(|(&k, _)| k);
+    let train: Vec<Sample> = sorted_train
+        .iter()
+        .map(|(&(user, item), &(_, purchases))| Sample { user, item, label: purchases > 0 })
+        .collect();
+    let mut sorted_test: Vec<_> = test_pairs.iter().collect();
+    sorted_test.sort_unstable_by_key(|(&k, _)| k);
+    let test: Vec<Sample> = sorted_test
+        .iter()
+        .map(|(&(user, item), &(_, purchases))| Sample { user, item, label: purchases > 0 })
+        .collect();
+
+    // ---- features ------------------------------------------------------
+    // GNN inputs are fixed random vectors ("id-hash features"): they carry
+    // no topic information themselves, so any hierarchy the model finds
+    // must come from the interaction structure.
+    let scale = 1.0 / (cfg.feature_dim as f32).sqrt();
+    let user_features = init::normal(cfg.num_users, cfg.feature_dim, scale, &mut rng);
+    let item_features = init::normal(cfg.num_items, cfg.feature_dim, scale, &mut rng);
+
+    // Predictor-side profile / statistic features (paper Fig. 2 inputs).
+    let max_act = user_activity.iter().cloned().fold(1e-9, f64::max);
+    let user_profiles = Matrix::from_fn(cfg.num_users, 3, |u, j| match j {
+        0 => ((u * 2654435761) % 2) as f32, // "gender"
+        1 => (((u * 40503) % 997) as f32) / 997.0, // "purchasing power"
+        _ => (user_activity[u] / max_act) as f32, // activity level
+    });
+    let mut item_clicks = vec![0u32; cfg.num_items];
+    let mut item_purchases = vec![0u32; cfg.num_items];
+    for (&(_, i), &(c, p)) in &train_pairs {
+        item_clicks[i as usize] += c;
+        item_purchases[i as usize] += p;
+    }
+    let mut stat_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5151);
+    let item_stats = Matrix::from_fn(cfg.num_items, 4, |i, j| match j {
+        0 => (1.0 + item_clicks[i] as f32).ln(),
+        1 => (1.0 + item_purchases[i] as f32).ln(),
+        2 => truth.item_quality[i] + 0.5 * normalish(&mut stat_rng), // noisy quality
+        _ => (item_popularity[i] as f32).ln(),
+    });
+
+    // Click histories for DIN, most-clicked first.
+    let mut histories: Vec<Vec<(u32, u32)>> = vec![Vec::new(); cfg.num_users];
+    for (&(u, i), &(c, _)) in &train_pairs {
+        histories[u as usize].push((i, c));
+    }
+    let histories: Vec<Vec<u32>> = histories
+        .into_iter()
+        .map(|mut h| {
+            h.sort_unstable_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+            h.truncate(cfg.max_history);
+            h.into_iter().map(|(i, _)| i).collect()
+        })
+        .collect();
+
+    InteractionDataset {
+        graph,
+        train,
+        test,
+        user_features,
+        item_features,
+        user_profiles,
+        item_stats,
+        histories,
+        truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::SampleStats;
+
+    fn tiny() -> TaobaoConfig {
+        TaobaoConfig {
+            num_users: 200,
+            num_items: 100,
+            train_interactions: 3000,
+            test_interactions: 500,
+            branching: vec![3, 3],
+            num_categories: 12,
+            focus: 0.8,
+            base_purchase_logit: -1.5,
+            affinity_gain: 2.5,
+            quality_gain: 0.8,
+            feature_dim: 8,
+            max_history: 10,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn shapes_are_consistent() {
+        let ds = generate_taobao(&tiny());
+        assert_eq!(ds.num_users(), 200);
+        assert_eq!(ds.num_items(), 100);
+        assert_eq!(ds.user_features.shape(), (200, 8));
+        assert_eq!(ds.item_features.shape(), (100, 8));
+        assert_eq!(ds.user_profiles.shape(), (200, 3));
+        assert_eq!(ds.item_stats.shape(), (100, 4));
+        assert_eq!(ds.histories.len(), 200);
+        assert!(!ds.train.is_empty());
+        assert!(!ds.test.is_empty());
+        assert!(ds.graph.total_weight() as usize <= 3000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_taobao(&tiny());
+        let b = generate_taobao(&tiny());
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.graph.edges(), b.graph.edges());
+        assert_eq!(a.user_features, b.user_features);
+    }
+
+    #[test]
+    fn cvr_is_plausible() {
+        let ds = generate_taobao(&tiny());
+        let stats = SampleStats::of(&ds.train);
+        let cvr = stats.positives as f64 / stats.total() as f64;
+        assert!(cvr > 0.02 && cvr < 0.6, "cvr {cvr}");
+    }
+
+    #[test]
+    fn affinity_reflects_tree_distance() {
+        let ds = generate_taobao(&tiny());
+        let t = &ds.truth;
+        // An item at the user's own preferred leaf has affinity 1.
+        let user = 0usize;
+        let leaf = *t.user_paths[user].last().unwrap();
+        if let Some(item) = t.item_leaf.iter().position(|&l| l as usize == leaf) {
+            assert!((t.affinity(user, item) - 1.0).abs() < 1e-6);
+        }
+        // Affinities are within [0, 1].
+        for item in 0..20 {
+            let a = t.affinity(user, item);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn purchase_prob_increases_with_affinity() {
+        let ds = generate_taobao(&tiny());
+        let t = &ds.truth;
+        // Average purchase prob over high-affinity pairs beats low-affinity.
+        let mut high = (0.0f64, 0usize);
+        let mut low = (0.0f64, 0usize);
+        for user in 0..50 {
+            for item in 0..50 {
+                let a = t.affinity(user, item);
+                let p = t.purchase_prob(user, item) as f64;
+                if a >= 1.0 {
+                    high = (high.0 + p, high.1 + 1);
+                } else if a == 0.0 {
+                    low = (low.0 + p, low.1 + 1);
+                }
+            }
+        }
+        if high.1 > 0 && low.1 > 0 {
+            assert!(high.0 / high.1 as f64 > low.0 / low.1 as f64 + 0.1);
+        }
+    }
+
+    #[test]
+    fn clicks_concentrate_on_preferred_subtree() {
+        let ds = generate_taobao(&tiny());
+        let t = &ds.truth;
+        // Summed over train samples, mean affinity of clicked pairs must be
+        // far above the random-pair baseline.
+        let clicked: f64 = ds
+            .train
+            .iter()
+            .map(|s| t.affinity(s.user as usize, s.item as usize) as f64)
+            .sum::<f64>()
+            / ds.train.len() as f64;
+        let mut rng = StdRng::seed_from_u64(3);
+        let random: f64 = (0..2000)
+            .map(|_| {
+                let u = rng.gen_range(0..ds.num_users());
+                let i = rng.gen_range(0..ds.num_items());
+                t.affinity(u, i) as f64
+            })
+            .sum::<f64>()
+            / 2000.0;
+        assert!(clicked > random + 0.2, "clicked {clicked} vs random {random}");
+    }
+
+    #[test]
+    fn taobao2_is_sparser_than_taobao1() {
+        let d1 = generate_taobao(&TaobaoConfig { seed: 1, ..TaobaoConfig::taobao1(0.05) });
+        let d2 = generate_taobao(&TaobaoConfig { seed: 1, ..TaobaoConfig::taobao2(0.05) });
+        assert!(d2.graph.density() < d1.graph.density());
+        let cvr1 = SampleStats::of(&d1.train);
+        let cvr2 = SampleStats::of(&d2.train);
+        let r1 = cvr1.positives as f64 / cvr1.total() as f64;
+        let r2 = cvr2.positives as f64 / cvr2.total() as f64;
+        assert!(r2 < r1, "cold-start CVR {r2} should be below dense {r1}");
+    }
+
+    #[test]
+    fn histories_are_bounded_and_valid() {
+        let ds = generate_taobao(&tiny());
+        for (u, h) in ds.histories.iter().enumerate() {
+            assert!(h.len() <= 10);
+            for &i in h {
+                assert!(ds.graph.edge_weight(u, i as usize).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn preset_constructors_scale_linearly() {
+        let small = TaobaoConfig::taobao1(0.1);
+        let large = TaobaoConfig::taobao1(0.2);
+        assert_eq!(large.num_users, small.num_users * 2);
+        assert_eq!(large.train_interactions, small.train_interactions * 2);
+        // Scale floor prevents degenerate configs.
+        let floor = TaobaoConfig::taobao2(0.0);
+        assert!(floor.num_users > 0 && floor.num_items > 0);
+    }
+
+    #[test]
+    fn user_profiles_are_bounded() {
+        let ds = generate_taobao(&tiny());
+        for u in 0..ds.num_users() {
+            let p = ds.user_profiles.row(u);
+            assert!(p[0] == 0.0 || p[0] == 1.0, "gender {p:?}");
+            assert!((0.0..=1.0).contains(&p[1]), "power {p:?}");
+            assert!((0.0..=1.0).contains(&p[2]), "activity {p:?}");
+        }
+    }
+
+    #[test]
+    fn item_stats_reflect_train_clicks() {
+        let ds = generate_taobao(&tiny());
+        // Column 0 is ln(1 + clicks); verify against the graph.
+        for i in 0..20 {
+            let clicks: f32 = ds
+                .graph
+                .neighbors(hignn_graph::Side::Right, i)
+                .1
+                .iter()
+                .sum();
+            let expected = (1.0 + clicks).ln();
+            assert!(
+                (ds.item_stats.get(i, 0) - expected).abs() < 1e-4,
+                "item {i}: {} vs {expected}",
+                ds.item_stats.get(i, 0)
+            );
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Weighted bipartite graphs in compressed sparse row form.
+//!
+//! The paper's data model (Section III.A) is a quadruple
+//! `G = (U, I, E, S)`: two vertex sets (users/queries on the *left*,
+//! items on the *right*), an edge set, and a weight function `S(e)`
+//! giving the connection strength (click counts). [`BipartiteGraph`]
+//! stores both adjacency directions in CSR with per-slice cumulative
+//! weights so that weight-biased neighbour sampling is a binary search.
+
+use std::collections::HashMap;
+
+/// Which side of the bipartite graph a vertex belongs to.
+///
+/// In the supervised pipeline the left side holds users and the right side
+/// items; in the taxonomy pipeline the left side holds queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Users (supervised pipeline) or queries (taxonomy pipeline).
+    Left,
+    /// Items.
+    Right,
+}
+
+impl Side {
+    /// The other side.
+    pub fn opposite(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// One direction of CSR adjacency.
+#[derive(Clone, Debug, Default)]
+struct Csr {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    weights: Vec<f32>,
+    /// Cumulative weights within each vertex's slice; `cum[k]` is the sum of
+    /// `weights[offsets[v]..=k]` for `k` in the slice of `v`.
+    cum_weights: Vec<f32>,
+}
+
+impl Csr {
+    fn build(num_src: usize, edges: &[(u32, u32, f32)], swap: bool) -> Csr {
+        let mut degrees = vec![0usize; num_src];
+        for &(a, b, _) in edges {
+            let src = if swap { b } else { a };
+            degrees[src as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_src + 1);
+        offsets.push(0);
+        for d in &degrees {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let total = *offsets.last().unwrap();
+        let mut neighbors = vec![0u32; total];
+        let mut weights = vec![0f32; total];
+        let mut cursor = offsets[..num_src].to_vec();
+        for &(a, b, w) in edges {
+            let (src, dst) = if swap { (b, a) } else { (a, b) };
+            let pos = cursor[src as usize];
+            neighbors[pos] = dst;
+            weights[pos] = w;
+            cursor[src as usize] += 1;
+        }
+        // Sort each slice by neighbour id for deterministic layout.
+        let mut cum_weights = vec![0f32; total];
+        for v in 0..num_src {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            let mut pairs: Vec<(u32, f32)> = neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_by_key(|&(n, _)| n);
+            let mut acc = 0f32;
+            for (k, (n, w)) in pairs.into_iter().enumerate() {
+                neighbors[lo + k] = n;
+                weights[lo + k] = w;
+                acc += w;
+                cum_weights[lo + k] = acc;
+            }
+        }
+        Csr { offsets, neighbors, weights, cum_weights }
+    }
+
+    #[inline]
+    fn slice(&self, v: usize) -> (&[u32], &[f32], &[f32]) {
+        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+        (&self.neighbors[lo..hi], &self.weights[lo..hi], &self.cum_weights[lo..hi])
+    }
+}
+
+/// A weighted bipartite graph `G = (U, I, E, S)`.
+#[derive(Clone, Debug)]
+pub struct BipartiteGraph {
+    num_left: usize,
+    num_right: usize,
+    edges: Vec<(u32, u32, f32)>,
+    left: Csr,
+    right: Csr,
+    total_weight: f64,
+}
+
+impl BipartiteGraph {
+    /// Builds a graph from `(left, right, weight)` edges.
+    ///
+    /// Parallel edges are merged by summing their weights — this is how
+    /// repeated clicks become connection strength, and it is exactly the
+    /// accumulation rule of the coarsening step (Eq. 6).
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertex ids or non-positive weights.
+    pub fn from_edges(
+        num_left: usize,
+        num_right: usize,
+        raw_edges: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> Self {
+        let mut merged: HashMap<(u32, u32), f32> = HashMap::new();
+        for (l, r, w) in raw_edges {
+            assert!((l as usize) < num_left, "left vertex {l} out of range ({num_left})");
+            assert!((r as usize) < num_right, "right vertex {r} out of range ({num_right})");
+            assert!(w > 0.0, "edge weight must be positive, got {w}");
+            *merged.entry((l, r)).or_insert(0.0) += w;
+        }
+        let mut edges: Vec<(u32, u32, f32)> =
+            merged.into_iter().map(|((l, r), w)| (l, r, w)).collect();
+        edges.sort_unstable_by_key(|&(l, r, _)| (l, r));
+        let left = Csr::build(num_left, &edges, false);
+        let right = Csr::build(num_right, &edges, true);
+        let total_weight = edges.iter().map(|&(_, _, w)| w as f64).sum();
+        BipartiteGraph { num_left, num_right, edges, left, right, total_weight }
+    }
+
+    /// Number of left vertices (users / queries).
+    pub fn num_left(&self) -> usize {
+        self.num_left
+    }
+
+    /// Number of right vertices (items).
+    pub fn num_right(&self) -> usize {
+        self.num_right
+    }
+
+    /// Number of vertices on `side`.
+    pub fn num_vertices(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.num_left,
+            Side::Right => self.num_right,
+        }
+    }
+
+    /// Number of (merged) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The merged edge list, sorted by `(left, right)`.
+    pub fn edges(&self) -> &[(u32, u32, f32)] {
+        &self.edges
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Edge density `|E| / (|U| * |I|)`.
+    pub fn density(&self) -> f64 {
+        if self.num_left == 0 || self.num_right == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / (self.num_left as f64 * self.num_right as f64)
+        }
+    }
+
+    /// Degree of vertex `v` on `side`.
+    pub fn degree(&self, side: Side, v: usize) -> usize {
+        let csr = self.csr(side);
+        csr.offsets[v + 1] - csr.offsets[v]
+    }
+
+    /// Neighbour ids (on the opposite side) and their edge weights.
+    pub fn neighbors(&self, side: Side, v: usize) -> (&[u32], &[f32]) {
+        let (n, w, _) = self.csr(side).slice(v);
+        (n, w)
+    }
+
+    /// Neighbour ids, edge weights, and within-slice cumulative weights
+    /// (for weight-biased sampling via binary search).
+    pub fn neighbors_cum(&self, side: Side, v: usize) -> (&[u32], &[f32], &[f32]) {
+        self.csr(side).slice(v)
+    }
+
+    /// The weight of edge `(l, r)`, if present.
+    pub fn edge_weight(&self, l: usize, r: usize) -> Option<f32> {
+        let (nbrs, ws, _) = self.left.slice(l);
+        nbrs.binary_search(&(r as u32)).ok().map(|k| ws[k])
+    }
+
+    /// Degrees of every vertex on `side`.
+    pub fn degrees(&self, side: Side) -> Vec<usize> {
+        let csr = self.csr(side);
+        csr.offsets.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Weighted degree (sum of incident edge weights) of every vertex.
+    pub fn weighted_degrees(&self, side: Side) -> Vec<f64> {
+        let csr = self.csr(side);
+        (0..self.num_vertices(side))
+            .map(|v| {
+                let (lo, hi) = (csr.offsets[v], csr.offsets[v + 1]);
+                csr.weights[lo..hi].iter().map(|&w| w as f64).sum()
+            })
+            .collect()
+    }
+
+    /// CSR offsets for `side` (useful for building segment-mean inputs).
+    pub fn offsets(&self, side: Side) -> &[usize] {
+        &self.csr(side).offsets
+    }
+
+    /// Flat neighbour array for `side` (aligned with [`Self::offsets`]).
+    pub fn flat_neighbors(&self, side: Side) -> &[u32] {
+        &self.csr(side).neighbors
+    }
+
+    fn csr(&self, side: Side) -> &Csr {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        // 3 users, 2 items.
+        BipartiteGraph::from_edges(
+            3,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0), (2, 0, 4.0)],
+        )
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = toy();
+        assert_eq!(g.num_left(), 3);
+        assert_eq!(g.num_right(), 2);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.total_weight(), 10.0);
+        assert!((g.density() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_both_sides() {
+        let g = toy();
+        let (n, w) = g.neighbors(Side::Left, 0);
+        assert_eq!(n, &[0, 1]);
+        assert_eq!(w, &[1.0, 2.0]);
+        let (n, w) = g.neighbors(Side::Right, 1);
+        assert_eq!(n, &[0, 1]);
+        assert_eq!(w, &[2.0, 3.0]);
+        assert_eq!(g.degree(Side::Left, 1), 1);
+        assert_eq!(g.degree(Side::Right, 0), 2);
+    }
+
+    #[test]
+    fn parallel_edges_merge_by_sum() {
+        let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 0), Some(3.5));
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = toy();
+        assert_eq!(g.edge_weight(0, 1), Some(2.0));
+        assert_eq!(g.edge_weight(1, 0), None);
+    }
+
+    #[test]
+    fn cumulative_weights_are_prefix_sums() {
+        let g = toy();
+        let (_, w, cum) = g.neighbors_cum(Side::Left, 0);
+        assert_eq!(w, &[1.0, 2.0]);
+        assert_eq!(cum, &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_slices() {
+        let g = BipartiteGraph::from_edges(3, 3, vec![(0, 0, 1.0)]);
+        assert_eq!(g.degree(Side::Left, 2), 0);
+        let (n, w) = g.neighbors(Side::Left, 2);
+        assert!(n.is_empty() && w.is_empty());
+    }
+
+    #[test]
+    fn degrees_and_weighted_degrees() {
+        let g = toy();
+        assert_eq!(g.degrees(Side::Left), vec![2, 1, 1]);
+        assert_eq!(g.degrees(Side::Right), vec![2, 2]);
+        assert_eq!(g.weighted_degrees(Side::Right), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        BipartiteGraph::from_edges(1, 1, vec![(1, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        BipartiteGraph::from_edges(1, 1, vec![(0, 0, 0.0)]);
+    }
+
+    #[test]
+    fn side_opposite() {
+        assert_eq!(Side::Left.opposite(), Side::Right);
+        assert_eq!(Side::Right.opposite(), Side::Left);
+    }
+}

@@ -1,0 +1,165 @@
+//! Text edge-list import/export.
+//!
+//! Real interaction logs arrive as delimited text (`user item [weight]`
+//! per line). This module reads and writes that format so the library
+//! can ingest external datasets without custom glue:
+//!
+//! ```text
+//! # comments and blank lines are skipped
+//! 0<TAB>5<TAB>2.0
+//! 1<TAB>3          # weight defaults to 1.0
+//! ```
+//!
+//! Vertex ids may be arbitrary non-negative integers; the reader
+//! compacts them to dense `0..n` ranges and returns the id maps so
+//! callers can translate back.
+
+use crate::bipartite::BipartiteGraph;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Result of parsing an edge list: the graph plus the original ids in
+/// dense order (`left_ids[k]` is the original id of left vertex `k`).
+#[derive(Debug)]
+pub struct ParsedEdgeList {
+    /// The parsed graph with dense vertex ids.
+    pub graph: BipartiteGraph,
+    /// Original left-side ids, indexed by dense id.
+    pub left_ids: Vec<u64>,
+    /// Original right-side ids, indexed by dense id.
+    pub right_ids: Vec<u64>,
+}
+
+fn bad_line(line_no: usize, msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {msg}"))
+}
+
+/// Reads a whitespace/tab/comma-delimited edge list.
+///
+/// Each data line is `left right [weight]`; `#`-prefixed lines and blank
+/// lines are skipped; a missing weight defaults to 1.0.
+///
+/// ```
+/// use hignn_graph::edgelist::read_edge_list;
+/// let parsed = read_edge_list("7 9 2.0\n7 11\n".as_bytes()).unwrap();
+/// assert_eq!(parsed.graph.num_edges(), 2);
+/// assert_eq!(parsed.left_ids, vec![7]);
+/// ```
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<ParsedEdgeList> {
+    let mut left_map: HashMap<u64, u32> = HashMap::new();
+    let mut right_map: HashMap<u64, u32> = HashMap::new();
+    let mut left_ids: Vec<u64> = Vec::new();
+    let mut right_ids: Vec<u64> = Vec::new();
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let data = line.split('#').next().unwrap_or("").trim();
+        if data.is_empty() {
+            continue;
+        }
+        let mut fields = data.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty());
+        let left: u64 = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing left id"))?
+            .parse()
+            .map_err(|_| bad_line(line_no, "left id is not a non-negative integer"))?;
+        let right: u64 = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing right id"))?
+            .parse()
+            .map_err(|_| bad_line(line_no, "right id is not a non-negative integer"))?;
+        let weight: f32 = match fields.next() {
+            Some(w) => w
+                .parse()
+                .map_err(|_| bad_line(line_no, "weight is not a number"))?,
+            None => 1.0,
+        };
+        if fields.next().is_some() {
+            return Err(bad_line(line_no, "too many fields"));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(bad_line(line_no, "weight must be positive and finite"));
+        }
+        let l = *left_map.entry(left).or_insert_with(|| {
+            left_ids.push(left);
+            (left_ids.len() - 1) as u32
+        });
+        let r = *right_map.entry(right).or_insert_with(|| {
+            right_ids.push(right);
+            (right_ids.len() - 1) as u32
+        });
+        edges.push((l, r, weight));
+    }
+    if edges.is_empty() {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "edge list is empty"));
+    }
+    let graph = BipartiteGraph::from_edges(left_ids.len(), right_ids.len(), edges);
+    Ok(ParsedEdgeList { graph, left_ids, right_ids })
+}
+
+/// Writes a graph as a tab-separated edge list (`left right weight`).
+pub fn write_edge_list<W: Write>(writer: &mut W, graph: &BipartiteGraph) -> io::Result<()> {
+    for &(l, r, w) in graph.edges() {
+        writeln!(writer, "{l}\t{r}\t{w}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_delimiters_and_comments() {
+        let text = "\
+# a comment
+10\t20\t2.5
+10 21          # trailing comment; no weight -> defaults to 1.0
+11,20,1.0
+
+12 22 0.5
+";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.num_left(), 3);
+        assert_eq!(parsed.graph.num_right(), 3);
+        assert_eq!(parsed.graph.num_edges(), 4);
+        // Dense ids follow first-seen order.
+        assert_eq!(parsed.left_ids, vec![10, 11, 12]);
+        assert_eq!(parsed.right_ids, vec![20, 21, 22]);
+        // Default weight 1.0 for the two-field line.
+        assert_eq!(parsed.graph.edge_weight(0, 1), Some(1.0));
+        assert_eq!(parsed.graph.edge_weight(0, 0), Some(2.5));
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let text = "1 2 1.0\n1 2 2.0\n";
+        let parsed = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 1);
+        assert_eq!(parsed.graph.edge_weight(0, 0), Some(3.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(read_edge_list("abc 2 1.0\n".as_bytes()).is_err());
+        assert!(read_edge_list("1\n".as_bytes()).is_err());
+        assert!(read_edge_list("1 2 -1.0\n".as_bytes()).is_err());
+        assert!(read_edge_list("1 2 3 4\n".as_bytes()).is_err());
+        assert!(read_edge_list("".as_bytes()).is_err());
+        // Error message names the line.
+        let err = read_edge_list("1 2 1.0\nbroken\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = BipartiteGraph::from_edges(2, 3, vec![(0, 0, 1.0), (1, 2, 2.5)]);
+        let mut buf = Vec::new();
+        write_edge_list(&mut buf, &g).unwrap();
+        let parsed = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 2);
+        assert_eq!(parsed.graph.total_weight(), 3.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Binary serialisation for bipartite graphs.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! graph := "HGBG" u32(version=1) u64(num_left) u64(num_right)
+//!          u64(num_edges) { u32(left) u32(right) f32(weight) }*
+//! ```
+
+use crate::bipartite::BipartiteGraph;
+use std::io::{self, Read, Write};
+
+const GRAPH_MAGIC: &[u8; 4] = b"HGBG";
+const VERSION: u32 = 1;
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes a graph in the `HGBG` format.
+pub fn write_graph<W: Write>(w: &mut W, g: &BipartiteGraph) -> io::Result<()> {
+    w.write_all(GRAPH_MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(g.num_left() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_right() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_edges() as u64).to_le_bytes())?;
+    for &(l, r, weight) in g.edges() {
+        w.write_all(&l.to_le_bytes())?;
+        w.write_all(&r.to_le_bytes())?;
+        w.write_all(&weight.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a graph in the `HGBG` format.
+pub fn read_graph<R: Read>(r: &mut R) -> io::Result<BipartiteGraph> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != GRAPH_MAGIC {
+        return Err(bad_data("graph: bad magic"));
+    }
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf)?;
+    if u32::from_le_bytes(u32buf) != VERSION {
+        return Err(bad_data("graph: unsupported version"));
+    }
+    r.read_exact(&mut u64buf)?;
+    let num_left = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let num_right = u64::from_le_bytes(u64buf) as usize;
+    r.read_exact(&mut u64buf)?;
+    let num_edges = u64::from_le_bytes(u64buf) as usize;
+    if num_edges > 1 << 32 {
+        return Err(bad_data("graph: implausible edge count"));
+    }
+    let mut edges = Vec::with_capacity(num_edges);
+    let mut f32buf = [0u8; 4];
+    for _ in 0..num_edges {
+        r.read_exact(&mut u32buf)?;
+        let l = u32::from_le_bytes(u32buf);
+        r.read_exact(&mut u32buf)?;
+        let rt = u32::from_le_bytes(u32buf);
+        r.read_exact(&mut f32buf)?;
+        let weight = f32::from_le_bytes(f32buf);
+        if (l as usize) >= num_left || (rt as usize) >= num_right {
+            return Err(bad_data("graph: edge endpoint out of range"));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(bad_data("graph: invalid edge weight"));
+        }
+        edges.push((l, rt, weight));
+    }
+    Ok(BipartiteGraph::from_edges(num_left, num_right, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> BipartiteGraph {
+        BipartiteGraph::from_edges(
+            3,
+            4,
+            vec![(0, 0, 1.5), (1, 2, 2.0), (2, 3, 0.5), (0, 3, 4.0)],
+        )
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let back = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_left(), 3);
+        assert_eq!(back.num_right(), 4);
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(read_graph(&mut &b"XXXX\x01\0\0\0"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let g = toy();
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        // Corrupt the left endpoint of the first edge to 0xFFFFFFFF.
+        let edge_start = 4 + 4 + 8 + 8 + 8;
+        buf[edge_start..edge_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_graph(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = BipartiteGraph::from_edges(2, 2, Vec::<(u32, u32, f32)>::new());
+        let mut buf = Vec::new();
+        write_graph(&mut buf, &g).unwrap();
+        let back = read_graph(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.num_edges(), 0);
+        assert_eq!(back.num_left(), 2);
+    }
+}

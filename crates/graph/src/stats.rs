@@ -1,0 +1,114 @@
+//! Summary statistics for bipartite graphs — the quantities the paper
+//! reports in its dataset tables (Tables I and V): vertex counts, edge
+//! count, and density, plus degree diagnostics.
+
+use crate::bipartite::{BipartiteGraph, Side};
+use std::fmt;
+
+/// Summary statistics of a bipartite graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Number of left vertices (users / queries).
+    pub num_left: usize,
+    /// Number of right vertices (items).
+    pub num_right: usize,
+    /// Number of distinct edges.
+    pub num_edges: usize,
+    /// Sum of all edge weights (total interaction count).
+    pub total_weight: f64,
+    /// `num_edges / (num_left * num_right)`.
+    pub density: f64,
+    /// Mean degree on the left side.
+    pub avg_degree_left: f64,
+    /// Mean degree on the right side.
+    pub avg_degree_right: f64,
+    /// Maximum degree on the left side.
+    pub max_degree_left: usize,
+    /// Maximum degree on the right side.
+    pub max_degree_right: usize,
+    /// Number of isolated left vertices.
+    pub isolated_left: usize,
+    /// Number of isolated right vertices.
+    pub isolated_right: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for `graph`.
+    pub fn compute(graph: &BipartiteGraph) -> Self {
+        let dl = graph.degrees(Side::Left);
+        let dr = graph.degrees(Side::Right);
+        let avg = |d: &[usize]| {
+            if d.is_empty() {
+                0.0
+            } else {
+                d.iter().sum::<usize>() as f64 / d.len() as f64
+            }
+        };
+        GraphStats {
+            num_left: graph.num_left(),
+            num_right: graph.num_right(),
+            num_edges: graph.num_edges(),
+            total_weight: graph.total_weight(),
+            density: graph.density(),
+            avg_degree_left: avg(&dl),
+            avg_degree_right: avg(&dr),
+            max_degree_left: dl.iter().copied().max().unwrap_or(0),
+            max_degree_right: dr.iter().copied().max().unwrap_or(0),
+            isolated_left: dl.iter().filter(|&&d| d == 0).count(),
+            isolated_right: dr.iter().filter(|&&d| d == 0).count(),
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "left vertices : {}", self.num_left)?;
+        writeln!(f, "right vertices: {}", self.num_right)?;
+        writeln!(f, "edges         : {}", self.num_edges)?;
+        writeln!(f, "total weight  : {:.0}", self.total_weight)?;
+        writeln!(f, "density       : {:.3e}", self.density)?;
+        writeln!(
+            f,
+            "avg degree    : {:.2} (left) / {:.2} (right)",
+            self.avg_degree_left, self.avg_degree_right
+        )?;
+        write!(
+            f,
+            "max degree    : {} (left) / {} (right)",
+            self.max_degree_left, self.max_degree_right
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_toy_graph() {
+        let g = BipartiteGraph::from_edges(
+            3,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)],
+        );
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_left, 3);
+        assert_eq!(s.num_right, 2);
+        assert_eq!(s.num_edges, 3);
+        assert_eq!(s.total_weight, 6.0);
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert!((s.avg_degree_left - 1.0).abs() < 1e-12);
+        assert!((s.avg_degree_right - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_degree_left, 2);
+        assert_eq!(s.isolated_left, 1);
+        assert_eq!(s.isolated_right, 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let g = BipartiteGraph::from_edges(1, 1, vec![(0, 0, 2.0)]);
+        let text = GraphStats::compute(&g).to_string();
+        assert!(text.contains("edges"));
+        assert!(text.contains("density"));
+    }
+}

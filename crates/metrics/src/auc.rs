@@ -1,0 +1,129 @@
+//! Area under the ROC curve.
+//!
+//! The paper's offline evaluation metric: *"We adopt the area under the
+//! receiver operator curve (AUC) to evaluate the performance of all the
+//! methods ... Larger AUC means better performance."* Computed exactly via
+//! the rank-sum (Mann-Whitney) formulation with average ranks for tied
+//! scores.
+
+/// Computes AUC from prediction scores and binary labels.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// ```
+/// use hignn_metrics::auc;
+/// let perfect = auc(&[0.1, 0.9], &[false, true]);
+/// assert_eq!(perfect, 1.0);
+/// ```
+///
+/// # Panics
+/// Panics if `scores` and `labels` differ in length.
+pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Sort indices by score ascending.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    // Average ranks over tie groups; ranks are 1-based.
+    let mut rank_sum_pos = 0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos = pos as f64;
+    let neg = neg as f64;
+    (rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_ties_give_half() {
+        let scores = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_is_half() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), 0.5);
+        assert_eq!(auc(&[0.1, 0.9], &[false, false]), 0.5);
+        assert_eq!(auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // One inversion among 2x2 pairs: AUC = 3/4.
+        let scores = [0.1, 0.3, 0.4, 0.9];
+        let labels = [false, true, false, true];
+        assert!((auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_between_classes_counts_half() {
+        // pos and neg share score 0.5: counts as half a concordant pair.
+        let scores = [0.5, 0.5];
+        let labels = [true, false];
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let n = 50;
+            let scores: Vec<f32> =
+                (0..n).map(|_| (rng.gen_range(0..10) as f32) / 10.0).collect();
+            let labels: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.3)).collect();
+            let fast = auc(&scores, &labels);
+            // Brute force over all pos/neg pairs.
+            let mut concordant = 0f64;
+            let mut total = 0f64;
+            for i in 0..n {
+                for j in 0..n {
+                    if labels[i] && !labels[j] {
+                        total += 1.0;
+                        if scores[i] > scores[j] {
+                            concordant += 1.0;
+                        } else if scores[i] == scores[j] {
+                            concordant += 0.5;
+                        }
+                    }
+                }
+            }
+            let brute = if total == 0.0 { 0.5 } else { concordant / total };
+            assert!((fast - brute).abs() < 1e-9, "fast {fast} brute {brute}");
+        }
+    }
+}

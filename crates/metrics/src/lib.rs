@@ -1,0 +1,22 @@
+//! # hignn-metrics
+//!
+//! Evaluation layer for the HiGNN reproduction:
+//!
+//! * [`mod@auc`] — exact rank-based AUC, the paper's offline metric.
+//! * [`classification`] — log loss, accuracy, precision/recall@k.
+//! * [`taxonomy`] — the paper's taxonomy *accuracy* (expert-style sampled
+//!   judgment against ground truth) and *diversity* (qualified-topic
+//!   ratio), plus NMI as an extra diagnostic.
+//! * [`ab`] — online A/B metrics (UV / CNT / CTR / CVR and lifts).
+
+#![warn(missing_docs)]
+
+pub mod ab;
+pub mod auc;
+pub mod classification;
+pub mod taxonomy;
+
+pub use ab::{lift_pct, AbComparison, ArmStats};
+pub use auc::auc;
+pub use classification::{accuracy, log_loss, precision_at_k, recall_at_k};
+pub use taxonomy::{normalized_mutual_info, taxonomy_accuracy, taxonomy_diversity};

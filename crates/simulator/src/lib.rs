@@ -1,0 +1,18 @@
+//! # hignn-simulator
+//!
+//! Online serving and A/B-testing simulator substituting the paper's
+//! Taobao production experiments (Table IV and Section V.D.4):
+//!
+//! * [`ranker`] — serving policies: model-backed ([`ranker::ScoreFnRanker`]),
+//!   popularity/random controls, and taxonomy-matched recommendation
+//!   ([`ranker::TopicAffinityRanker`]).
+//! * [`ab`] — the two-arm day-by-day A/B harness with a planted user
+//!   behaviour model and common random numbers across arms.
+
+#![warn(missing_docs)]
+
+pub mod ab;
+pub mod ranker;
+
+pub use ab::{run_ab, AbConfig, AbOutcome};
+pub use ranker::{PopularityRanker, RandomRanker, Ranker, ScoreFnRanker, TopicAffinityRanker};

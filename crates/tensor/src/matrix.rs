@@ -1,0 +1,642 @@
+//! Dense, row-major `f32` matrices.
+//!
+//! [`Matrix`] is the single storage type used throughout the workspace:
+//! node-feature tables, weight matrices, minibatch activations and
+//! gradients are all 2-D. The implementation favours simple, cache-friendly
+//! loops (`ikj` matmul ordering, fused transpose products) over exotic
+//! optimisations; at the embedding sizes used by HiGNN (d = 32..256) these
+//! are within a small factor of BLAS and keep the crate dependency-free.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix whose entry `(i, j)` is `f(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a 1 x n row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
+    }
+
+    /// Creates an n x 1 column matrix from a slice.
+    pub fn column_vector(values: &[f32]) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Iterator over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copies `src` into row `i`.
+    pub fn set_row(&mut self, i: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols);
+        self.row_mut(i).copy_from_slice(src);
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses the `ikj` loop ordering so the inner loop streams over
+    /// contiguous rows of both the accumulator and `rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs^T` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T * rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for t in 0..self.rows {
+            let a_row = self.row(t);
+            let b_row = rhs.row(t);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "hadamard: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += alpha * rhs` (axpy).
+    pub fn scaled_add_assign(&mut self, alpha: f32, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "scaled_add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Returns `alpha * self`.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * alpha).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scale.
+    pub fn scale_assign(&mut self, alpha: f32) {
+        for a in &mut self.data {
+            *a *= alpha;
+        }
+    }
+
+    /// Adds a `1 x cols` row vector to every row.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must have one row");
+        assert_eq!(bias.cols, self.cols, "add_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(bias.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Concatenates matrices horizontally (same row count).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols: row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let out_row = out.row_mut(i);
+            let mut offset = 0;
+            for p in parts {
+                out_row[offset..offset + p.cols].copy_from_slice(p.row(i));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Stacks matrices vertically (same column count).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows: no parts");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows: column mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Gathers the given rows into a new matrix (`out.row(k) = self.row(idx[k])`).
+    pub fn gather_rows(&self, idx: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        for (k, &i) in idx.iter().enumerate() {
+            out.set_row(k, self.row(i));
+        }
+        out
+    }
+
+    /// Mean of each group of `group` consecutive rows.
+    ///
+    /// The row count must be a multiple of `group`; the result has
+    /// `rows / group` rows.
+    pub fn mean_pool_rows(&self, group: usize) -> Matrix {
+        assert!(group > 0, "mean_pool_rows: group must be positive");
+        assert_eq!(self.rows % group, 0, "mean_pool_rows: {} rows not divisible by {}", self.rows, group);
+        let out_rows = self.rows / group;
+        let mut out = Matrix::zeros(out_rows, self.cols);
+        let inv = 1.0 / group as f32;
+        for g in 0..out_rows {
+            let out_row = out.row_mut(g);
+            for r in 0..group {
+                let src = &self.data[(g * group + r) * self.cols..(g * group + r + 1) * self.cols];
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+            for o in out_row.iter_mut() {
+                *o *= inv;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Sum of squared entries.
+    pub fn sum_squares(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.sum_squares().sqrt()
+    }
+
+    /// Index of the maximum entry in row `i`.
+    pub fn row_argmax(&self, i: usize) -> usize {
+        let row = self.row(i);
+        let mut best = 0;
+        for (j, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = j;
+            }
+        }
+        best
+    }
+
+    /// Squared Euclidean distance between row `i` of `self` and `other_row`.
+    pub fn row_sq_dist(&self, i: usize, other_row: &[f32]) -> f32 {
+        debug_assert_eq!(other_row.len(), self.cols);
+        self.row(i)
+            .iter()
+            .zip(other_row)
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// L2-normalises every row in place (rows with near-zero norm are left
+    /// untouched).
+    pub fn l2_normalize_rows(&mut self) {
+        for i in 0..self.rows {
+            let norm: f32 = self.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for v in self.row_mut(i) {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+
+    /// True when all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Maximum absolute difference to another matrix of the same shape.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(6);
+        for i in 0..show {
+            write!(f, "  [")?;
+            let cols = self.cols.min(8);
+            for j in 0..cols {
+                write!(f, "{:9.4}", self.get(i, j))?;
+                if j + 1 < cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.shape(), (2, 3));
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_fn_matches_layout() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f32);
+        assert_eq!(a.get(2, 1), 21.0);
+        assert_eq!(a.data(), &[0.0, 1.0, 10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_checks_length() {
+        Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let expected = a.matmul(&b.transpose());
+        assert!(a.matmul_nt(&b).max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let a = m(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let expected = a.transpose().matmul(&b);
+        assert!(a.matmul_tn(&b).max_abs_diff(&expected) < 1e-6);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.add(&b).data(), &[6.0, 8.0, 10.0, 12.0]);
+        assert_eq!(b.sub(&a).data(), &[4.0, 4.0, 4.0, 4.0]);
+        assert_eq!(a.hadamard(&b).data(), &[5.0, 12.0, 21.0, 32.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn axpy() {
+        let mut a = m(1, 3, &[1.0, 1.0, 1.0]);
+        let b = m(1, 3, &[1.0, 2.0, 3.0]);
+        a.scaled_add_assign(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let a = m(2, 3, &[0.0; 6]);
+        let bias = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let out = a.add_row_broadcast(&bias);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = m(2, 1, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = m(1, 2, &[1.0, 2.0]);
+        let b = m(2, 2, &[3.0, 4.0, 5.0, 6.0]);
+        let c = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_rows_copies() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[5.0, 6.0]);
+        assert_eq!(g.row(1), &[1.0, 2.0]);
+        assert_eq!(g.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_pool_groups() {
+        let a = m(4, 2, &[1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        let p = a.mean_pool_rows(2);
+        assert_eq!(p.shape(), (2, 2));
+        assert_eq!(p.row(0), &[2.0, 3.0]);
+        assert_eq!(p.row(1), &[20.0, 30.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m(2, 2, &[1.0, -2.0, 3.0, -4.0]);
+        assert_eq!(a.sum(), -2.0);
+        assert_eq!(a.mean(), -0.5);
+        assert_eq!(a.sum_squares(), 30.0);
+    }
+
+    #[test]
+    fn normalize_rows() {
+        let mut a = m(2, 2, &[3.0, 4.0, 0.0, 0.0]);
+        a.l2_normalize_rows();
+        assert!((a.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((a.get(0, 1) - 0.8).abs() < 1e-6);
+        assert_eq!(a.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_per_row() {
+        let a = m(2, 3, &[1.0, 9.0, 3.0, 7.0, 2.0, 5.0]);
+        assert_eq!(a.row_argmax(0), 1);
+        assert_eq!(a.row_argmax(1), 0);
+    }
+
+    #[test]
+    fn sq_dist() {
+        let a = m(1, 2, &[0.0, 0.0]);
+        assert_eq!(a.row_sq_dist(0, &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Trainable parameter storage shared across forward passes.
+//!
+//! A [`ParamStore`] owns every trainable matrix of a model. Each training
+//! step builds a fresh [`crate::tape::Tape`] against the store, runs
+//! backward to obtain [`Gradients`], and hands both to an optimizer.
+//! Keeping parameters outside the tape makes data-parallel training
+//! trivial: worker threads share `&ParamStore` immutably and their
+//! per-shard `Gradients` are summed before the optimizer step.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// Opaque handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The raw index of the parameter within its store.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A named collection of trainable matrices.
+#[derive(Clone, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+    by_name: HashMap<String, usize>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter under a unique name.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "parameter `{name}` registered twice"
+        );
+        let id = self.values.len();
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.values.push(value);
+        ParamId(id)
+    }
+
+    /// Looks a parameter up by name.
+    pub fn id(&self, name: &str) -> Option<ParamId> {
+        self.by_name.get(name).copied().map(ParamId)
+    }
+
+    /// The parameter's registered name.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Borrows a parameter value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutably borrows a parameter value (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// True when every parameter entry is finite (NaN/Inf detector).
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(Matrix::all_finite)
+    }
+}
+
+/// Per-parameter gradients produced by a backward pass.
+#[derive(Clone, Default)]
+pub struct Gradients {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Gradients {
+    /// Creates an empty gradient set sized for `store`.
+    pub fn new(store: &ParamStore) -> Self {
+        Gradients { grads: vec![None; store.len()] }
+    }
+
+    /// Adds `g` into the slot for `id`.
+    pub fn accumulate(&mut self, id: ParamId, g: &Matrix) {
+        if id.0 >= self.grads.len() {
+            self.grads.resize(id.0 + 1, None);
+        }
+        match &mut self.grads[id.0] {
+            Some(existing) => existing.add_assign(g),
+            slot @ None => *slot = Some(g.clone()),
+        }
+    }
+
+    /// Borrows the gradient for `id`, if any was produced.
+    pub fn get(&self, id: ParamId) -> Option<&Matrix> {
+        self.grads.get(id.0).and_then(Option::as_ref)
+    }
+
+    /// Merges another gradient set into this one (summing overlaps).
+    pub fn merge(&mut self, other: &Gradients) {
+        if other.grads.len() > self.grads.len() {
+            self.grads.resize(other.grads.len(), None);
+        }
+        for (i, g) in other.grads.iter().enumerate() {
+            if let Some(g) = g {
+                match &mut self.grads[i] {
+                    Some(existing) => existing.add_assign(g),
+                    slot @ None => *slot = Some(g.clone()),
+                }
+            }
+        }
+    }
+
+    /// Scales every gradient by `alpha` (e.g. averaging shard gradients).
+    pub fn scale(&mut self, alpha: f32) {
+        for g in self.grads.iter_mut().flatten() {
+            g.scale_assign(alpha);
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .flatten()
+            .map(Matrix::sum_squares)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Clips gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+
+    /// Iterates over `(id, grad)` pairs that were produced.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.grads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.as_ref().map(|g| (ParamId(i), g)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let a = s.add("w1", Matrix::zeros(2, 3));
+        let b = s.add("w2", Matrix::zeros(3, 1));
+        assert_eq!(s.id("w1"), Some(a));
+        assert_eq!(s.id("w2"), Some(b));
+        assert_eq!(s.id("nope"), None);
+        assert_eq!(s.name(a), "w1");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.add("w", Matrix::zeros(1, 1));
+        s.add("w", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn gradients_accumulate_and_merge() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Matrix::zeros(1, 2));
+        let b = s.add("b", Matrix::zeros(1, 2));
+        let mut g1 = Gradients::new(&s);
+        g1.accumulate(a, &Matrix::row_vector(&[1.0, 2.0]));
+        g1.accumulate(a, &Matrix::row_vector(&[1.0, 2.0]));
+        let mut g2 = Gradients::new(&s);
+        g2.accumulate(a, &Matrix::row_vector(&[1.0, 0.0]));
+        g2.accumulate(b, &Matrix::row_vector(&[0.5, 0.5]));
+        g1.merge(&g2);
+        assert_eq!(g1.get(a).unwrap().data(), &[3.0, 4.0]);
+        assert_eq!(g1.get(b).unwrap().data(), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn clip_global_norm_shrinks() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Matrix::zeros(1, 2));
+        let mut g = Gradients::new(&s);
+        g.accumulate(a, &Matrix::row_vector(&[3.0, 4.0]));
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+        g.clip_global_norm(10.0); // no-op when already below
+        assert!((g.global_norm() - 1.0).abs() < 1e-6);
+    }
+}

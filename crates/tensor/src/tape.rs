@@ -1,0 +1,833 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Tape`] records every operation of one forward pass as a node with an
+//! explicit op descriptor. [`Tape::backward`] walks the tape in reverse
+//! and dispatches on the descriptor, accumulating gradients into parents
+//! and finally into a [`Gradients`] set keyed by [`ParamId`]. The explicit
+//! enum (instead of boxed closures) keeps the borrow story simple, makes
+//! each backward rule independently testable, and costs nothing at the
+//! matrix sizes HiGNN uses.
+//!
+//! The op set is exactly what the paper's architectures need: linear
+//! algebra, concatenation, row gathering (embedding lookup), fixed-fanout
+//! and variable-segment mean aggregation (GraphSAGE), the activations the
+//! paper names (leaky ReLU, sigmoid), and a numerically stable
+//! binary-cross-entropy-with-logits reduction (Eqs. 5, 7, 12).
+
+use crate::matrix::Matrix;
+use crate::param::{Gradients, ParamId, ParamStore};
+
+/// Handle to a value on the tape. Cheap to copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var {
+    id: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Var {
+    /// Number of rows of the value this handle refers to.
+    pub fn rows(self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the value this handle refers to.
+    pub fn cols(self) -> usize {
+        self.cols
+    }
+}
+
+/// Operation descriptor for one tape node.
+#[derive(Debug)]
+enum Op {
+    /// Constant input; no gradient flows out.
+    Input,
+    /// Leaf referring to a trainable parameter.
+    Param(ParamId),
+    /// `C = A * B`.
+    MatMul(usize, usize),
+    /// Elementwise `A + B` (same shape).
+    Add(usize, usize),
+    /// `X + bias` where `bias` is `1 x cols`, broadcast over rows.
+    AddBias(usize, usize),
+    /// Elementwise `A - B`.
+    Sub(usize, usize),
+    /// Elementwise `A * B`.
+    Mul(usize, usize),
+    /// Row-wise scaling: `out[i][j] = x[i][j] * col[i][0]`.
+    MulColBroadcast(usize, usize),
+    /// `alpha * A`.
+    Scale(usize, f32),
+    /// Horizontal concatenation.
+    ConcatCols(Vec<usize>),
+    /// Row gather: `out.row(k) = src.row(idx[k])`.
+    GatherRows { src: usize, idx: Vec<usize> },
+    /// Mean over consecutive groups of `group` rows.
+    MeanPoolRows { src: usize, group: usize },
+    /// Mean over variable-length row segments given by `offsets`
+    /// (`offsets.len() == num_segments + 1`); empty segments yield zeros.
+    SegmentMean { src: usize, offsets: Vec<usize> },
+    /// Max over consecutive groups of `group` rows; `argmax` records the
+    /// winning source row per output entry for the backward pass.
+    MaxPoolRows { src: usize, argmax: Vec<u32> },
+    /// Leaky ReLU with negative slope `alpha`.
+    LeakyRelu { src: usize, alpha: f32 },
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Mean of all entries, producing a `1 x 1` scalar.
+    MeanAll(usize),
+    /// Sum of all entries, producing a `1 x 1` scalar.
+    SumAll(usize),
+    /// Sum of squared entries, producing a `1 x 1` scalar (L2 penalty).
+    SumSquares(usize),
+    /// Per-row dot product of two `n x d` matrices, producing `n x 1`.
+    DotRows(usize, usize),
+    /// Mean binary cross entropy with logits against fixed targets;
+    /// produces a `1 x 1` scalar. `weights` optionally reweights samples.
+    BceWithLogits { logits: usize, targets: Vec<f32>, weights: Option<Vec<f32>> },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// One forward pass under construction.
+pub struct Tape<'s> {
+    store: &'s ParamStore,
+    nodes: Vec<Node>,
+}
+
+impl<'s> Tape<'s> {
+    /// Creates an empty tape bound to a parameter store.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Tape { store, nodes: Vec::new() }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        let (rows, cols) = value.shape();
+        let id = self.nodes.len();
+        self.nodes.push(Node { value, op });
+        Var { id, rows, cols }
+    }
+
+    /// Borrows the computed value of a variable.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.id].value
+    }
+
+    /// The scalar value of a `1 x 1` variable.
+    pub fn scalar(&self, v: Var) -> f32 {
+        assert_eq!((v.rows, v.cols), (1, 1), "scalar() on non-scalar var");
+        self.nodes[v.id].value.get(0, 0)
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaves -------------------------------------------------------
+
+    /// Records a constant input (no gradient).
+    pub fn input(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Input)
+    }
+
+    /// Records a trainable parameter leaf.
+    pub fn param(&mut self, id: ParamId) -> Var {
+        let value = self.store.get(id).clone();
+        self.push(value, Op::Param(id))
+    }
+
+    // ---- ops ----------------------------------------------------------
+
+    /// `a * b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul(a.id, b.id))
+    }
+
+    /// Elementwise `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add(a.id, b.id))
+    }
+
+    /// `x + bias`, broadcasting the `1 x cols` bias over rows.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.value(x).add_row_broadcast(self.value(bias));
+        self.push(value, Op::AddBias(x.id, bias.id))
+    }
+
+    /// Elementwise `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub(a.id, b.id))
+    }
+
+    /// Elementwise `a * b`.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Mul(a.id, b.id))
+    }
+
+    /// Scales each row of `x` by the matching entry of the `n x 1`
+    /// column `col` (e.g. attention-weighted pooling).
+    pub fn mul_col_broadcast(&mut self, x: Var, col: Var) -> Var {
+        let (xm, cm) = (self.value(x), self.value(col));
+        assert_eq!(cm.cols(), 1, "mul_col_broadcast: col must be n x 1");
+        assert_eq!(xm.rows(), cm.rows(), "mul_col_broadcast: row mismatch");
+        let mut out = xm.clone();
+        for i in 0..out.rows() {
+            let c = cm.get(i, 0);
+            for v in out.row_mut(i) {
+                *v *= c;
+            }
+        }
+        self.push(out, Op::MulColBroadcast(x.id, col.id))
+    }
+
+    /// `alpha * a`.
+    pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
+        let value = self.value(a).scale(alpha);
+        self.push(value, Op::Scale(a.id, alpha))
+    }
+
+    /// Horizontal concatenation of `parts`.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        let values: Vec<&Matrix> = parts.iter().map(|p| self.value(*p)).collect();
+        let value = Matrix::concat_cols(&values);
+        self.push(value, Op::ConcatCols(parts.iter().map(|p| p.id).collect()))
+    }
+
+    /// Row gather (embedding lookup): `out.row(k) = src.row(idx[k])`.
+    pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
+        let value = self.value(src).gather_rows(idx);
+        self.push(value, Op::GatherRows { src: src.id, idx: idx.to_vec() })
+    }
+
+    /// Mean over consecutive groups of `group` rows (fixed-fanout
+    /// neighbour aggregation).
+    pub fn mean_pool_rows(&mut self, src: Var, group: usize) -> Var {
+        let value = self.value(src).mean_pool_rows(group);
+        self.push(value, Op::MeanPoolRows { src: src.id, group })
+    }
+
+    /// Max over consecutive groups of `group` rows (max-pooling
+    /// aggregation). Gradient flows only to each column's winning row.
+    pub fn max_pool_rows(&mut self, src: Var, group: usize) -> Var {
+        assert!(group > 0, "max_pool_rows: group must be positive");
+        let src_m = self.value(src);
+        assert_eq!(
+            src_m.rows() % group,
+            0,
+            "max_pool_rows: {} rows not divisible by {}",
+            src_m.rows(),
+            group
+        );
+        let out_rows = src_m.rows() / group;
+        let cols = src_m.cols();
+        let mut out = Matrix::zeros(out_rows, cols);
+        let mut argmax = vec![0u32; out_rows * cols];
+        for g in 0..out_rows {
+            for c in 0..cols {
+                let mut best = f32::MIN;
+                let mut best_row = g * group;
+                for r in 0..group {
+                    let v = src_m.get(g * group + r, c);
+                    if v > best {
+                        best = v;
+                        best_row = g * group + r;
+                    }
+                }
+                out.set(g, c, best);
+                argmax[g * cols + c] = best_row as u32;
+            }
+        }
+        self.push(out, Op::MaxPoolRows { src: src.id, argmax })
+    }
+
+    /// Mean over variable-length row segments (full-neighbourhood
+    /// aggregation). `offsets` must be non-decreasing with
+    /// `offsets[0] == 0` and `offsets.last() == src.rows()`.
+    pub fn segment_mean(&mut self, src: Var, offsets: &[usize]) -> Var {
+        assert!(offsets.len() >= 2, "segment_mean: need at least one segment");
+        assert_eq!(offsets[0], 0, "segment_mean: offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            self.value(src).rows(),
+            "segment_mean: offsets must end at src row count"
+        );
+        let src_m = self.value(src);
+        let segs = offsets.len() - 1;
+        let mut out = Matrix::zeros(segs, src_m.cols());
+        for s in 0..segs {
+            let (lo, hi) = (offsets[s], offsets[s + 1]);
+            assert!(lo <= hi, "segment_mean: offsets must be non-decreasing");
+            if lo == hi {
+                continue;
+            }
+            let inv = 1.0 / (hi - lo) as f32;
+            for r in lo..hi {
+                let src_row = src_m.row(r);
+                let out_row = out.row_mut(s);
+                for (o, &v) in out_row.iter_mut().zip(src_row) {
+                    *o += v * inv;
+                }
+            }
+        }
+        self.push(out, Op::SegmentMean { src: src.id, offsets: offsets.to_vec() })
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
+        let value = self.value(x).map(|v| if v > 0.0 { v } else { alpha * v });
+        self.push(value, Op::LeakyRelu { src: x.id, alpha })
+    }
+
+    /// Standard ReLU (leaky ReLU with zero slope).
+    pub fn relu(&mut self, x: Var) -> Var {
+        self.leaky_relu(x, 0.0)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(stable_sigmoid);
+        self.push(value, Op::Sigmoid(x.id))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(f32::tanh);
+        self.push(value, Op::Tanh(x.id))
+    }
+
+    /// Mean of all entries (scalar).
+    pub fn mean_all(&mut self, x: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
+        self.push(value, Op::MeanAll(x.id))
+    }
+
+    /// Sum of all entries (scalar).
+    pub fn sum_all(&mut self, x: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
+        self.push(value, Op::SumAll(x.id))
+    }
+
+    /// Sum of squared entries (scalar, L2 penalty).
+    pub fn sum_squares(&mut self, x: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum_squares()]);
+        self.push(value, Op::SumSquares(x.id))
+    }
+
+    /// Per-row dot product of two `n x d` matrices → `n x 1`.
+    pub fn dot_rows(&mut self, a: Var, b: Var) -> Var {
+        let (am, bm) = (self.value(a), self.value(b));
+        assert_eq!(am.shape(), bm.shape(), "dot_rows: shape mismatch");
+        let mut out = Matrix::zeros(am.rows(), 1);
+        for i in 0..am.rows() {
+            let d: f32 = am.row(i).iter().zip(bm.row(i)).map(|(x, y)| x * y).sum();
+            out.set(i, 0, d);
+        }
+        self.push(out, Op::DotRows(a.id, b.id))
+    }
+
+    /// Mean binary cross entropy with logits (scalar).
+    ///
+    /// `logits` must be `n x 1` and `targets.len() == n`. Uses the
+    /// numerically stable form `max(x,0) - x*t + ln(1 + e^{-|x|})`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &[f32]) -> Var {
+        self.bce_with_logits_weighted(logits, targets, None)
+    }
+
+    /// Weighted variant of [`Tape::bce_with_logits`]: each sample's loss is
+    /// multiplied by its weight before averaging (weights are normalised by
+    /// `n`, not by their sum, matching a per-sample importance weighting).
+    pub fn bce_with_logits_weighted(
+        &mut self,
+        logits: Var,
+        targets: &[f32],
+        weights: Option<&[f32]>,
+    ) -> Var {
+        let lm = self.value(logits);
+        assert_eq!(lm.cols(), 1, "bce_with_logits: logits must be n x 1");
+        assert_eq!(lm.rows(), targets.len(), "bce_with_logits: target length mismatch");
+        if let Some(w) = weights {
+            assert_eq!(w.len(), targets.len(), "bce_with_logits: weight length mismatch");
+        }
+        let n = targets.len().max(1) as f32;
+        let mut total = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let x = lm.get(i, 0);
+            let loss = x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+            let w = weights.map_or(1.0, |w| w[i]);
+            total += (loss * w) as f64;
+        }
+        let value = Matrix::from_vec(1, 1, vec![(total / n as f64) as f32]);
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits: logits.id,
+                targets: targets.to_vec(),
+                weights: weights.map(|w| w.to_vec()),
+            },
+        )
+    }
+
+    // ---- backward -----------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar `loss`, returning
+    /// gradients for every parameter leaf the loss depends on.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!((loss.rows, loss.cols), (1, 1), "backward: loss must be scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.id] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut out = Gradients::new(self.store);
+
+        for id in (0..=loss.id).rev() {
+            let Some(g) = grads[id].take() else { continue };
+            match &self.nodes[id].op {
+                Op::Input => {}
+                Op::Param(pid) => out.accumulate(*pid, &g),
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_nt(&self.nodes[*b].value);
+                    let gb = self.nodes[*a].value.matmul_tn(&g);
+                    accum(&mut grads, *a, ga);
+                    accum(&mut grads, *b, gb);
+                }
+                Op::Add(a, b) => {
+                    accum(&mut grads, *a, g.clone());
+                    accum(&mut grads, *b, g);
+                }
+                Op::AddBias(x, bias) => {
+                    // Bias gradient is the column-wise sum of g.
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for i in 0..g.rows() {
+                        let row = g.row(i);
+                        for (o, &v) in gb.row_mut(0).iter_mut().zip(row) {
+                            *o += v;
+                        }
+                    }
+                    accum(&mut grads, *x, g);
+                    accum(&mut grads, *bias, gb);
+                }
+                Op::Sub(a, b) => {
+                    accum(&mut grads, *a, g.clone());
+                    accum(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let ga = g.hadamard(&self.nodes[*b].value);
+                    let gb = g.hadamard(&self.nodes[*a].value);
+                    accum(&mut grads, *a, ga);
+                    accum(&mut grads, *b, gb);
+                }
+                Op::MulColBroadcast(x, col) => {
+                    let (xm, cm) = (&self.nodes[*x].value, &self.nodes[*col].value);
+                    let mut gx = g.clone();
+                    let mut gc = Matrix::zeros(cm.rows(), 1);
+                    for i in 0..xm.rows() {
+                        let c = cm.get(i, 0);
+                        let mut dot = 0f32;
+                        for (gv, &xv) in gx.row_mut(i).iter_mut().zip(xm.row(i)) {
+                            dot += *gv * xv;
+                            *gv *= c;
+                        }
+                        gc.set(i, 0, dot);
+                    }
+                    accum(&mut grads, *x, gx);
+                    accum(&mut grads, *col, gc);
+                }
+                Op::Scale(a, alpha) => accum(&mut grads, *a, g.scale(*alpha)),
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let pc = self.nodes[p].value.cols();
+                        let mut gp = Matrix::zeros(g.rows(), pc);
+                        for i in 0..g.rows() {
+                            gp.row_mut(i).copy_from_slice(&g.row(i)[offset..offset + pc]);
+                        }
+                        offset += pc;
+                        accum(&mut grads, p, gp);
+                    }
+                }
+                Op::GatherRows { src, idx } => {
+                    let src_m = &self.nodes[*src].value;
+                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    for (k, &i) in idx.iter().enumerate() {
+                        let grow = g.row(k);
+                        for (o, &v) in gs.row_mut(i).iter_mut().zip(grow) {
+                            *o += v;
+                        }
+                    }
+                    accum(&mut grads, *src, gs);
+                }
+                Op::MeanPoolRows { src, group } => {
+                    let src_m = &self.nodes[*src].value;
+                    let inv = 1.0 / *group as f32;
+                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    for r in 0..src_m.rows() {
+                        let grow = g.row(r / group);
+                        for (o, &v) in gs.row_mut(r).iter_mut().zip(grow) {
+                            *o = v * inv;
+                        }
+                    }
+                    accum(&mut grads, *src, gs);
+                }
+                Op::SegmentMean { src, offsets } => {
+                    let src_m = &self.nodes[*src].value;
+                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    for s in 0..offsets.len() - 1 {
+                        let (lo, hi) = (offsets[s], offsets[s + 1]);
+                        if lo == hi {
+                            continue;
+                        }
+                        let inv = 1.0 / (hi - lo) as f32;
+                        let grow = g.row(s);
+                        for r in lo..hi {
+                            for (o, &v) in gs.row_mut(r).iter_mut().zip(grow) {
+                                *o += v * inv;
+                            }
+                        }
+                    }
+                    accum(&mut grads, *src, gs);
+                }
+                Op::MaxPoolRows { src, argmax } => {
+                    let src_m = &self.nodes[*src].value;
+                    let cols = src_m.cols();
+                    let mut gs = Matrix::zeros(src_m.rows(), cols);
+                    for gr in 0..g.rows() {
+                        for c in 0..cols {
+                            let winner = argmax[gr * cols + c] as usize;
+                            let cur = gs.get(winner, c);
+                            gs.set(winner, c, cur + g.get(gr, c));
+                        }
+                    }
+                    accum(&mut grads, *src, gs);
+                }
+                Op::LeakyRelu { src, alpha } => {
+                    let x = &self.nodes[*src].value;
+                    let mut gx = g;
+                    for (gv, &xv) in gx.data_mut().iter_mut().zip(x.data()) {
+                        if xv <= 0.0 {
+                            *gv *= alpha;
+                        }
+                    }
+                    accum(&mut grads, *src, gx);
+                }
+                Op::Sigmoid(src) => {
+                    let y = &self.nodes[id].value;
+                    let mut gx = g;
+                    for (gv, &yv) in gx.data_mut().iter_mut().zip(y.data()) {
+                        *gv *= yv * (1.0 - yv);
+                    }
+                    accum(&mut grads, *src, gx);
+                }
+                Op::Tanh(src) => {
+                    let y = &self.nodes[id].value;
+                    let mut gx = g;
+                    for (gv, &yv) in gx.data_mut().iter_mut().zip(y.data()) {
+                        *gv *= 1.0 - yv * yv;
+                    }
+                    accum(&mut grads, *src, gx);
+                }
+                Op::MeanAll(src) => {
+                    let src_m = &self.nodes[*src].value;
+                    let gv = g.get(0, 0) / src_m.len().max(1) as f32;
+                    accum(&mut grads, *src, Matrix::full(src_m.rows(), src_m.cols(), gv));
+                }
+                Op::SumAll(src) => {
+                    let src_m = &self.nodes[*src].value;
+                    accum(&mut grads, *src, Matrix::full(src_m.rows(), src_m.cols(), g.get(0, 0)));
+                }
+                Op::SumSquares(src) => {
+                    let src_m = &self.nodes[*src].value;
+                    let gv = 2.0 * g.get(0, 0);
+                    accum(&mut grads, *src, src_m.scale(gv));
+                }
+                Op::DotRows(a, b) => {
+                    let (am, bm) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                    let mut ga = Matrix::zeros(am.rows(), am.cols());
+                    let mut gb = Matrix::zeros(bm.rows(), bm.cols());
+                    for i in 0..am.rows() {
+                        let gi = g.get(i, 0);
+                        for ((o, &bv), &av) in
+                            ga.row_mut(i).iter_mut().zip(bm.row(i)).zip(am.row(i))
+                        {
+                            *o = gi * bv;
+                            let _ = av;
+                        }
+                        for (o, &av) in gb.row_mut(i).iter_mut().zip(am.row(i)) {
+                            *o = gi * av;
+                        }
+                    }
+                    accum(&mut grads, *a, ga);
+                    accum(&mut grads, *b, gb);
+                }
+                Op::BceWithLogits { logits, targets, weights } => {
+                    let lm = &self.nodes[*logits].value;
+                    let n = targets.len().max(1) as f32;
+                    let scale = g.get(0, 0) / n;
+                    let mut gl = Matrix::zeros(lm.rows(), 1);
+                    for (i, &t) in targets.iter().enumerate() {
+                        let y = stable_sigmoid(lm.get(i, 0));
+                        let w = weights.as_ref().map_or(1.0, |w| w[i]);
+                        gl.set(i, 0, scale * w * (y - t));
+                    }
+                    accum(&mut grads, *logits, gl);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accum(grads: &mut [Option<Matrix>], id: usize, g: Matrix) {
+    match &mut grads[id] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_param_grads;
+    use crate::init::xavier_uniform;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_values() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let a = t.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = t.input(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+        let c = t.matmul(a, b);
+        assert_eq!(t.value(c).data(), &[1.0, 2.0, 3.0, 4.0]);
+        let s = t.sum_all(c);
+        assert_eq!(t.scalar(s), 10.0);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(stable_sigmoid(100.0) <= 1.0);
+        assert!(stable_sigmoid(-100.0) >= 0.0);
+        assert!((stable_sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(stable_sigmoid(-100.0).is_finite());
+    }
+
+    #[test]
+    fn matmul_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut store = ParamStore::new();
+        let w = store.add("w", xavier_uniform(3, 4, &mut rng));
+        let x = xavier_uniform(5, 3, &mut rng);
+        check_param_grads(&store, &[w], 1e-2, 2e-2, |t| {
+            let wx = t.param(w);
+            let xv = t.input(x.clone());
+            let y = t.matmul(xv, wx);
+            t.mean_all(y)
+        });
+    }
+
+    #[test]
+    fn mlp_style_graph_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", xavier_uniform(4, 6, &mut rng));
+        let b1 = store.add("b1", Matrix::zeros(1, 6));
+        let w2 = store.add("w2", xavier_uniform(6, 1, &mut rng));
+        let x = xavier_uniform(7, 4, &mut rng);
+        let targets = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        check_param_grads(&store, &[w1, b1, w2], 1e-2, 2e-2, move |t| {
+            let xv = t.input(x.clone());
+            let w1v = t.param(w1);
+            let b1v = t.param(b1);
+            let w2v = t.param(w2);
+            let h = t.matmul(xv, w1v);
+            let h = t.add_bias(h, b1v);
+            let h = t.leaky_relu(h, 0.1);
+            let logits = t.matmul(h, w2v);
+            t.bce_with_logits(logits, &targets)
+        });
+    }
+
+    #[test]
+    fn gather_and_pool_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", xavier_uniform(5, 3, &mut rng));
+        let idx = vec![0usize, 2, 2, 4, 1, 3];
+        check_param_grads(&store, &[emb], 1e-2, 2e-2, move |t| {
+            let e = t.param(emb);
+            let g = t.gather_rows(e, &idx);
+            let pooled = t.mean_pool_rows(g, 2); // 3 groups of 2
+            let sq = t.sum_squares(pooled);
+            t.scale(sq, 0.5)
+        });
+    }
+
+    #[test]
+    fn segment_mean_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", xavier_uniform(6, 2, &mut rng));
+        // Segments: [0..2), [2..2) empty, [2..6)
+        let offsets = vec![0usize, 2, 2, 6];
+        check_param_grads(&store, &[emb], 1e-2, 2e-2, move |t| {
+            let e = t.param(emb);
+            let m = t.segment_mean(e, &offsets);
+            t.sum_squares(m)
+        });
+    }
+
+    #[test]
+    fn concat_sub_mul_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let a = store.add("a", xavier_uniform(3, 2, &mut rng));
+        let b = store.add("b", xavier_uniform(3, 3, &mut rng));
+        check_param_grads(&store, &[a, b], 1e-2, 2e-2, move |t| {
+            let av = t.param(a);
+            let bv = t.param(b);
+            let c = t.concat_cols(&[av, bv]);
+            let d = t.tanh(c);
+            let e = t.mul(d, c);
+            let f = t.sub(e, c);
+            t.mean_all(f)
+        });
+    }
+
+    #[test]
+    fn dot_rows_and_sigmoid_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut store = ParamStore::new();
+        let a = store.add("a", xavier_uniform(4, 3, &mut rng));
+        let b = store.add("b", xavier_uniform(4, 3, &mut rng));
+        check_param_grads(&store, &[a, b], 1e-2, 2e-2, move |t| {
+            let av = t.param(a);
+            let bv = t.param(b);
+            let d = t.dot_rows(av, bv);
+            let s = t.sigmoid(d);
+            t.mean_all(s)
+        });
+    }
+
+    #[test]
+    fn max_pool_forward_and_gradients() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let x = t.input(Matrix::from_vec(4, 2, vec![1.0, 9.0, 3.0, 2.0, -1.0, 0.0, 5.0, -4.0]));
+        let p = t.max_pool_rows(x, 2);
+        assert_eq!(t.value(p).data(), &[3.0, 9.0, 5.0, 0.0]);
+
+        // Gradient check (use distinct values so argmax is stable under
+        // the finite-difference perturbation).
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut store = ParamStore::new();
+        let src = store.add("src", xavier_uniform(6, 3, &mut rng));
+        check_param_grads(&store, &[src], 1e-3, 2e-2, move |t| {
+            let v = t.param(src);
+            let pooled = t.max_pool_rows(v, 3);
+            t.sum_squares(pooled)
+        });
+    }
+
+    #[test]
+    fn mul_col_broadcast_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut store = ParamStore::new();
+        let x = store.add("x", xavier_uniform(4, 3, &mut rng));
+        let c = store.add("c", xavier_uniform(4, 1, &mut rng));
+        check_param_grads(&store, &[x, c], 1e-2, 2e-2, move |t| {
+            let xv = t.param(x);
+            let cv = t.param(c);
+            let scaled = t.mul_col_broadcast(xv, cv);
+            t.sum_squares(scaled)
+        });
+    }
+
+    #[test]
+    fn mul_col_broadcast_forward() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let x = t.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let c = t.input(Matrix::column_vector(&[10.0, -1.0]));
+        let y = t.mul_col_broadcast(x, c);
+        assert_eq!(t.value(y).data(), &[10.0, 20.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn weighted_bce_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(16);
+        let mut store = ParamStore::new();
+        let w = store.add("w", xavier_uniform(3, 1, &mut rng));
+        let x = xavier_uniform(5, 3, &mut rng);
+        let targets = vec![1.0, 0.0, 0.0, 1.0, 1.0];
+        let weights = vec![1.0, 2.0, 0.5, 1.5, 3.0];
+        check_param_grads(&store, &[w], 1e-2, 2e-2, move |t| {
+            let wv = t.param(w);
+            let xv = t.input(x.clone());
+            let logits = t.matmul(xv, wv);
+            t.bce_with_logits_weighted(logits, &targets, Some(&weights))
+        });
+    }
+
+    #[test]
+    fn backward_only_touches_dependencies() {
+        let mut store = ParamStore::new();
+        let used = store.add("used", Matrix::full(1, 1, 2.0));
+        let unused = store.add("unused", Matrix::full(1, 1, 3.0));
+        let mut t = Tape::new(&store);
+        let u = t.param(used);
+        let loss = t.sum_squares(u);
+        let grads = t.backward(loss);
+        assert!(grads.get(used).is_some());
+        assert!(grads.get(unused).is_none());
+        // d/du u^2 = 2u = 4.
+        assert!((grads.get(used).unwrap().get(0, 0) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fanout_accumulates_gradients() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::full(1, 1, 3.0));
+        let mut t = Tape::new(&store);
+        let v = t.param(p);
+        let doubled = t.add(v, v); // uses v twice
+        let loss = t.sum_all(doubled);
+        let grads = t.backward(loss);
+        assert!((grads.get(p).unwrap().get(0, 0) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_manual_computation() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let logits = t.input(Matrix::column_vector(&[0.0, 2.0]));
+        let loss = t.bce_with_logits(logits, &[1.0, 0.0]);
+        let expected = (-0.5f32.ln() + (1.0 + 2.0f32.exp()).ln() - 0.0) / 2.0;
+        // -log(sigmoid(0)) = ln 2; -log(1 - sigmoid(2)) = ln(1 + e^2).
+        let manual = ((2.0f32).ln() + (1.0 + (2.0f32).exp()).ln()) / 2.0;
+        assert!((t.scalar(loss) - manual).abs() < 1e-5, "{} vs {}", t.scalar(loss), expected);
+    }
+}

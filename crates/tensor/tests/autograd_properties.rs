@@ -1,0 +1,107 @@
+//! Property-based gradient verification: random compositions of tape ops
+//! must match finite differences. This is the strongest guard the crate
+//! has — any backward-rule regression in any op combination surfaces
+//! here.
+
+use hignn_tensor::gradcheck::check_param_grads;
+use hignn_tensor::{Matrix, ParamStore, Tape, Var};
+use proptest::prelude::*;
+
+/// The unary ops we can chain while keeping shapes `4 x 3`.
+#[derive(Clone, Copy, Debug)]
+enum UnaryOp {
+    LeakyRelu,
+    Tanh,
+    Sigmoid,
+    Scale,
+    MulSelf,
+    AddSelf,
+}
+
+fn apply(op: UnaryOp, tape: &mut Tape, x: Var) -> Var {
+    match op {
+        UnaryOp::LeakyRelu => tape.leaky_relu(x, 0.1),
+        UnaryOp::Tanh => tape.tanh(x),
+        UnaryOp::Sigmoid => tape.sigmoid(x),
+        UnaryOp::Scale => tape.scale(x, 0.7),
+        UnaryOp::MulSelf => tape.mul(x, x),
+        UnaryOp::AddSelf => tape.add(x, x),
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = UnaryOp> {
+    prop_oneof![
+        Just(UnaryOp::LeakyRelu),
+        Just(UnaryOp::Tanh),
+        Just(UnaryOp::Sigmoid),
+        Just(UnaryOp::Scale),
+        Just(UnaryOp::MulSelf),
+        Just(UnaryOp::AddSelf),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_unary_chains_gradcheck(
+        ops in prop::collection::vec(op_strategy(), 1..5),
+        vals in prop::collection::vec(0.05f32..1.5, 12),
+    ) {
+        // Positive-ish inputs keep leaky-ReLU kinks away from the
+        // finite-difference step.
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::from_vec(4, 3, vals));
+        let ops2 = ops.clone();
+        check_param_grads(&store, &[p], 1e-3, 5e-2, move |t| {
+            let mut x = t.param(p);
+            for &op in &ops2 {
+                x = apply(op, t, x);
+            }
+            t.mean_all(x)
+        });
+    }
+
+    #[test]
+    fn random_chains_ending_in_pooling_gradcheck(
+        ops in prop::collection::vec(op_strategy(), 0..3),
+        vals in prop::collection::vec(0.05f32..1.5, 12),
+        use_matmul in any::<bool>(),
+    ) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::from_vec(4, 3, vals));
+        let w = store.add("w", Matrix::from_fn(3, 2, |i, j| 0.3 + 0.1 * (i * 2 + j) as f32));
+        let ops2 = ops.clone();
+        let checked: Vec<_> = if use_matmul { vec![p, w] } else { vec![p] };
+        check_param_grads(&store, &checked, 1e-3, 5e-2, move |t| {
+            let mut x = t.param(p);
+            for &op in &ops2 {
+                x = apply(op, t, x);
+            }
+            if use_matmul {
+                let wv = t.param(w);
+                x = t.matmul(x, wv);
+            }
+            let pooled = t.mean_pool_rows(x, 2);
+            t.sum_squares(pooled)
+        });
+    }
+
+    #[test]
+    fn gather_concat_chains_gradcheck(
+        idx in prop::collection::vec(0usize..4, 2..8),
+        vals in prop::collection::vec(0.1f32..1.0, 12),
+    ) {
+        prop_assume!(idx.len() % 2 == 0);
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::from_vec(4, 3, vals));
+        let idx2 = idx.clone();
+        check_param_grads(&store, &[p], 1e-3, 5e-2, move |t| {
+            let x = t.param(p);
+            let g = t.gather_rows(x, &idx2);
+            let cat = t.concat_cols(&[g, g]);
+            let pooled = t.mean_pool_rows(cat, 2);
+            t.mean_all(pooled)
+        });
+    }
+}

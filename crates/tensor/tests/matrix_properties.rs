@@ -1,0 +1,114 @@
+//! Property-based tests for the matrix algebra and autograd engine.
+
+use hignn_tensor::{Matrix, ParamStore, Tape};
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-4.0f32..4.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(4, 2),
+    ) {
+        // A(B + C) == AB + AC (within f32 tolerance).
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-3);
+    }
+
+    #[test]
+    fn fused_transpose_products_agree(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(5, 4),
+        c in matrix_strategy(3, 5),
+    ) {
+        prop_assert!(a.matmul_nt(&b).max_abs_diff(&a.matmul(&b.transpose())) < 1e-4);
+        prop_assert!(a.matmul_tn(&c).max_abs_diff(&a.transpose().matmul(&c)) < 1e-4);
+    }
+
+    #[test]
+    fn scale_then_sum_is_linear(m in matrix_strategy(4, 4), alpha in -3.0f32..3.0) {
+        let scaled_sum = m.scale(alpha).sum();
+        prop_assert!((scaled_sum - alpha * m.sum()).abs() < 1e-2 * (1.0 + m.sum().abs()));
+    }
+
+    #[test]
+    fn concat_then_gather_roundtrips(a in matrix_strategy(4, 2), b in matrix_strategy(4, 3)) {
+        let cat = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(cat.shape(), (4, 5));
+        for i in 0..4 {
+            prop_assert_eq!(&cat.row(i)[..2], a.row(i));
+            prop_assert_eq!(&cat.row(i)[2..], b.row(i));
+        }
+        let stacked = Matrix::concat_rows(&[&a, &a]);
+        let back = stacked.gather_rows(&[0, 1, 2, 3]);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn l2_normalized_rows_have_unit_norm(m in matrix_strategy(5, 4)) {
+        let mut n = m.clone();
+        n.l2_normalize_rows();
+        for i in 0..5 {
+            let orig: f32 = m.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            let norm: f32 = n.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+            if orig > 1e-6 {
+                prop_assert!((norm - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn autograd_gradient_of_sum_is_ones(m in matrix_strategy(3, 3)) {
+        let mut store = ParamStore::new();
+        let p = store.add("p", m);
+        let mut tape = Tape::new(&store);
+        let v = tape.param(p);
+        let loss = tape.sum_all(v);
+        let grads = tape.backward(loss);
+        let g = grads.get(p).unwrap();
+        prop_assert!(g.data().iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn autograd_is_linear_in_upstream_scale(
+        m in matrix_strategy(3, 3),
+        alpha in 0.5f32..4.0,
+    ) {
+        // d(alpha * f)/dp == alpha * df/dp for f = sum of squares.
+        let mut store = ParamStore::new();
+        let p = store.add("p", m);
+
+        let grad_of = |scale: f32, store: &ParamStore| -> Matrix {
+            let mut tape = Tape::new(store);
+            let v = tape.param(p);
+            let sq = tape.sum_squares(v);
+            let loss = tape.scale(sq, scale);
+            tape.backward(loss).get(p).unwrap().clone()
+        };
+        let g1 = grad_of(1.0, &store);
+        let ga = grad_of(alpha, &store);
+        prop_assert!(ga.max_abs_diff(&g1.scale(alpha)) < 1e-3 * (1.0 + alpha));
+    }
+
+    #[test]
+    fn serialize_roundtrip_any_matrix(m in matrix_strategy(2, 7)) {
+        use hignn_tensor::serialize::{read_matrix, write_matrix};
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let back = read_matrix(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,146 @@
+//! Tokenisation and vocabulary construction.
+//!
+//! Section V of the paper embeds queries and item titles with word2vec so
+//! both sides of the query-item graph share one latent space. This module
+//! provides the supporting text plumbing: a simple tokeniser and a
+//! frequency-thresholded [`Vocab`].
+
+use std::collections::HashMap;
+
+/// Lower-cases and splits on any non-alphanumeric character, dropping
+/// empty tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// A token vocabulary with frequency counts.
+#[derive(Clone, Debug, Default)]
+pub struct Vocab {
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from token streams, keeping tokens that occur
+    /// at least `min_count` times. Ids are assigned in descending
+    /// frequency order (ties broken lexicographically) so id 0 is the most
+    /// frequent token.
+    pub fn build<'a>(docs: impl IntoIterator<Item = &'a [String]>, min_count: u64) -> Self {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for doc in docs {
+            for tok in doc {
+                *freq.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut entries: Vec<(&str, u64)> =
+            freq.into_iter().filter(|&(_, c)| c >= min_count).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut vocab = Vocab::default();
+        for (tok, c) in entries {
+            let id = vocab.id_to_token.len() as u32;
+            vocab.token_to_id.insert(tok.to_owned(), id);
+            vocab.id_to_token.push(tok.to_owned());
+            vocab.counts.push(c);
+        }
+        vocab
+    }
+
+    /// Token id, if the token is in the vocabulary.
+    pub fn id(&self, token: &str) -> Option<u32> {
+        self.token_to_id.get(token).copied()
+    }
+
+    /// The token string for `id`.
+    pub fn token(&self, id: u32) -> &str {
+        &self.id_to_token[id as usize]
+    }
+
+    /// Occurrence count of token `id`.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.is_empty()
+    }
+
+    /// Encodes a token sequence, dropping out-of-vocabulary tokens.
+    pub fn encode(&self, tokens: &[String]) -> Vec<u32> {
+        tokens.iter().filter_map(|t| self.id(t)).collect()
+    }
+
+    /// Encodes raw text via [`tokenize`].
+    pub fn encode_text(&self, text: &str) -> Vec<u32> {
+        self.encode(&tokenize(text))
+    }
+
+    /// All occurrence counts (indexed by token id).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("Beach-Dress, 100% cotton!"), vec!["beach", "dress", "100", "cotton"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("   "), Vec::<String>::new());
+    }
+
+    fn docs(texts: &[&str]) -> Vec<Vec<String>> {
+        texts.iter().map(|t| tokenize(t)).collect()
+    }
+
+    #[test]
+    fn build_orders_by_frequency() {
+        let d = docs(&["a a a b b c", "a b"]);
+        let v = Vocab::build(d.iter().map(|d| d.as_slice()), 1);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.token(0), "a");
+        assert_eq!(v.count(0), 4);
+        assert_eq!(v.token(1), "b");
+        assert_eq!(v.token(2), "c");
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let d = docs(&["rare common common"]);
+        let v = Vocab::build(d.iter().map(|d| d.as_slice()), 2);
+        assert_eq!(v.len(), 1);
+        assert!(v.id("rare").is_none());
+        assert!(v.id("common").is_some());
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let d = docs(&["x y"]);
+        let v = Vocab::build(d.iter().map(|d| d.as_slice()), 1);
+        let ids = v.encode_text("x unknown y");
+        assert_eq!(ids.len(), 2);
+        assert_eq!(v.token(ids[0]), "x");
+        assert_eq!(v.token(ids[1]), "y");
+    }
+
+    #[test]
+    fn frequency_ties_broken_lexicographically() {
+        let d = docs(&["beta alpha"]);
+        let v = Vocab::build(d.iter().map(|d| d.as_slice()), 1);
+        assert_eq!(v.token(0), "alpha");
+        assert_eq!(v.token(1), "beta");
+    }
+}

@@ -1,0 +1,212 @@
+//! Skip-gram word2vec with negative sampling (Mikolov et al., 2013).
+//!
+//! The paper (Section V.B): *"the original keywords and titles of both
+//! queries and items ... are composed of texts, which allows us to exploit
+//! the widely used natural language processing technique, word2vec, to
+//! embed the original features of queries and items into the same latent
+//! space."* This is a from-scratch SGNS implementation; document (query /
+//! item title) embeddings are mean word vectors.
+
+use hignn_graph::AliasTable;
+use hignn_tensor::{stable_sigmoid, Matrix};
+use rand::Rng;
+
+/// Hyper-parameters for [`train_word2vec`].
+#[derive(Clone, Debug)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10% over training).
+    pub lr: f32,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Word2VecConfig { dim: 32, window: 4, negative: 5, epochs: 3, lr: 0.025 }
+    }
+}
+
+/// Trains SGNS embeddings over encoded sentences; returns the input
+/// (centre-word) embedding matrix of shape `vocab_size x dim`.
+///
+/// `token_counts` drives the `count^0.75` negative-sampling distribution.
+pub fn train_word2vec(
+    sentences: &[Vec<u32>],
+    token_counts: &[u64],
+    cfg: &Word2VecConfig,
+    rng: &mut impl Rng,
+) -> Matrix {
+    let vocab_size = token_counts.len();
+    assert!(vocab_size > 0, "train_word2vec: empty vocabulary");
+    let bound = 0.5 / cfg.dim as f32;
+    let mut input = Matrix::from_fn(vocab_size, cfg.dim, |_, _| rng.gen_range(-bound..bound));
+    let mut output = Matrix::zeros(vocab_size, cfg.dim);
+
+    let neg_weights: Vec<f64> =
+        token_counts.iter().map(|&c| (c as f64).powf(0.75).max(1e-6)).collect();
+    let neg_table = AliasTable::new(&neg_weights);
+
+    let total_pairs: usize = sentences.iter().map(|s| s.len() * 2 * cfg.window).sum();
+    let total_steps = (total_pairs * cfg.epochs).max(1);
+    let mut step = 0usize;
+    let mut grad_in = vec![0f32; cfg.dim];
+
+    for _ in 0..cfg.epochs {
+        for sent in sentences {
+            for (pos, &center) in sent.iter().enumerate() {
+                let w = rng.gen_range(1..=cfg.window);
+                let lo = pos.saturating_sub(w);
+                let hi = (pos + w + 1).min(sent.len());
+                for ctx_pos in lo..hi {
+                    if ctx_pos == pos {
+                        continue;
+                    }
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = cfg.lr * (1.0 - 0.9 * progress.min(1.0));
+                    step += 1;
+                    let context = sent[ctx_pos] as usize;
+                    grad_in.iter_mut().for_each(|g| *g = 0.0);
+                    // Positive pair + negatives.
+                    for neg_i in 0..=cfg.negative {
+                        let (target, label) = if neg_i == 0 {
+                            (context, 1.0f32)
+                        } else {
+                            let t = neg_table.sample(rng);
+                            if t == context {
+                                continue;
+                            }
+                            (t, 0.0)
+                        };
+                        let dot: f32 = input
+                            .row(center as usize)
+                            .iter()
+                            .zip(output.row(target))
+                            .map(|(a, b)| a * b)
+                            .sum();
+                        let g = (stable_sigmoid(dot) - label) * lr;
+                        for (gi, &ov) in grad_in.iter_mut().zip(output.row(target)) {
+                            *gi += g * ov;
+                        }
+                        let center_row: Vec<f32> = input.row(center as usize).to_vec();
+                        for (ov, &cv) in output.row_mut(target).iter_mut().zip(&center_row) {
+                            *ov -= g * cv;
+                        }
+                    }
+                    for (iv, &gi) in input.row_mut(center as usize).iter_mut().zip(&grad_in) {
+                        *iv -= gi;
+                    }
+                }
+            }
+        }
+    }
+    input
+}
+
+/// Mean word vector of a token sequence (zero vector when empty).
+pub fn mean_embedding(tokens: &[u32], embeddings: &Matrix) -> Vec<f32> {
+    let dim = embeddings.cols();
+    let mut out = vec![0f32; dim];
+    if tokens.is_empty() {
+        return out;
+    }
+    for &t in tokens {
+        for (o, &v) in out.iter_mut().zip(embeddings.row(t as usize)) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / tokens.len() as f32;
+    out.iter_mut().for_each(|o| *o *= inv);
+    out
+}
+
+/// Cosine similarity between two vectors (0 when either is zero).
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a corpus with two disjoint topics; words within a topic
+    /// co-occur, words across topics never do.
+    fn topic_corpus(rng: &mut StdRng) -> (Vec<Vec<u32>>, Vec<u64>) {
+        // Tokens 0..4 = topic A, 5..9 = topic B.
+        let mut sentences = Vec::new();
+        for _ in 0..300 {
+            let topic = rng.gen_range(0..2u32);
+            let base = topic * 5;
+            let sent: Vec<u32> = (0..8).map(|_| base + rng.gen_range(0..5)).collect();
+            sentences.push(sent);
+        }
+        let mut counts = vec![0u64; 10];
+        for s in &sentences {
+            for &t in s {
+                counts[t as usize] += 1;
+            }
+        }
+        (sentences, counts)
+    }
+
+    #[test]
+    fn embeddings_separate_topics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (sentences, counts) = topic_corpus(&mut rng);
+        let cfg = Word2VecConfig { dim: 16, window: 3, negative: 5, epochs: 4, lr: 0.05 };
+        let emb = train_word2vec(&sentences, &counts, &cfg, &mut rng);
+        assert!(emb.all_finite());
+        // Average within-topic similarity must beat cross-topic similarity.
+        let mut within = 0f32;
+        let mut across = 0f32;
+        let mut nw = 0;
+        let mut na = 0;
+        for a in 0..10usize {
+            for b in (a + 1)..10usize {
+                let sim = cosine(emb.row(a), emb.row(b));
+                if (a < 5) == (b < 5) {
+                    within += sim;
+                    nw += 1;
+                } else {
+                    across += sim;
+                    na += 1;
+                }
+            }
+        }
+        let (within, across) = (within / nw as f32, across / na as f32);
+        assert!(
+            within > across + 0.2,
+            "topics not separated: within {within} across {across}"
+        );
+    }
+
+    #[test]
+    fn mean_embedding_averages() {
+        let emb = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(mean_embedding(&[0, 1], &emb), vec![0.5, 0.5]);
+        assert_eq!(mean_embedding(&[], &emb), vec![0.0, 0.0]);
+        assert_eq!(mean_embedding(&[1, 1], &emb), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+}

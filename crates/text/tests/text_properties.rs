@@ -1,0 +1,105 @@
+//! Property-based tests for the text substrate.
+
+use hignn_text::vocab::{tokenize, Vocab};
+use hignn_text::{cosine, mean_embedding, Bm25Index};
+use hignn_tensor::Matrix;
+use proptest::prelude::*;
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    "[a-z]{1,6}"
+}
+
+fn docs_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    prop::collection::vec(prop::collection::vec(word_strategy(), 1..8), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tokenize_output_is_lowercase_alphanumeric(s in ".{0,40}") {
+        for tok in tokenize(&s) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+            // Some Unicode letters (e.g. U+1D434) have no lowercase
+            // mapping; the guarantee is over ASCII.
+            prop_assert!(tok.chars().all(|c| !c.is_ascii_uppercase()));
+        }
+    }
+
+    #[test]
+    fn vocab_ids_are_dense_and_sorted_by_frequency(docs in docs_strategy()) {
+        let v = Vocab::build(docs.iter().map(|d| d.as_slice()), 1);
+        // Ids cover 0..len and counts are non-increasing.
+        for id in 0..v.len() as u32 {
+            let tok = v.token(id);
+            prop_assert_eq!(v.id(tok), Some(id));
+        }
+        for id in 1..v.len() as u32 {
+            prop_assert!(v.count(id - 1) >= v.count(id));
+        }
+    }
+
+    #[test]
+    fn encode_respects_vocabulary(docs in docs_strategy()) {
+        let v = Vocab::build(docs.iter().map(|d| d.as_slice()), 1);
+        for doc in &docs {
+            let ids = v.encode(doc);
+            prop_assert_eq!(ids.len(), doc.len()); // min_count 1 keeps everything
+            for (&id, tok) in ids.iter().zip(doc) {
+                prop_assert_eq!(v.token(id), tok.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn bm25_is_additive_over_query_terms(
+        docs in prop::collection::vec(prop::collection::vec(0u32..30, 1..20), 2..6),
+        q1 in 0u32..30,
+        q2 in 0u32..30,
+    ) {
+        let idx = Bm25Index::new(&docs);
+        for d in 0..docs.len() {
+            let joint = idx.score(&[q1, q2], d);
+            let split = idx.score(&[q1], d) + idx.score(&[q2], d);
+            prop_assert!((joint - split).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bm25_scores_are_nonnegative(
+        docs in prop::collection::vec(prop::collection::vec(0u32..30, 1..20), 1..6),
+        query in prop::collection::vec(0u32..40, 0..6),
+    ) {
+        let idx = Bm25Index::new(&docs);
+        for s in idx.score_all(&query) {
+            prop_assert!(s >= 0.0 && s.is_finite());
+        }
+    }
+
+    #[test]
+    fn mean_embedding_is_convex_combination(tokens in prop::collection::vec(0u32..5, 1..10)) {
+        let emb = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f32);
+        let m = mean_embedding(&tokens, &emb);
+        // Each coordinate lies within the min/max of the participating rows.
+        for (c, &val) in m.iter().enumerate() {
+            let lo = tokens.iter().map(|&t| emb.get(t as usize, c)).fold(f32::MAX, f32::min);
+            let hi = tokens.iter().map(|&t| emb.get(t as usize, c)).fold(f32::MIN, f32::max);
+            prop_assert!(val >= lo - 1e-5 && val <= hi + 1e-5);
+        }
+    }
+
+    #[test]
+    fn cosine_is_bounded_and_symmetric(
+        a in prop::collection::vec(-5.0f32..5.0, 4),
+        b in prop::collection::vec(-5.0f32..5.0, 4),
+    ) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&ab));
+        // Scale invariance.
+        let a2: Vec<f32> = a.iter().map(|x| x * 2.0).collect();
+        prop_assert!((cosine(&a2, &b) - ab).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Bring your own data: build a HiGNN hierarchy from a plain text edge
+//! list (the format real click logs export to), without any of the
+//! synthetic generators.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p hignn-examples --bin custom_data
+//! ```
+
+use hignn::io::{load_hierarchy, save_hierarchy};
+use hignn::prelude::*;
+use hignn_graph::edgelist::read_edge_list;
+use hignn_tensor::init;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // Pretend this arrived from your data warehouse: `user item clicks`
+    // per line, arbitrary ids, comments allowed.
+    let mut log = String::from("# user item clicks\n");
+    let mut rng = StdRng::seed_from_u64(77);
+    for user in 0..120u64 {
+        let community = user % 3;
+        for _ in 0..6 {
+            let item = 1000 + community * 40 + rng.gen_range(0..40);
+            let clicks = rng.gen_range(1..4);
+            log.push_str(&format!("{user} {item} {clicks}\n"));
+        }
+    }
+
+    // 1. Parse: ids are compacted to dense ranges; the maps let you
+    //    translate back.
+    let parsed = read_edge_list(log.as_bytes()).expect("valid edge list");
+    println!(
+        "parsed {} users x {} items, {} edges (original item ids like {})",
+        parsed.graph.num_left(),
+        parsed.graph.num_right(),
+        parsed.graph.num_edges(),
+        parsed.right_ids[0],
+    );
+
+    // 2. No vertex features in a bare click log: use random tables and
+    //    let the trainer fine-tune them (trainable_features).
+    let dim = 16;
+    let scale = 1.0 / (dim as f32).sqrt();
+    let uf = init::normal(parsed.graph.num_left(), dim, scale, &mut rng);
+    let if_ = init::normal(parsed.graph.num_right(), dim, scale, &mut rng);
+
+    // 3. Train a 2-level hierarchy and persist it.
+    let cfg = HignnConfig {
+        levels: 2,
+        sage: BipartiteSageConfig { input_dim: dim, dim, fanouts: vec![5, 3], ..Default::default() },
+        train: SageTrainConfig { epochs: 4, trainable_features: true, ..Default::default() },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha: 6.0 },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: true,
+        seed: 11,
+    };
+    let hierarchy = build_hierarchy(&parsed.graph, &uf, &if_, &cfg);
+    let path = std::env::temp_dir().join("custom_data_model.hgh");
+    save_hierarchy(&path, &hierarchy).expect("save model");
+    println!("trained {} levels, saved to {}", hierarchy.num_levels(), path.display());
+
+    // 4. Reload and inspect: the three planted communities should
+    //    dominate the top-level user clusters.
+    let reloaded = load_hierarchy(&path).expect("load model");
+    let top = reloaded.user_clusters_at(reloaded.num_levels());
+    let mut community_by_cluster = vec![[0usize; 3]; top.num_clusters()];
+    for u in 0..reloaded.num_users() {
+        let original_user = parsed.left_ids[u];
+        community_by_cluster[top.cluster_of(u) as usize][(original_user % 3) as usize] += 1;
+    }
+    println!("\ntop-level user clusters vs planted communities:");
+    for (c, counts) in community_by_cluster.iter().enumerate() {
+        if counts.iter().sum::<usize>() > 0 {
+            println!("  cluster {c}: community counts {counts:?}");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

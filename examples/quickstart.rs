@@ -1,0 +1,71 @@
+//! Quickstart: build a HiGNN hierarchy on a small synthetic user-item
+//! graph and inspect the hierarchical embeddings.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p hignn-examples --bin quickstart
+//! ```
+
+use hignn::prelude::*;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_graph::GraphStats;
+
+fn main() {
+    // 1. A synthetic Taobao-like dataset (users x items click graph with
+    //    a planted topic hierarchy).
+    let ds = generate_taobao(&TaobaoConfig::taobao1(0.1));
+    println!("generated dataset:\n{}\n", GraphStats::compute(&ds.graph));
+
+    // 2. Configure HiGNN: 3 levels, bipartite GraphSAGE with d = 32,
+    //    K-means cluster counts decaying by alpha = 5 per level.
+    let cfg = HignnConfig {
+        levels: 3,
+        sage: BipartiteSageConfig {
+            input_dim: ds.user_features.cols(),
+            ..Default::default()
+        },
+        train: SageTrainConfig { epochs: 2, trainable_features: true, ..Default::default() },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha: 5.0 },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: true,
+        seed: 7,
+    };
+
+    // 3. Build the hierarchy (Algorithm 1: GraphSAGE -> K-means ->
+    //    coarsen, repeated L times).
+    println!("training {} levels ...", cfg.levels);
+    let hierarchy = build_hierarchy(&ds.graph, &ds.user_features, &ds.item_features, &cfg);
+
+    for (l, level) in hierarchy.levels().iter().enumerate() {
+        println!(
+            "level {}: {} user vertices -> {} clusters, {} item vertices -> {} clusters \
+             (coarsened graph: {} edges), final unsupervised loss {:.4}",
+            l + 1,
+            level.user_embeddings.rows(),
+            level.user_assignment.num_clusters(),
+            level.item_embeddings.rows(),
+            level.item_assignment.num_clusters(),
+            level.coarsened.num_edges(),
+            level.epoch_losses.last().copied().unwrap_or(f32::NAN),
+        );
+    }
+
+    // 4. Hierarchical user preference / item attractiveness embeddings.
+    let zu = hierarchy.hierarchical_users();
+    let zi = hierarchy.hierarchical_items();
+    println!(
+        "\nhierarchical embeddings: users {}x{}, items {}x{}",
+        zu.rows(),
+        zu.cols(),
+        zi.rows(),
+        zi.cols()
+    );
+
+    // 5. Inspect one user's cluster chain up the hierarchy.
+    let chain = hierarchy.user_chain(0);
+    println!("user 0 cluster chain (vertex id per level): {chain:?}");
+    println!(
+        "user 0 preferred ground-truth path (for comparison): {:?}",
+        ds.truth.user_paths[0]
+    );
+}

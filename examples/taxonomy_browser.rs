@@ -1,0 +1,90 @@
+//! Topic-driven taxonomy construction (paper Section V): embed queries
+//! and item titles with from-scratch word2vec, build the HiGNN taxonomy
+//! on the query-item click graph, and browse the resulting topic tree
+//! with its automatically selected descriptions.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p hignn-examples --bin taxonomy_browser
+//! ```
+
+use hignn::prelude::*;
+use hignn_datasets::query_item::{generate_query_item, QueryItemConfig};
+use hignn_graph::SamplingMode;
+use hignn_tensor::Matrix;
+use hignn_text::{mean_embedding, train_word2vec, Word2VecConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let ds = generate_query_item(&QueryItemConfig::taobao3(0.2));
+    println!(
+        "query-item graph: {} queries, {} items, {} edges, vocab {} tokens",
+        ds.graph.num_left(),
+        ds.graph.num_right(),
+        ds.graph.num_edges(),
+        ds.vocab.len()
+    );
+    println!("example query : {:?}", ds.query_texts[0]);
+    println!("example title : {:?}", ds.item_texts[0]);
+
+    // Shared-space features: mean word2vec vectors (Section V.B).
+    println!("\ntraining word2vec (skip-gram, negative sampling) ...");
+    let mut rng = StdRng::seed_from_u64(5);
+    let emb = train_word2vec(
+        &ds.corpus(),
+        ds.vocab.counts(),
+        &Word2VecConfig { dim: 32, epochs: 3, ..Default::default() },
+        &mut rng,
+    );
+    let feats = |tokens: &[Vec<u32>]| -> Matrix {
+        let mut m = Matrix::zeros(tokens.len(), 32);
+        for (r, t) in tokens.iter().enumerate() {
+            m.set_row(r, &mean_embedding(t, &emb));
+        }
+        m
+    };
+    let query_feats = feats(&ds.query_tokens);
+    let item_feats = feats(&ds.item_tokens);
+
+    // Taxonomy: shared-weight GraphSAGE + CH-guided cluster counts.
+    println!("building taxonomy ...");
+    let cfg = TaxonomyConfig {
+        hignn: HignnConfig {
+            levels: 3,
+            sage: BipartiteSageConfig {
+                input_dim: 32,
+                shared_weights: true,
+                sampling: SamplingMode::WeightBiased,
+                ..Default::default()
+            },
+            train: SageTrainConfig { epochs: 4, ..Default::default() },
+            cluster_counts: ClusterCounts::ChSelect { divisors: vec![4.0, 6.0, 10.0] },
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 11,
+        },
+        ..Default::default()
+    };
+    let tax = build_taxonomy(
+        &ds.graph,
+        &query_feats,
+        &item_feats,
+        &ds.query_texts,
+        &ds.query_tokens,
+        &ds.item_tokens,
+        &cfg,
+    );
+
+    println!("\ntaxonomy ({} levels):", tax.num_levels());
+    print!("{}", tax.render(4, 3));
+
+    // Show the representative queries of the biggest fine-grained topic.
+    if let Some(topic) = tax.level_topics(1).iter().max_by_key(|t| t.items.len()) {
+        println!("\nlargest fine topic #{} ({} items):", topic.id, topic.items.len());
+        println!("  description: \"{}\"", topic.description);
+        for &q in &topic.description_queries {
+            println!("  related query: \"{}\"", ds.query_texts[q as usize]);
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test helpers live in tests/tests/*.rs.

@@ -1,0 +1,186 @@
+//! Cross-crate integration: synthetic dataset → HiGNN hierarchy →
+//! supervised predictor → AUC on the held-out day.
+
+use hignn::prelude::*;
+use hignn_baselines::Variant;
+use hignn_datasets::replicate_positives;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_graph::SamplingMode;
+use hignn_metrics::auc;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_dataset(seed: u64) -> hignn_datasets::InteractionDataset {
+    generate_taobao(&TaobaoConfig {
+        num_users: 300,
+        num_items: 150,
+        train_interactions: 6000,
+        test_interactions: 1500,
+        branching: vec![3, 3],
+        num_categories: 12,
+        focus: 0.7,
+        base_purchase_logit: -2.5,
+        affinity_gain: 4.0,
+        quality_gain: 0.4,
+        feature_dim: 16,
+        max_history: 10,
+        seed,
+    })
+}
+
+fn tiny_hignn(input_dim: usize, seed: u64) -> HignnConfig {
+    HignnConfig {
+        levels: 2,
+        sage: BipartiteSageConfig {
+            input_dim,
+            dim: 16,
+            fanouts: vec![5, 3],
+            sampling: SamplingMode::WeightBiased,
+            ..Default::default()
+        },
+        train: SageTrainConfig {
+            epochs: 3,
+            batch_edges: 128,
+            lr: 3e-3,
+            trainable_features: true,
+            ..Default::default()
+        },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha: 5.0 },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: true,
+        seed,
+    }
+}
+
+fn to_pred(samples: &[hignn_datasets::Sample]) -> Vec<hignn::predictor::Sample> {
+    samples
+        .iter()
+        .map(|s| hignn::predictor::Sample::new(s.user, s.item, s.label))
+        .collect()
+}
+
+#[test]
+fn full_pipeline_beats_chance() {
+    let ds = tiny_dataset(41);
+    let hierarchy = build_hierarchy(
+        &ds.graph,
+        &ds.user_features,
+        &ds.item_features,
+        &tiny_hignn(16, 1),
+    );
+    assert!(hierarchy.num_levels() >= 1);
+
+    let (uh, ih) = Variant::HiGnn.embeddings(&hierarchy);
+    let features = FeatureBlocks {
+        user_hier: uh.as_ref(),
+        item_hier: ih.as_ref(),
+        user_profiles: &ds.user_profiles,
+        item_stats: &ds.item_stats,
+    };
+    let mut rng = StdRng::seed_from_u64(2);
+    let train = replicate_positives(&ds.train, 3.0, &mut rng);
+    let model = CvrPredictor::train(
+        &features,
+        &to_pred(&train),
+        &PredictorConfig { epochs: 3, batch: 256, hidden: vec![64, 32], ..Default::default() },
+    );
+    let probs = model.predict(&features, &to_pred(&ds.test));
+    let labels: Vec<bool> = ds.test.iter().map(|s| s.label).collect();
+    let a = auc(&probs, &labels);
+    // Tiny-scale runs are noisy; the bar is "clearly better than chance".
+    assert!(a > 0.52, "end-to-end AUC {a}");
+    assert!(probs.iter().all(|p| p.is_finite() && (0.0..=1.0).contains(p)));
+}
+
+#[test]
+fn hierarchy_is_deterministic_given_seed() {
+    let ds = tiny_dataset(42);
+    let h1 = build_hierarchy(&ds.graph, &ds.user_features, &ds.item_features, &tiny_hignn(16, 9));
+    let h2 = build_hierarchy(&ds.graph, &ds.user_features, &ds.item_features, &tiny_hignn(16, 9));
+    assert_eq!(h1.num_levels(), h2.num_levels());
+    for (a, b) in h1.levels().iter().zip(h2.levels()) {
+        assert_eq!(a.user_assignment, b.user_assignment);
+        assert!(a.user_embeddings.max_abs_diff(&b.user_embeddings) < 1e-6);
+    }
+    // A different seed must not produce identical embeddings.
+    let h3 = build_hierarchy(&ds.graph, &ds.user_features, &ds.item_features, &tiny_hignn(16, 10));
+    assert!(
+        h1.levels()[0]
+            .user_embeddings
+            .max_abs_diff(&h3.levels()[0].user_embeddings)
+            > 1e-6
+    );
+}
+
+#[test]
+fn all_variant_predictors_train() {
+    let ds = tiny_dataset(43);
+    let hierarchy = build_hierarchy(
+        &ds.graph,
+        &ds.user_features,
+        &ds.item_features,
+        &tiny_hignn(16, 3),
+    );
+    let labels: Vec<bool> = ds.test.iter().map(|s| s.label).collect();
+    for variant in [
+        Variant::HiGnn,
+        Variant::Ge,
+        Variant::Cgnn,
+        Variant::HupOnly,
+        Variant::HiaOnly,
+        Variant::Din,
+    ] {
+        let (uh, ih) = variant.embeddings(&hierarchy);
+        let features = FeatureBlocks {
+            user_hier: uh.as_ref(),
+            item_hier: ih.as_ref(),
+            user_profiles: &ds.user_profiles,
+            item_stats: &ds.item_stats,
+        };
+        let model = CvrPredictor::train(
+            &features,
+            &to_pred(&ds.train),
+            &PredictorConfig { epochs: 1, batch: 256, hidden: vec![32], ..Default::default() },
+        );
+        let probs = model.predict(&features, &to_pred(&ds.test));
+        let a = auc(&probs, &labels);
+        assert!((0.0..=1.0).contains(&a), "{} AUC {a}", variant.name());
+    }
+}
+
+#[test]
+fn hierarchical_embedding_rows_follow_cluster_chain() {
+    let ds = tiny_dataset(44);
+    let hierarchy = build_hierarchy(
+        &ds.graph,
+        &ds.user_features,
+        &ds.item_features,
+        &tiny_hignn(16, 4),
+    );
+    let zu = hierarchy.hierarchical_users();
+    for u in [0usize, 7, 123] {
+        let manual = hierarchy.hierarchical_user(u);
+        assert_eq!(zu.row(u), manual.as_slice());
+    }
+    // Users sharing the same level-1 cluster share the level-2 embedding
+    // block.
+    let a1 = &hierarchy.levels()[0].user_assignment;
+    if hierarchy.num_levels() >= 2 {
+        let d = hierarchy.levels()[0].user_embeddings.cols();
+        let (u, v) = {
+            let mut found = (0, 0);
+            'outer: for u in 0..ds.num_users() {
+                for v in (u + 1)..ds.num_users() {
+                    if a1.cluster_of(u) == a1.cluster_of(v) {
+                        found = (u, v);
+                        break 'outer;
+                    }
+                }
+            }
+            found
+        };
+        if u != v {
+            assert_eq!(&zu.row(u)[d..], &zu.row(v)[d..]);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based integration tests over the substrate crates.
+
+use hignn_graph::coarsen::{coarsen, Assignment};
+use hignn_graph::{AliasTable, BipartiteGraph};
+use hignn_metrics::{auc, log_loss};
+use hignn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a small bipartite graph as (num_left, num_right, edges).
+fn graph_strategy() -> impl Strategy<Value = (usize, usize, Vec<(u32, u32, f32)>)> {
+    (2usize..12, 2usize..12).prop_flat_map(|(nl, nr)| {
+        let edges = prop::collection::vec(
+            (0..nl as u32, 0..nr as u32, 0.5f32..5.0),
+            1..40,
+        );
+        (Just(nl), Just(nr), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coarsening_preserves_total_weight(
+        (nl, nr, edges) in graph_strategy(),
+        kl in 1usize..6,
+        kr in 1usize..6,
+    ) {
+        let g = BipartiteGraph::from_edges(nl, nr, edges);
+        let left = Assignment::new((0..nl).map(|v| (v % kl) as u32).collect(), kl);
+        let right = Assignment::new((0..nr).map(|v| (v % kr) as u32).collect(), kr);
+        let c = coarsen(&g, &left, &right);
+        prop_assert!((c.total_weight() - g.total_weight()).abs() < 1e-3);
+        prop_assert!(c.num_edges() <= g.num_edges());
+        prop_assert_eq!(c.num_left(), kl);
+        prop_assert_eq!(c.num_right(), kr);
+    }
+
+    #[test]
+    fn csr_roundtrips_edges((nl, nr, edges) in graph_strategy()) {
+        let g = BipartiteGraph::from_edges(nl, nr, edges.clone());
+        // Every input edge is reachable through both CSR directions with
+        // merged weight.
+        for &(l, r, _) in &edges {
+            let w = g.edge_weight(l as usize, r as usize);
+            prop_assert!(w.is_some());
+            let (nbrs, _) = g.neighbors(hignn_graph::Side::Right, r as usize);
+            prop_assert!(nbrs.contains(&l));
+        }
+        // Degree sums match on both sides.
+        let dl: usize = g.degrees(hignn_graph::Side::Left).iter().sum();
+        let dr: usize = g.degrees(hignn_graph::Side::Right).iter().sum();
+        prop_assert_eq!(dl, g.num_edges());
+        prop_assert_eq!(dr, g.num_edges());
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transform(
+        scores in prop::collection::vec(0.0f32..1.0, 2..60),
+        labels in prop::collection::vec(any::<bool>(), 2..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let a1 = auc(scores, labels);
+        let transformed: Vec<f32> = scores.iter().map(|s| s * 3.0 + 7.0).collect();
+        let a2 = auc(&transformed, labels);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+
+    #[test]
+    fn auc_of_inverted_scores_is_complement(
+        scores in prop::collection::vec(0.0f32..1.0, 2..60),
+        labels in prop::collection::vec(any::<bool>(), 2..60),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        let pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(pos > 0 && pos < n);
+        // Break ties randomly-but-deterministically to keep the identity
+        // exact: with ties, AUC(s) + AUC(-s) = 1 still holds because ties
+        // contribute 0.5 either way.
+        let inverted: Vec<f32> = scores.iter().map(|s| -s).collect();
+        prop_assert!((auc(scores, labels) + auc(&inverted, labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_loss_is_nonnegative(
+        probs in prop::collection::vec(0.0f32..=1.0, 1..50),
+        labels in prop::collection::vec(any::<bool>(), 1..50),
+    ) {
+        let n = probs.len().min(labels.len());
+        let l = log_loss(&probs[..n], &labels[..n]);
+        prop_assert!(l >= 0.0 && l.is_finite());
+    }
+
+    #[test]
+    fn alias_table_samples_in_range(
+        weights in prop::collection::vec(0.01f64..10.0, 1..30),
+        seed in any::<u64>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let s = table.sample(&mut rng);
+            prop_assert!(s < weights.len());
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        a_vals in prop::collection::vec(-3.0f32..3.0, 6),
+        b_vals in prop::collection::vec(-3.0f32..3.0, 6),
+    ) {
+        // (A * B)^T == B^T * A^T for 2x3 * 3x2.
+        let a = Matrix::from_vec(2, 3, a_vals);
+        let b = Matrix::from_vec(3, 2, b_vals);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-4);
+    }
+
+    #[test]
+    fn mean_pool_matches_manual(
+        vals in prop::collection::vec(-5.0f32..5.0, 12),
+    ) {
+        let m = Matrix::from_vec(6, 2, vals);
+        let pooled = m.mean_pool_rows(3);
+        for g in 0..2 {
+            for c in 0..2 {
+                let manual = (m.get(g * 3, c) + m.get(g * 3 + 1, c) + m.get(g * 3 + 2, c)) / 3.0;
+                prop_assert!((pooled.get(g, c) - manual).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_sampling_hits_ratio(
+        pos in 1usize..20,
+        neg in 20usize..200,
+    ) {
+        use hignn_datasets::{replicate_positives, Sample, SampleStats};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut samples = Vec::new();
+        for i in 0..pos {
+            samples.push(Sample { user: i as u32, item: 0, label: true });
+        }
+        for i in 0..neg {
+            samples.push(Sample { user: i as u32, item: 1, label: false });
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = replicate_positives(&samples, 3.0, &mut rng);
+        let stats = SampleStats::of(&out);
+        prop_assert_eq!(stats.negatives, neg);
+        prop_assert!(stats.neg_per_pos() <= 3.0 + 1e-9);
+        // Never drops samples.
+        prop_assert!(out.len() >= samples.len());
+    }
+}
