@@ -219,6 +219,7 @@ mod tests {
 
     /// Synthetic task: each item has a latent type 0/1; users only buy
     /// items whose type matches the majority type of their history.
+    #[allow(clippy::type_complexity)]
     fn synthetic() -> (usize, Vec<Vec<u32>>, Matrix, Matrix, Vec<Sample>, Vec<Sample>) {
         let mut rng = StdRng::seed_from_u64(5);
         let num_items = 40;

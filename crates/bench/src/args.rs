@@ -36,6 +36,7 @@ impl ExpArgs {
     }
 
     /// Parses from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut out = ExpArgs::default();
         let mut it = args.into_iter();

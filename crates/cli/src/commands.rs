@@ -1,9 +1,15 @@
 //! The `hignn` subcommands.
+//!
+//! Every failure surfaces as a [`HignnError`], which the binary maps to
+//! a distinct exit code: 2 usage/config, 3 I/O, 4 corruption, 5
+//! divergence, 6 injected fault (`main.rs`).
 
 use crate::opts::Opts;
+use hignn::checkpoint::CheckpointStore;
 use hignn::io::{load_hierarchy, save_hierarchy};
 use hignn::prelude::*;
-use hignn_graph::edgelist::read_edge_list;
+use hignn::stack::{build_hierarchy_with, BuildOptions, GuardPolicy};
+use hignn_graph::edgelist::{read_edge_list_with, LinePolicy, ParsedEdgeList};
 use hignn_graph::GraphStats;
 use hignn_tensor::serialize::write_matrix;
 use hignn_tensor::{init, Matrix};
@@ -11,30 +17,43 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::path::Path;
 
 /// Usage text printed by `hignn help`.
 pub const USAGE: &str = "\
 hignn — Hierarchical Bipartite Graph Neural Networks (ICDE 2020)
 
 USAGE:
-  hignn stats    --edges FILE
+  hignn stats    --edges FILE [--lenient]
   hignn train    --edges FILE --out MODEL [--levels 3] [--alpha 5]
                  [--dim 32] [--epochs 4] [--seed 0] [--no-normalize]
+                 [--checkpoint DIR | --resume DIR]
+                 [--on-divergence abort|rollback|off] [--lenient]
   hignn info     --model MODEL
   hignn embed    --model MODEL --side user|item --out FILE.hgmx
   hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
   hignn help
 
+CRASH RECOVERY:
+  --checkpoint DIR persists each completed level atomically; after a
+  crash, rerun the same command with --resume DIR to continue from the
+  last durable level. The resumed model is identical to an
+  uninterrupted run. Checkpoints are CRC-checked and fingerprinted
+  against the training inputs.
+
+EXIT CODES:
+  0 ok | 2 usage/config | 3 I/O | 4 corrupt data | 5 diverged | 6 injected fault
+
 FORMATS:
   edges  : text lines `left right [weight]` (tab/space/comma separated,
            `#` comments); vertex ids are compacted to dense ranges
-  MODEL  : binary hierarchy (hignn::io)
+  MODEL  : binary hierarchy (hignn::io, CRC-checked v2; reads v1 too)
   .hgmx  : binary matrix (hignn_tensor::serialize)
 ";
 
-/// Runs a parsed command, writing human output to `out`. Returns an
-/// error message on failure (the binary maps it to exit code 1).
-pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+/// Runs a parsed command, writing human output to `out`. The binary
+/// maps the error's [`HignnError::exit_code`] to the process status.
+pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     match opts.command.as_str() {
         "stats" => stats(opts, out),
         "train" => train(opts, out),
@@ -45,7 +64,7 @@ pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `hignn help`)")),
+        other => Err(HignnError::Config(format!("unknown command `{other}` (try `hignn help`)"))),
     }
 }
 
@@ -53,26 +72,69 @@ fn emit(out: &mut dyn Write, text: String) {
     let _ = writeln!(out, "{text}");
 }
 
-fn load_edges(opts: &Opts) -> Result<hignn_graph::edgelist::ParsedEdgeList, String> {
-    let path = opts.require("edges")?;
-    let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    read_edge_list(file).map_err(|e| format!("{path}: {e}"))
+/// Lifts the option parser's string errors into usage errors (exit 2).
+fn usage<T>(r: Result<T, String>) -> Result<T, HignnError> {
+    r.map_err(HignnError::Config)
 }
 
-fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
-    let parsed = load_edges(opts)?;
+fn load_edges(opts: &Opts, out: &mut dyn Write) -> Result<ParsedEdgeList, HignnError> {
+    let path = usage(opts.require("edges"))?;
+    let policy = if opts.flag("lenient") { LinePolicy::Lenient } else { LinePolicy::Strict };
+    let file = File::open(path).map_err(|e| HignnError::io(path, e))?;
+    let parsed = read_edge_list_with(file, policy).map_err(|e| HignnError::io(path, e))?;
+    if parsed.skipped_lines > 0 {
+        emit(out, format!("warning: skipped {} malformed lines in {path}", parsed.skipped_lines));
+    }
+    Ok(parsed)
+}
+
+fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&["edges", "lenient"]))?;
+    let parsed = load_edges(opts, out)?;
     emit(out, GraphStats::compute(&parsed.graph).to_string());
     Ok(())
 }
 
-fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
-    let parsed = load_edges(opts)?;
-    let model_path = opts.require("out")?.to_string();
-    let levels: usize = opts.get_or("levels", 3)?;
-    let alpha: f64 = opts.get_or("alpha", 5.0)?;
-    let dim: usize = opts.get_or("dim", 32)?;
-    let epochs: usize = opts.get_or("epochs", 4)?;
-    let seed: u64 = opts.get_or("seed", 0)?;
+fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&[
+        "edges", "out", "levels", "alpha", "dim", "epochs", "seed", "no-normalize", "checkpoint",
+        "resume", "on-divergence", "lenient", "fault",
+    ]))?;
+    let parsed = load_edges(opts, out)?;
+    let model_path = usage(opts.require("out"))?.to_string();
+    let levels: usize = usage(opts.get_or("levels", 3))?;
+    let alpha: f64 = usage(opts.get_or("alpha", 5.0))?;
+    let dim: usize = usage(opts.get_or("dim", 32))?;
+    let epochs: usize = usage(opts.get_or("epochs", 4))?;
+    let seed: u64 = usage(opts.get_or("seed", 0))?;
+
+    // Crash-safety options. `--resume DIR` implies checkpointing to DIR.
+    let (ckpt_dir, resume) = match (opts.get("resume"), opts.get("checkpoint")) {
+        (Some(_), Some(_)) => {
+            return Err(HignnError::Config(
+                "--checkpoint and --resume are mutually exclusive (resume implies \
+                 checkpointing to the same directory)"
+                    .into(),
+            ));
+        }
+        (Some(d), None) => (Some(d.to_string()), true),
+        (None, Some(d)) => (Some(d.to_string()), false),
+        (None, None) => (None, false),
+    };
+    let guard = match opts.get("on-divergence").unwrap_or("abort") {
+        "off" => GuardPolicy::Off,
+        "abort" => GuardPolicy::Abort,
+        "rollback" => GuardPolicy::Rollback { max_retries: 2 },
+        other => {
+            return Err(HignnError::Config(format!(
+                "--on-divergence must be abort, rollback, or off; got `{other}`"
+            )));
+        }
+    };
+    // Hidden fault-injection hook for the crash-recovery test harness;
+    // deliberately undocumented in USAGE.
+    let fault = opts.get("fault").map(FaultPlan::parse).transpose().map_err(HignnError::Config)?;
+
     let g = &parsed.graph;
     emit(
         out,
@@ -98,7 +160,23 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
         normalize: !opts.flag("no-normalize"),
         seed,
     };
-    let hierarchy = build_hierarchy(g, &uf, &if_, &cfg);
+
+    let store = match &ckpt_dir {
+        Some(dir) => Some(CheckpointStore::create(Path::new(dir))?),
+        None => None,
+    };
+    if resume {
+        let meta = store.as_ref().expect("resume implies a store").read_meta()?;
+        emit(
+            out,
+            format!(
+                "resuming from checkpoint: {}/{} levels already complete",
+                meta.levels_done, meta.levels_total
+            ),
+        );
+    }
+    let build_opts = BuildOptions { checkpoint: store.as_ref(), resume, guard, fault };
+    let hierarchy = build_hierarchy_with(g, &uf, &if_, &cfg, &build_opts)?;
     for (l, level) in hierarchy.levels().iter().enumerate() {
         emit(
             out,
@@ -113,14 +191,15 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
             ),
         );
     }
-    save_hierarchy(&model_path, &hierarchy).map_err(|e| format!("{model_path}: {e}"))?;
+    save_hierarchy(&model_path, &hierarchy).map_err(|e| HignnError::io(&model_path, e))?;
     emit(out, format!("saved model to {model_path}"));
     Ok(())
 }
 
-fn info(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
-    let path = opts.require("model")?;
-    let h = load_hierarchy(path).map_err(|e| format!("{path}: {e}"))?;
+fn info(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&["model"]))?;
+    let path = usage(opts.require("model"))?;
+    let h = load_hierarchy(path).map_err(|e| HignnError::io(path, e))?;
     emit(
         out,
         format!(
@@ -147,42 +226,57 @@ fn info(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
-fn embed(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
-    let path = opts.require("model")?;
-    let side = opts.require("side")?.to_string();
-    let out_path = opts.require("out")?.to_string();
-    let h = load_hierarchy(path).map_err(|e| format!("{path}: {e}"))?;
+fn embed(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&["model", "side", "out"]))?;
+    let path = usage(opts.require("model"))?;
+    let side = usage(opts.require("side"))?.to_string();
+    let out_path = usage(opts.require("out"))?.to_string();
+    let h = load_hierarchy(path).map_err(|e| HignnError::io(path, e))?;
     let matrix: Matrix = match side.as_str() {
         "user" => h.hierarchical_users(),
         "item" => h.hierarchical_items(),
-        other => return Err(format!("--side must be `user` or `item`, got `{other}`")),
+        other => {
+            return Err(HignnError::Config(format!(
+                "--side must be `user` or `item`, got `{other}`"
+            )));
+        }
     };
-    let file = File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let file = File::create(&out_path).map_err(|e| HignnError::io(&out_path, e))?;
     let mut w = BufWriter::new(file);
-    write_matrix(&mut w, &matrix).map_err(|e| format!("{out_path}: {e}"))?;
+    write_matrix(&mut w, &matrix).map_err(|e| HignnError::io(&out_path, e))?;
     emit(
         out,
-        format!("wrote {} {}x{} hierarchical embeddings to {out_path}", side, matrix.rows(), matrix.cols()),
+        format!(
+            "wrote {} {}x{} hierarchical embeddings to {out_path}",
+            side,
+            matrix.rows(),
+            matrix.cols()
+        ),
     );
     Ok(())
 }
 
-fn generate(opts: &Opts, out: &mut dyn Write) -> Result<(), String> {
+fn generate(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
     use hignn_graph::edgelist::write_edge_list;
-    let out_path = opts.require("out")?.to_string();
+    usage(opts.assert_known(&["out", "kind", "scale", "seed"]))?;
+    let out_path = usage(opts.require("out"))?.to_string();
     let kind = opts.get("kind").unwrap_or("taobao1");
-    let scale: f64 = opts.get_or("scale", 0.5)?;
-    let seed: u64 = opts.get_or("seed", 0)?;
+    let scale: f64 = usage(opts.get_or("scale", 0.5))?;
+    let seed: u64 = usage(opts.get_or("seed", 0))?;
     let cfg = match kind {
         "taobao1" => TaobaoConfig { seed, ..TaobaoConfig::taobao1(scale) },
         "taobao2" => TaobaoConfig { seed, ..TaobaoConfig::taobao2(scale) },
-        other => return Err(format!("--kind must be taobao1 or taobao2, got `{other}`")),
+        other => {
+            return Err(HignnError::Config(format!(
+                "--kind must be taobao1 or taobao2, got `{other}`"
+            )));
+        }
     };
     let ds = generate_taobao(&cfg);
-    let file = File::create(&out_path).map_err(|e| format!("{out_path}: {e}"))?;
+    let file = File::create(&out_path).map_err(|e| HignnError::io(&out_path, e))?;
     let mut w = BufWriter::new(file);
-    write_edge_list(&mut w, &ds.graph).map_err(|e| format!("{out_path}: {e}"))?;
+    write_edge_list(&mut w, &ds.graph).map_err(|e| HignnError::io(&out_path, e))?;
     emit(
         out,
         format!(
@@ -200,7 +294,7 @@ mod tests {
     use super::*;
     use crate::opts::Opts;
 
-    fn run_args(args: &[&str]) -> (Result<(), String>, String) {
+    fn run_args(args: &[&str]) -> (Result<(), HignnError>, String) {
         let opts = Opts::parse(args.iter().map(|s| s.to_string())).unwrap();
         let mut buf = Vec::new();
         let result = run(&opts, &mut buf);
@@ -221,7 +315,17 @@ mod tests {
     #[test]
     fn unknown_command_errors() {
         let (res, _) = run_args(&["bogus"]);
-        assert!(res.unwrap_err().contains("bogus"));
+        let err = res.unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn typoed_flag_errors_instead_of_being_ignored() {
+        let (res, _) = run_args(&["train", "--edges", "e.tsv", "--out", "m.hgh", "--levles", "2"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "typo must be a usage error: {err}");
+        assert!(err.to_string().contains("levles"), "{err}");
     }
 
     #[test]
@@ -274,6 +378,117 @@ mod tests {
     }
 
     #[test]
+    fn crash_and_resume_reproduces_uninterrupted_model() {
+        let edges = temp_path("cr_edges.tsv");
+        let clean = temp_path("cr_clean.hgh");
+        let resumed = temp_path("cr_resumed.hgh");
+        let ckpt = temp_path("cr_ckpt");
+        let edges_s = edges.to_str().unwrap();
+
+        let (res, _) = run_args(&["generate", "--out", edges_s, "--scale", "0.04", "--seed", "9"]);
+        assert!(res.is_ok(), "{res:?}");
+
+        let base = [
+            "train", "--edges", edges_s, "--levels", "2", "--dim", "8", "--epochs", "1",
+            "--alpha", "6", "--seed", "3",
+        ];
+        // Uninterrupted run.
+        let mut clean_args = base.to_vec();
+        clean_args.extend(["--out", clean.to_str().unwrap()]);
+        let (res, _) = run_args(&clean_args);
+        assert!(res.is_ok(), "{res:?}");
+
+        // Crash after level 1's checkpoint (hidden --fault flag).
+        let mut crash_args = base.to_vec();
+        let ckpt_s = ckpt.to_str().unwrap();
+        crash_args.extend([
+            "--out", resumed.to_str().unwrap(), "--checkpoint", ckpt_s,
+            "--fault", "crash-after-level=1",
+        ]);
+        let (res, _) = run_args(&crash_args);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 6, "expected injected-fault exit, got: {err}");
+        assert!(!resumed.exists(), "crashed run must not have written a model");
+
+        // Resume and finish.
+        let mut resume_args = base.to_vec();
+        resume_args.extend(["--out", resumed.to_str().unwrap(), "--resume", ckpt_s]);
+        let (res, text) = run_args(&resume_args);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("resuming from checkpoint: 1/2"), "{text}");
+
+        // Byte-for-byte identical to the uninterrupted model.
+        let a = std::fs::read(&clean).unwrap();
+        let b = std::fs::read(&resumed).unwrap();
+        assert_eq!(a, b, "resumed model differs from uninterrupted run");
+
+        // Resuming with a different seed is refused (fingerprint).
+        let mut wrong = base.to_vec();
+        let last = wrong.len() - 1;
+        wrong[last] = "4"; // --seed 4
+        wrong.extend(["--out", resumed.to_str().unwrap(), "--resume", ckpt_s]);
+        let (res, _) = run_args(&wrong);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "fingerprint mismatch is a config error: {err}");
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+
+        for p in [edges, clean, resumed] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_detected_on_resume() {
+        let edges = temp_path("cor_edges.tsv");
+        let model = temp_path("cor_model.hgh");
+        let ckpt = temp_path("cor_ckpt");
+        let edges_s = edges.to_str().unwrap();
+        let ckpt_s = ckpt.to_str().unwrap();
+
+        let (res, _) = run_args(&["generate", "--out", edges_s, "--scale", "0.04", "--seed", "9"]);
+        assert!(res.is_ok(), "{res:?}");
+        let base = [
+            "train", "--edges", edges_s, "--out", model.to_str().unwrap(), "--levels", "2",
+            "--dim", "8", "--epochs", "1", "--alpha", "6", "--seed", "3",
+        ];
+        // Corrupt the level-1 checkpoint after writing it, then crash.
+        let mut crash = base.to_vec();
+        crash.extend(["--checkpoint", ckpt_s, "--fault", "corrupt=1:100:64"]);
+        let (res, _) = run_args(&crash);
+        assert_eq!(res.unwrap_err().exit_code(), 6);
+
+        // Resume must detect the corruption (exit 4), never panic or
+        // silently produce a wrong model.
+        let mut resume = base.to_vec();
+        resume.extend(["--resume", ckpt_s]);
+        let (res, _) = run_args(&resume);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 4, "expected corruption exit, got: {err}");
+
+        let _ = std::fs::remove_file(edges);
+        let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_dir_all(&ckpt);
+    }
+
+    #[test]
+    fn lenient_flag_reports_skipped_lines() {
+        let edges = temp_path("len_edges.tsv");
+        std::fs::write(&edges, "1 2 1.0\nbroken line\n3 4 1.0\n5 6 1.0\n7 8 1.0\n").unwrap();
+        let edges_s = edges.to_str().unwrap();
+        // Strict (default): fails naming the line and content.
+        let (res, _) = run_args(&["stats", "--edges", edges_s]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 4, "malformed text is corrupt data: {err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Lenient: succeeds with a warning.
+        let (res, text) = run_args(&["stats", "--edges", edges_s, "--lenient"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("skipped 1 malformed"), "{text}");
+        let _ = std::fs::remove_file(&edges);
+    }
+
+    #[test]
     fn embed_rejects_bad_side() {
         let (res, _) = run_args(&["embed", "--model", "nope.hgh", "--side", "user", "--out", "x"]);
         assert!(res.is_err()); // missing model file
@@ -289,7 +504,9 @@ mod tests {
         let (res, _) = run_args(&[
             "embed", "--model", model.to_str().unwrap(), "--side", "sideways", "--out", "x",
         ]);
-        assert!(res.unwrap_err().contains("sideways"));
+        let err = res.unwrap_err();
+        assert!(err.to_string().contains("sideways"));
+        assert_eq!(err.exit_code(), 2);
         let _ = std::fs::remove_file(model);
         let _ = std::fs::remove_file(edges);
     }
@@ -297,6 +514,7 @@ mod tests {
     #[test]
     fn stats_reports_missing_file() {
         let (res, _) = run_args(&["stats", "--edges", "/nonexistent/x.tsv"]);
-        assert!(res.is_err());
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 3, "missing file is an I/O error: {err}");
     }
 }

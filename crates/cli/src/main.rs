@@ -13,6 +13,8 @@ fn main() {
     let mut stdout = std::io::stdout();
     if let Err(e) = hignn_cli::run(&opts, &mut stdout) {
         eprintln!("error: {e}");
-        std::process::exit(1);
+        // Distinct exit codes per failure class: 2 usage/config, 3 I/O,
+        // 4 corrupt data, 5 diverged, 6 injected fault.
+        std::process::exit(e.exit_code());
     }
 }

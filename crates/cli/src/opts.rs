@@ -70,6 +70,18 @@ impl Opts {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+
+    /// Rejects any option or flag not in `allowed`, so a typo'd flag
+    /// fails loudly instead of being silently ignored.
+    pub fn assert_known(&self, allowed: &[&str]) -> Result<(), String> {
+        let given = self.values.keys().map(String::as_str).chain(self.flags.iter().map(String::as_str));
+        for key in given {
+            if !allowed.contains(&key) {
+                return Err(format!("unknown option --{key} (try `hignn help`)"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +109,14 @@ mod tests {
         assert!(o.require("edges").is_err());
         assert!(parse(&["x", "--k", "1", "--k", "2"]).is_err());
         assert!(parse(&["x", "stray", "positional"]).is_err());
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let o = parse(&["train", "--edges", "e.tsv", "--levles", "3"]).unwrap();
+        let err = o.assert_known(&["edges", "levels"]).unwrap_err();
+        assert!(err.contains("levles"), "{err}");
+        assert!(o.assert_known(&["edges", "levles"]).is_ok());
     }
 
     #[test]

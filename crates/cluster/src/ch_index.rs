@@ -35,17 +35,17 @@ pub fn calinski_harabasz(data: &Matrix, assignment: &[u32], k: usize) -> f64 {
     // Cluster means and sizes.
     let mut means = vec![vec![0f64; d]; k];
     let mut sizes = vec![0usize; k];
-    for i in 0..n {
-        let c = assignment[i] as usize;
+    for (i, &a) in assignment.iter().enumerate().take(n) {
+        let c = a as usize;
         sizes[c] += 1;
         for (m, &v) in means[c].iter_mut().zip(data.row(i)) {
             *m += v as f64;
         }
     }
-    for c in 0..k {
-        if sizes[c] > 0 {
-            for m in &mut means[c] {
-                *m /= sizes[c] as f64;
+    for (mean, &size) in means.iter_mut().zip(&sizes) {
+        if size > 0 {
+            for m in mean {
+                *m /= size as f64;
             }
         }
     }
@@ -64,8 +64,8 @@ pub fn calinski_harabasz(data: &Matrix, assignment: &[u32], k: usize) -> f64 {
     }
     // Within-cluster dispersion.
     let mut dw = 0f64;
-    for i in 0..n {
-        let c = assignment[i] as usize;
+    for (i, &a) in assignment.iter().enumerate().take(n) {
+        let c = a as usize;
         let dist: f64 = data
             .row(i)
             .iter()

@@ -73,24 +73,24 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansRe
         iterations = iter + 1;
         // Assignment step.
         let mut new_inertia = 0f64;
-        for i in 0..data.rows() {
+        for (i, slot) in assignment.iter_mut().enumerate() {
             let (c, d) = nearest_centroid(&centroids, data.row(i));
-            assignment[i] = c as u32;
+            *slot = c as u32;
             new_inertia += d as f64;
         }
         // Update step.
         let mut sums = Matrix::zeros(k, data.cols());
         let mut counts = vec![0usize; k];
-        for i in 0..data.rows() {
-            let c = assignment[i] as usize;
+        for (i, &a) in assignment.iter().enumerate() {
+            let c = a as usize;
             counts[c] += 1;
             let row = data.row(i);
             for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
                 *s += v;
             }
         }
-        for c in 0..k {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 // Re-seed an empty cluster at the point farthest from its
                 // centroid, the standard fix that keeps k clusters alive.
                 let far = (0..data.rows())
@@ -102,7 +102,7 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansRe
                     .unwrap();
                 centroids.set_row(c, data.row(far));
             } else {
-                let inv = 1.0 / counts[c] as f32;
+                let inv = 1.0 / count as f32;
                 let sum_row: Vec<f32> = sums.row(c).iter().map(|&s| s * inv).collect();
                 centroids.set_row(c, &sum_row);
             }
@@ -119,9 +119,9 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansRe
 
     // Final assignment against the last centroid update.
     let mut final_inertia = 0f64;
-    for i in 0..data.rows() {
+    for (i, slot) in assignment.iter_mut().enumerate() {
         let (c, d) = nearest_centroid(&centroids, data.row(i));
-        assignment[i] = c as u32;
+        *slot = c as u32;
         final_inertia += d as f64;
     }
     KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
@@ -198,9 +198,9 @@ pub fn mean_by_cluster(data: &Matrix, assignment: &[u32], k: usize) -> Matrix {
             *o += v;
         }
     }
-    for c in 0..k {
-        if counts[c] > 0 {
-            let inv = 1.0 / counts[c] as f32;
+    for (c, &count) in counts.iter().enumerate() {
+        if count > 0 {
+            let inv = 1.0 / count as f32;
             for o in out.row_mut(c) {
                 *o *= inv;
             }

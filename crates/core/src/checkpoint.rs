@@ -1,0 +1,436 @@
+//! Crash-safe checkpointing for hierarchy training, plus a
+//! deterministic fault-injection harness.
+//!
+//! A [`CheckpointStore`] is a directory holding one meta record and one
+//! record per completed hierarchy level:
+//!
+//! ```text
+//! <dir>/meta.hgck      := "HGCK" u32(version=1) section(meta)
+//! meta                 := u64(fingerprint) u64(seed)
+//!                         u64(levels_total) u64(levels_done)
+//! <dir>/level_NN.hgcl  := "HGCL" u32(version=1) section(level)
+//! section              := u64(payload_len) payload u32(crc32)
+//! ```
+//!
+//! Every write is atomic (temp file + fsync + rename), and the meta
+//! record is only advanced *after* its level record is durably on disk,
+//! so the meta is the commit point: a crash at any instant leaves a
+//! directory that resumes cleanly. The `fingerprint` ties a checkpoint
+//! to its exact inputs (graph, features, config), so resuming against
+//! different data is refused instead of silently producing a chimera.
+//!
+//! [`FaultPlan`] describes one deliberate, deterministic fault —
+//! a simulated crash or checkpoint damage — and is threaded through
+//! [`crate::stack::build_hierarchy_with`] by integration tests and the
+//! hidden `--fault` CLI flag to prove the recovery story end to end.
+
+use crate::error::HignnError;
+use crate::io::{atomic_write, decode_level, encode_level, read_section, write_section};
+use crate::stack::{HignnConfig, Level};
+use hignn_graph::BipartiteGraph;
+use hignn_tensor::Matrix;
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+const META_MAGIC: &[u8; 4] = b"HGCK";
+const LEVEL_MAGIC: &[u8; 4] = b"HGCL";
+const CKPT_VERSION: u32 = 1;
+
+/// The meta record of a checkpoint directory: which run it belongs to
+/// and how far that run got.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// [`run_fingerprint`] of the inputs this checkpoint belongs to.
+    pub fingerprint: u64,
+    /// The run's base RNG seed (informational; the fingerprint already
+    /// covers it).
+    pub seed: u64,
+    /// Requested number of levels (`HignnConfig::levels`).
+    pub levels_total: u64,
+    /// Completed levels with durable level records.
+    pub levels_done: u64,
+}
+
+/// A directory of per-level training checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory.
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Self, HignnError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| HignnError::io_path(&dir, e))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn meta_path(&self) -> PathBuf {
+        self.dir.join("meta.hgck")
+    }
+
+    /// Path of the record for 1-based level `idx`.
+    pub fn level_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!("level_{idx:02}.hgcl"))
+    }
+
+    /// Whether a meta record exists (i.e. there is something to resume).
+    pub fn has_meta(&self) -> bool {
+        self.meta_path().exists()
+    }
+
+    /// Atomically writes the meta record.
+    pub fn write_meta(&self, meta: &CheckpointMeta) -> Result<(), HignnError> {
+        let mut payload = Vec::with_capacity(32);
+        payload.extend_from_slice(&meta.fingerprint.to_le_bytes());
+        payload.extend_from_slice(&meta.seed.to_le_bytes());
+        payload.extend_from_slice(&meta.levels_total.to_le_bytes());
+        payload.extend_from_slice(&meta.levels_done.to_le_bytes());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        write_section(&mut buf, &payload).expect("in-memory write cannot fail");
+        let path = self.meta_path();
+        atomic_write(&path, &buf).map_err(|e| HignnError::io_path(&path, e))
+    }
+
+    /// Reads and validates the meta record.
+    ///
+    /// The file's bytes are read in full first, so every parse failure
+    /// after that — truncation included — is classified as
+    /// [`HignnError::Corrupt`] (exit 4), not generic I/O.
+    pub fn read_meta(&self) -> Result<CheckpointMeta, HignnError> {
+        let path = self.meta_path();
+        let bytes = fs::read(&path).map_err(|e| HignnError::io_path(&path, e))?;
+        let mut r = bytes.as_slice();
+        let mut magic = [0u8; 4];
+        let mut vbuf = [0u8; 4];
+        let ctx = path.display().to_string();
+        r.read_exact(&mut magic)
+            .map_err(|_| HignnError::corrupt(&ctx, "truncated before magic"))?;
+        if &magic != META_MAGIC {
+            return Err(HignnError::corrupt(&ctx, "bad magic (not a checkpoint meta file)"));
+        }
+        r.read_exact(&mut vbuf)
+            .map_err(|_| HignnError::corrupt(&ctx, "truncated before version"))?;
+        let version = u32::from_le_bytes(vbuf);
+        if version != CKPT_VERSION {
+            return Err(HignnError::corrupt(&ctx, format!("unsupported version {version}")));
+        }
+        let payload = read_section(&mut r, "checkpoint meta")
+            .map_err(|e| HignnError::corrupt(&ctx, e.to_string()))?;
+        if payload.len() != 32 {
+            return Err(HignnError::corrupt(
+                &ctx,
+                format!("meta payload is {} bytes, expected 32", payload.len()),
+            ));
+        }
+        let word = |k: usize| {
+            u64::from_le_bytes(payload[k * 8..(k + 1) * 8].try_into().expect("len checked"))
+        };
+        let meta = CheckpointMeta {
+            fingerprint: word(0),
+            seed: word(1),
+            levels_total: word(2),
+            levels_done: word(3),
+        };
+        if meta.levels_done > meta.levels_total {
+            return Err(HignnError::corrupt(
+                &ctx,
+                format!("levels_done {} > levels_total {}", meta.levels_done, meta.levels_total),
+            ));
+        }
+        Ok(meta)
+    }
+
+    /// Atomically writes the record for 1-based level `idx`.
+    pub fn save_level(&self, idx: usize, level: &Level) -> Result<(), HignnError> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(LEVEL_MAGIC);
+        buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        write_section(&mut buf, &encode_level(level)).expect("in-memory write cannot fail");
+        let path = self.level_path(idx);
+        atomic_write(&path, &buf).map_err(|e| HignnError::io_path(&path, e))
+    }
+
+    /// Reads and CRC-validates the record for 1-based level `idx`.
+    /// As with [`CheckpointStore::read_meta`], every failure after the
+    /// file's bytes are in memory is classified as corruption.
+    pub fn load_level(&self, idx: usize) -> Result<Level, HignnError> {
+        let path = self.level_path(idx);
+        let bytes = fs::read(&path).map_err(|e| HignnError::io_path(&path, e))?;
+        let mut r = bytes.as_slice();
+        let mut magic = [0u8; 4];
+        let mut vbuf = [0u8; 4];
+        let ctx = path.display().to_string();
+        r.read_exact(&mut magic)
+            .map_err(|_| HignnError::corrupt(&ctx, "truncated before magic"))?;
+        if &magic != LEVEL_MAGIC {
+            return Err(HignnError::corrupt(&ctx, "bad magic (not a checkpoint level file)"));
+        }
+        r.read_exact(&mut vbuf)
+            .map_err(|_| HignnError::corrupt(&ctx, "truncated before version"))?;
+        let version = u32::from_le_bytes(vbuf);
+        if version != CKPT_VERSION {
+            return Err(HignnError::corrupt(&ctx, format!("unsupported version {version}")));
+        }
+        let what = format!("checkpoint level {idx}");
+        let payload =
+            read_section(&mut r, &what).map_err(|e| HignnError::corrupt(&ctx, e.to_string()))?;
+        decode_level(&payload, &what).map_err(|e| HignnError::corrupt(&ctx, e.to_string()))
+    }
+
+    /// Loads the resumable state for a run with the given inputs:
+    /// validates the meta record against `expected_fingerprint` and
+    /// `levels_total`, then loads every completed level.
+    pub fn load_state(
+        &self,
+        expected_fingerprint: u64,
+        levels_total: usize,
+    ) -> Result<(CheckpointMeta, Vec<Level>), HignnError> {
+        let meta = self.read_meta()?;
+        if meta.fingerprint != expected_fingerprint {
+            return Err(HignnError::Config(format!(
+                "checkpoint in {} was written for different inputs \
+                 (fingerprint {:#018x}, current run {:#018x}); refusing to resume",
+                self.dir.display(),
+                meta.fingerprint,
+                expected_fingerprint,
+            )));
+        }
+        if meta.levels_total != levels_total as u64 {
+            return Err(HignnError::Config(format!(
+                "checkpoint in {} targets {} levels but the current config asks for \
+                 {levels_total}; refusing to resume",
+                self.dir.display(),
+                meta.levels_total,
+            )));
+        }
+        let mut levels = Vec::with_capacity(meta.levels_done as usize);
+        for idx in 1..=meta.levels_done as usize {
+            levels.push(self.load_level(idx)?);
+        }
+        Ok((meta, levels))
+    }
+
+    /// Fault-harness helper: truncates level `idx`'s record to
+    /// `keep_bytes`, simulating a torn write that bypassed the atomic
+    /// rename (e.g. damage after the fact).
+    pub fn truncate_level(&self, idx: usize, keep_bytes: u64) -> Result<(), HignnError> {
+        let path = self.level_path(idx);
+        let f = fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| HignnError::io_path(&path, e))?;
+        f.set_len(keep_bytes).map_err(|e| HignnError::io_path(&path, e))
+    }
+
+    /// Fault-harness helper: XORs the byte at `offset` in level `idx`'s
+    /// record with `mask`, simulating bit rot. `offset` wraps modulo
+    /// the file length; a zero `mask` is promoted to `0x01` so the
+    /// byte always actually changes.
+    pub fn corrupt_level(&self, idx: usize, offset: u64, mask: u8) -> Result<(), HignnError> {
+        let path = self.level_path(idx);
+        let mut bytes = fs::read(&path).map_err(|e| HignnError::io_path(&path, e))?;
+        if bytes.is_empty() {
+            return Err(HignnError::corrupt(path.display().to_string(), "empty level record"));
+        }
+        let at = (offset % bytes.len() as u64) as usize;
+        bytes[at] ^= if mask == 0 { 1 } else { mask };
+        fs::write(&path, &bytes).map_err(|e| HignnError::io_path(&path, e))
+    }
+}
+
+/// FNV-1a hash of a run's full inputs (graph, features, config).
+///
+/// Ties a checkpoint directory to the exact training inputs; any change
+/// to the graph, features, or hyper-parameters yields a different
+/// fingerprint and a refused resume.
+pub fn run_fingerprint(
+    graph: &BipartiteGraph,
+    user_feats: &Matrix,
+    item_feats: &Matrix,
+    cfg: &HignnConfig,
+) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    eat(&(graph.num_left() as u64).to_le_bytes());
+    eat(&(graph.num_right() as u64).to_le_bytes());
+    for &(u, i, w) in graph.edges() {
+        eat(&u.to_le_bytes());
+        eat(&i.to_le_bytes());
+        eat(&w.to_bits().to_le_bytes());
+    }
+    for m in [user_feats, item_feats] {
+        eat(&(m.rows() as u64).to_le_bytes());
+        eat(&(m.cols() as u64).to_le_bytes());
+        for &v in m.data() {
+            eat(&v.to_bits().to_le_bytes());
+        }
+    }
+    // The config is hashed through its Debug form: stable within a
+    // build, and automatically covers every field (including the seed).
+    eat(format!("{cfg:?}").as_bytes());
+    h
+}
+
+/// One deliberate, deterministic fault to inject during
+/// [`crate::stack::build_hierarchy_with`] — the test harness for the
+/// crash-recovery machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Simulate a crash immediately after level `l`'s checkpoint is
+    /// durably written (spec: `crash-after-level=L`).
+    CrashAfterLevel(usize),
+    /// Simulate a crash after epoch `epoch` (0-based) of level `level`
+    /// completes, before the level is checkpointed (spec:
+    /// `crash-after-epoch=L:E`).
+    CrashAfterEpoch {
+        /// 1-based hierarchy level.
+        level: usize,
+        /// 0-based epoch within that level.
+        epoch: usize,
+    },
+    /// After level `level`'s checkpoint is written, truncate it to
+    /// `keep_bytes` and crash (spec: `truncate=L:N`).
+    TruncateCheckpoint {
+        /// 1-based hierarchy level.
+        level: usize,
+        /// Bytes to keep.
+        keep_bytes: u64,
+    },
+    /// After level `level`'s checkpoint is written, XOR one byte at
+    /// `offset` (modulo file length) with `mask` and crash (spec:
+    /// `corrupt=L:OFFSET:MASK`).
+    CorruptCheckpoint {
+        /// 1-based hierarchy level.
+        level: usize,
+        /// Byte offset to damage (wraps modulo file length).
+        offset: u64,
+        /// XOR mask (zero is promoted to 1).
+        mask: u8,
+    },
+}
+
+impl FaultPlan {
+    /// Parses the hidden CLI `--fault` spec. Formats:
+    /// `crash-after-level=L`, `crash-after-epoch=L:E`, `truncate=L:N`,
+    /// `corrupt=L:OFFSET:MASK`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (kind, rest) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec '{spec}' has no '='"))?;
+        let nums: Vec<&str> = rest.split(':').collect();
+        let int = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse::<u64>().map_err(|_| format!("fault spec '{spec}': bad {what} '{s}'"))
+        };
+        match (kind, nums.as_slice()) {
+            ("crash-after-level", [l]) => Ok(FaultPlan::CrashAfterLevel(int(l, "level")? as usize)),
+            ("crash-after-epoch", [l, e]) => Ok(FaultPlan::CrashAfterEpoch {
+                level: int(l, "level")? as usize,
+                epoch: int(e, "epoch")? as usize,
+            }),
+            ("truncate", [l, n]) => Ok(FaultPlan::TruncateCheckpoint {
+                level: int(l, "level")? as usize,
+                keep_bytes: int(n, "byte count")?,
+            }),
+            ("corrupt", [l, off, mask]) => Ok(FaultPlan::CorruptCheckpoint {
+                level: int(l, "level")? as usize,
+                offset: int(off, "offset")?,
+                mask: int(mask, "mask")? as u8,
+            }),
+            _ => Err(format!(
+                "unknown fault spec '{spec}' (expected crash-after-level=L, \
+                 crash-after-epoch=L:E, truncate=L:N, or corrupt=L:OFFSET:MASK)"
+            )),
+        }
+    }
+
+    /// Deterministic single-byte corruption derived from `seed`: a
+    /// convenience for fuzz-style tests that want many distinct
+    /// (offset, mask) pairs without hand-picking them.
+    pub fn seeded_corruption(level: usize, seed: u64) -> FaultPlan {
+        // SplitMix64 finalizer — uniform and cheap.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultPlan::CorruptCheckpoint { level, offset: z >> 8, mask: (z & 0xFF) as u8 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_meta_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let meta =
+            CheckpointMeta { fingerprint: 0xDEAD_BEEF, seed: 7, levels_total: 3, levels_done: 1 };
+        store.write_meta(&meta).unwrap();
+        assert!(store.has_meta());
+        assert_eq!(store.read_meta().unwrap(), meta);
+        // Flip one byte inside the payload: must be detected as corrupt.
+        let path = dir.join("meta.hgck");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 6; // inside payload/CRC region
+        bytes[at] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = store.read_meta().unwrap_err();
+        assert_eq!(err.exit_code(), 4, "expected corruption, got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            FaultPlan::parse("crash-after-level=2"),
+            Ok(FaultPlan::CrashAfterLevel(2))
+        );
+        assert_eq!(
+            FaultPlan::parse("crash-after-epoch=1:4"),
+            Ok(FaultPlan::CrashAfterEpoch { level: 1, epoch: 4 })
+        );
+        assert_eq!(
+            FaultPlan::parse("truncate=1:100"),
+            Ok(FaultPlan::TruncateCheckpoint { level: 1, keep_bytes: 100 })
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt=2:37:255"),
+            Ok(FaultPlan::CorruptCheckpoint { level: 2, offset: 37, mask: 255 })
+        );
+        assert!(FaultPlan::parse("explode=1").is_err());
+        assert!(FaultPlan::parse("truncate=1").is_err());
+        assert!(FaultPlan::parse("crash-after-level=x").is_err());
+    }
+
+    #[test]
+    fn seeded_corruptions_differ_by_seed() {
+        let a = FaultPlan::seeded_corruption(1, 1);
+        let b = FaultPlan::seeded_corruption(1, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, FaultPlan::seeded_corruption(1, 1), "must be deterministic");
+    }
+
+    #[test]
+    fn missing_meta_is_io_not_corrupt() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_none_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let err = store.read_meta().unwrap_err();
+        assert_eq!(err.exit_code(), 3, "missing file is I/O, got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,17 +4,40 @@
 //! the per-level embeddings and cluster assignments. [`save_hierarchy`]
 //! / [`load_hierarchy`] write the whole structure in a dependency-free
 //! binary format built from the substrate formats
-//! (`hignn_tensor::serialize`, `hignn_graph::serialize`):
+//! (`hignn_tensor::serialize`, `hignn_graph::serialize`).
+//!
+//! Format v2 (current; every payload is integrity-checked):
 //!
 //! ```text
-//! hierarchy := "HGHI" u32(version=1) u64(num_users) u64(num_items)
-//!              u64(num_levels) level*
+//! hierarchy := "HGHI" u32(version=2) section(header) section(level)*
+//! section   := u64(payload_len) payload u32(crc32 of payload)
+//! header    := u64(num_users) u64(num_items) u64(num_levels)
 //! level     := matrix(user_emb) matrix(item_emb)
 //!              assignment(user) assignment(item) graph(coarsened)
 //!              u64(num_losses) f32*
 //! assignment := u64(num_clusters) u64(len) u32*
 //! ```
+//!
+//! Format v1 (legacy; still readable, no checksums):
+//!
+//! ```text
+//! hierarchy := "HGHI" u32(version=1) u64(num_users) u64(num_items)
+//!              u64(num_levels) level*
+//! ```
+//!
+//! Robustness guarantees of the readers:
+//!
+//! * every section's CRC32 is verified before its payload is parsed
+//!   (v2), so random corruption surfaces as `InvalidData`, never as a
+//!   silently wrong hierarchy;
+//! * declared lengths are validated against the bytes actually present
+//!   — buffers grow incrementally while reading instead of trusting a
+//!   header-declared size, so a corrupt length cannot trigger a huge
+//!   up-front allocation;
+//! * truncated files fail with a clean `InvalidData`/`UnexpectedEof`
+//!   error at every cut point (fuzzed in `tests/`).
 
+use crate::crc32::crc32;
 use crate::stack::{Hierarchy, Level};
 use hignn_graph::serialize::{read_graph, write_graph};
 use hignn_graph::Assignment;
@@ -24,7 +47,14 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 const HIERARCHY_MAGIC: &[u8; 4] = b"HGHI";
-const VERSION: u32 = 1;
+/// Current format version (CRC-checked sections).
+pub const FORMAT_VERSION: u32 = 2;
+/// Legacy checksum-free version; still accepted by [`read_hierarchy`].
+pub const FORMAT_VERSION_V1: u32 = 1;
+
+/// Hard cap on a single section's declared payload length (1 GiB).
+/// Catches corrupt headers long before address-space exhaustion.
+const MAX_SECTION_LEN: u64 = 1 << 30;
 
 fn bad_data(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -39,6 +69,51 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
 }
+
+// ---------------------------------------------------------------------
+// CRC-framed sections (shared with `crate::checkpoint`).
+
+/// Writes one length-prefixed, CRC-trailed section.
+pub(crate) fn write_section<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    write_u64(w, payload.len() as u64)?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(())
+}
+
+/// Reads one section, verifying length plausibility and the CRC.
+///
+/// The payload buffer grows incrementally via `Read::take`, so a
+/// corrupt declared length fails at end-of-input instead of
+/// pre-allocating the declared size.
+pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> io::Result<Vec<u8>> {
+    let len = read_u64(r)?;
+    if len > MAX_SECTION_LEN {
+        return Err(bad_data(&format!("{what}: implausible section length {len}")));
+    }
+    let mut payload = Vec::new();
+    let got = r.take(len).read_to_end(&mut payload)?;
+    if got as u64 != len {
+        return Err(bad_data(&format!(
+            "{what}: truncated section (declared {len} bytes, found {got})"
+        )));
+    }
+    let mut crc_buf = [0u8; 4];
+    r.read_exact(&mut crc_buf).map_err(|_| {
+        bad_data(&format!("{what}: truncated section (checksum missing)"))
+    })?;
+    let expected = u32::from_le_bytes(crc_buf);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(bad_data(&format!(
+            "{what}: checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+        )));
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Assignment + level codecs.
 
 fn write_assignment<W: Write>(w: &mut W, a: &Assignment) -> io::Result<()> {
     write_u64(w, a.num_clusters() as u64)?;
@@ -55,10 +130,13 @@ fn read_assignment<R: Read>(r: &mut R) -> io::Result<Assignment> {
     if len > 1 << 32 || num_clusters > 1 << 32 {
         return Err(bad_data("assignment: implausible size"));
     }
-    let mut values = Vec::with_capacity(len);
+    // Grow incrementally rather than trusting the declared length with
+    // one big allocation; truncation then fails at EOF cheaply.
+    let mut values = Vec::new();
     let mut buf = [0u8; 4];
     for _ in 0..len {
-        r.read_exact(&mut buf)?;
+        r.read_exact(&mut buf)
+            .map_err(|_| bad_data("assignment: truncated cluster array"))?;
         let c = u32::from_le_bytes(buf);
         if c as usize >= num_clusters {
             return Err(bad_data("assignment: cluster id out of range"));
@@ -68,28 +146,104 @@ fn read_assignment<R: Read>(r: &mut R) -> io::Result<Assignment> {
     Ok(Assignment::new(values, num_clusters))
 }
 
-/// Writes a hierarchy to any writer.
-pub fn write_hierarchy<W: Write>(w: &mut W, h: &Hierarchy) -> io::Result<()> {
-    w.write_all(HIERARCHY_MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    write_u64(w, h.num_users() as u64)?;
-    write_u64(w, h.num_items() as u64)?;
-    write_u64(w, h.num_levels() as u64)?;
-    for level in h.levels() {
-        write_matrix(w, &level.user_embeddings)?;
-        write_matrix(w, &level.item_embeddings)?;
-        write_assignment(w, &level.user_assignment)?;
-        write_assignment(w, &level.item_assignment)?;
-        write_graph(w, &level.coarsened)?;
-        write_u64(w, level.epoch_losses.len() as u64)?;
-        for &l in &level.epoch_losses {
-            w.write_all(&l.to_le_bytes())?;
-        }
+fn write_level<W: Write>(w: &mut W, level: &Level) -> io::Result<()> {
+    write_matrix(w, &level.user_embeddings)?;
+    write_matrix(w, &level.item_embeddings)?;
+    write_assignment(w, &level.user_assignment)?;
+    write_assignment(w, &level.item_assignment)?;
+    write_graph(w, &level.coarsened)?;
+    write_u64(w, level.epoch_losses.len() as u64)?;
+    for &l in &level.epoch_losses {
+        w.write_all(&l.to_le_bytes())?;
     }
     Ok(())
 }
 
-/// Reads a hierarchy from any reader.
+fn read_level<R: Read>(r: &mut R) -> io::Result<Level> {
+    let user_embeddings = read_matrix(r)?;
+    let item_embeddings = read_matrix(r)?;
+    let user_assignment = read_assignment(r)?;
+    let item_assignment = read_assignment(r)?;
+    let coarsened = read_graph(r)?;
+    let num_losses = read_u64(r)? as usize;
+    if num_losses > 1 << 20 {
+        return Err(bad_data("hierarchy: implausible loss count"));
+    }
+    let mut epoch_losses = Vec::new();
+    let mut buf = [0u8; 4];
+    for _ in 0..num_losses {
+        r.read_exact(&mut buf)
+            .map_err(|_| bad_data("hierarchy: truncated loss history"))?;
+        epoch_losses.push(f32::from_le_bytes(buf));
+    }
+    if user_assignment.len() != user_embeddings.rows()
+        || item_assignment.len() != item_embeddings.rows()
+    {
+        return Err(bad_data("hierarchy: level shape mismatch"));
+    }
+    Ok(Level {
+        user_embeddings,
+        item_embeddings,
+        user_assignment,
+        item_assignment,
+        coarsened,
+        epoch_losses,
+    })
+}
+
+/// Encodes one level into a standalone byte buffer (also used for
+/// per-level checkpoint records).
+pub(crate) fn encode_level(level: &Level) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_level(&mut buf, level).expect("in-memory write cannot fail");
+    buf
+}
+
+/// Decodes one level from a buffer, rejecting trailing garbage.
+pub(crate) fn decode_level(bytes: &[u8], what: &str) -> io::Result<Level> {
+    let mut slice = bytes;
+    let level = read_level(&mut slice)?;
+    if !slice.is_empty() {
+        return Err(bad_data(&format!("{what}: {} trailing bytes after level", slice.len())));
+    }
+    Ok(level)
+}
+
+// ---------------------------------------------------------------------
+// Whole-hierarchy readers/writers.
+
+/// Writes a hierarchy in the current (v2, CRC-checked) format.
+pub fn write_hierarchy<W: Write>(w: &mut W, h: &Hierarchy) -> io::Result<()> {
+    w.write_all(HIERARCHY_MAGIC)?;
+    w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    let mut header = Vec::with_capacity(24);
+    write_u64(&mut header, h.num_users() as u64)?;
+    write_u64(&mut header, h.num_items() as u64)?;
+    write_u64(&mut header, h.num_levels() as u64)?;
+    write_section(w, &header)?;
+    for level in h.levels() {
+        write_section(w, &encode_level(level))?;
+    }
+    Ok(())
+}
+
+/// Writes a hierarchy in the legacy v1 format (no checksums). Kept so
+/// compatibility with pre-v2 files stays testable; new code should use
+/// [`write_hierarchy`].
+pub fn write_hierarchy_v1<W: Write>(w: &mut W, h: &Hierarchy) -> io::Result<()> {
+    w.write_all(HIERARCHY_MAGIC)?;
+    w.write_all(&FORMAT_VERSION_V1.to_le_bytes())?;
+    write_u64(w, h.num_users() as u64)?;
+    write_u64(w, h.num_items() as u64)?;
+    write_u64(w, h.num_levels() as u64)?;
+    for level in h.levels() {
+        write_level(w, level)?;
+    }
+    Ok(())
+}
+
+/// Reads a hierarchy in either format version (v2 with per-section
+/// CRC verification, or legacy v1).
 pub fn read_hierarchy<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
@@ -98,9 +252,40 @@ pub fn read_hierarchy<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
     }
     let mut vbuf = [0u8; 4];
     r.read_exact(&mut vbuf)?;
-    if u32::from_le_bytes(vbuf) != VERSION {
-        return Err(bad_data("hierarchy: unsupported version"));
+    match u32::from_le_bytes(vbuf) {
+        FORMAT_VERSION => read_hierarchy_v2(r),
+        FORMAT_VERSION_V1 => read_hierarchy_v1(r),
+        other => Err(bad_data(&format!(
+            "hierarchy: unsupported version {other} (this build reads v1 and v2)"
+        ))),
     }
+}
+
+fn read_hierarchy_v2<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
+    let header = read_section(r, "hierarchy header")?;
+    if header.len() != 24 {
+        return Err(bad_data(&format!(
+            "hierarchy header: expected 24 bytes, got {}",
+            header.len()
+        )));
+    }
+    let mut hs = header.as_slice();
+    let num_users = read_u64(&mut hs)? as usize;
+    let num_items = read_u64(&mut hs)? as usize;
+    let num_levels = read_u64(&mut hs)? as usize;
+    if num_levels > 64 {
+        return Err(bad_data("hierarchy: implausible level count"));
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    for l in 0..num_levels {
+        let payload = read_section(r, &format!("hierarchy level {}", l + 1))?;
+        levels.push(decode_level(&payload, &format!("hierarchy level {}", l + 1))?);
+    }
+    Hierarchy::from_parts(levels, num_users, num_items)
+        .map_err(|e| bad_data(&format!("hierarchy: {e}")))
+}
+
+fn read_hierarchy_v1<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
     let num_users = read_u64(r)? as usize;
     let num_items = read_u64(r)? as usize;
     let num_levels = read_u64(r)? as usize;
@@ -109,49 +294,48 @@ pub fn read_hierarchy<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
     }
     let mut levels = Vec::with_capacity(num_levels);
     for _ in 0..num_levels {
-        let user_embeddings = read_matrix(r)?;
-        let item_embeddings = read_matrix(r)?;
-        let user_assignment = read_assignment(r)?;
-        let item_assignment = read_assignment(r)?;
-        let coarsened = read_graph(r)?;
-        let num_losses = read_u64(r)? as usize;
-        if num_losses > 1 << 20 {
-            return Err(bad_data("hierarchy: implausible loss count"));
-        }
-        let mut epoch_losses = Vec::with_capacity(num_losses);
-        let mut buf = [0u8; 4];
-        for _ in 0..num_losses {
-            r.read_exact(&mut buf)?;
-            epoch_losses.push(f32::from_le_bytes(buf));
-        }
-        if user_assignment.len() != user_embeddings.rows()
-            || item_assignment.len() != item_embeddings.rows()
-        {
-            return Err(bad_data("hierarchy: level shape mismatch"));
-        }
-        levels.push(Level {
-            user_embeddings,
-            item_embeddings,
-            user_assignment,
-            item_assignment,
-            coarsened,
-            epoch_losses,
-        });
+        levels.push(read_level(r)?);
     }
     Hierarchy::from_parts(levels, num_users, num_items)
         .map_err(|e| bad_data(&format!("hierarchy: {e}")))
 }
 
-/// Saves a hierarchy to a file.
+/// Saves a hierarchy to a file **atomically**: the bytes are written to
+/// a sibling temp file, fsynced, then renamed over the target, so a
+/// crash mid-save can never leave a half-written model at `path`.
 pub fn save_hierarchy(path: impl AsRef<Path>, h: &Hierarchy) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    write_hierarchy(&mut w, h)
+    let mut bytes = Vec::new();
+    write_hierarchy(&mut bytes, h)?;
+    atomic_write(path.as_ref(), &bytes)
 }
 
-/// Loads a hierarchy from a file.
+/// Loads a hierarchy from a file (either format version).
 pub fn load_hierarchy(path: impl AsRef<Path>) -> io::Result<Hierarchy> {
     let mut r = BufReader::new(File::open(path)?);
     read_hierarchy(&mut r)
+}
+
+/// Writes `bytes` to `path` via temp file + fsync + rename (+ directory
+/// fsync), the strongest crash-atomicity portable file systems offer.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = BufWriter::new(File::create(&tmp)?);
+        f.write_all(bytes)?;
+        f.flush()?;
+        f.get_ref().sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync is best-effort: some
+    // platforms refuse to open directories for writing.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -214,6 +398,19 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_still_load() {
+        let h = tiny_hierarchy();
+        let mut v1 = Vec::new();
+        write_hierarchy_v1(&mut v1, &h).unwrap();
+        let back = read_hierarchy(&mut v1.as_slice()).unwrap();
+        assert_eq!(back.num_levels(), h.num_levels());
+        for (a, b) in h.levels().iter().zip(back.levels()) {
+            assert_eq!(a.user_embeddings, b.user_embeddings);
+            assert_eq!(a.coarsened.edges(), b.coarsened.edges());
+        }
+    }
+
+    #[test]
     fn file_roundtrip() {
         let h = tiny_hierarchy();
         let path = std::env::temp_dir().join("hignn_io_test.hgh");
@@ -235,5 +432,50 @@ mod tests {
         write_hierarchy(&mut buf2, &h).unwrap();
         buf2.truncate(buf2.len() / 2);
         assert!(read_hierarchy(&mut buf2.as_slice()).is_err());
+    }
+
+    #[test]
+    fn detects_every_single_byte_corruption_in_payloads() {
+        let h = tiny_hierarchy();
+        let mut clean = Vec::new();
+        write_hierarchy(&mut clean, &h).unwrap();
+        // Flip one byte at a spread of positions; the v2 reader must
+        // error (checksum/format) — silently wrong data is the failure
+        // mode this format exists to prevent. Every byte of the file is
+        // covered by magic/version checks, section length validation,
+        // or a section CRC.
+        for pos in (0..clean.len()).step_by(17) {
+            let mut evil = clean.clone();
+            evil[pos] ^= 0x40;
+            assert!(
+                read_hierarchy(&mut evil.as_slice()).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn implausible_section_length_is_rejected_without_allocation() {
+        let h = tiny_hierarchy();
+        let mut buf = Vec::new();
+        write_hierarchy(&mut buf, &h).unwrap();
+        // Overwrite the header section's length with a huge value; the
+        // reader must reject it (not attempt a 2^60-byte allocation).
+        buf[8..16].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_hierarchy(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let h = tiny_hierarchy();
+        let dir = std::env::temp_dir().join(format!("hignn_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.hgh");
+        save_hierarchy(&path, &h).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

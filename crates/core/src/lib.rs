@@ -23,7 +23,11 @@
 //! * [`predictor`] — the supervised DNN of Fig. 2 (Eq. 7).
 //! * [`taxonomy`] — topic-driven taxonomy with representative-query
 //!   descriptions (Eqs. 13-16).
-//! * [`io`] — binary persistence for trained hierarchies.
+//! * [`io`] — binary persistence for trained hierarchies (CRC-checked
+//!   sections, atomic writes).
+//! * [`checkpoint`] — crash-safe per-level training checkpoints, resume,
+//!   and a deterministic fault-injection harness.
+//! * [`error`] — structured errors with distinct process exit codes.
 //! * [`model`] — trained model with fold-in inference for unseen users.
 //! * [`recommend`] — top-K recommendation and evaluation utilities.
 //!
@@ -62,6 +66,9 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
+pub mod crc32;
+pub mod error;
 pub mod io;
 pub mod model;
 pub mod predictor;
@@ -73,15 +80,21 @@ pub mod trainer;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
+    pub use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan};
+    pub use crate::error::HignnError;
     pub use crate::predictor::{CvrPredictor, FeatureBlocks, PredictorConfig, Sample};
     pub use crate::sage::{Aggregator, BipartiteSage, BipartiteSageConfig};
     pub use crate::stack::{
-        build_hierarchy, ClusterCounts, Hierarchy, HignnConfig, KMeansAlgo, Level,
+        build_hierarchy, build_hierarchy_with, BuildOptions, ClusterCounts, GuardPolicy,
+        Hierarchy, HignnConfig, KMeansAlgo, Level,
     };
     pub use crate::taxonomy::{build_taxonomy, Taxonomy, TaxonomyConfig, Topic};
     pub use crate::model::HignnModel;
     pub use crate::recommend::{evaluate_top_k, recommend_top_k, TopKReport};
-    pub use crate::trainer::{train_unsupervised, SageTrainConfig, TrainedSage};
+    pub use crate::trainer::{
+        train_unsupervised, train_unsupervised_checked, SageTrainConfig, TrainError,
+        TrainGuard, TrainedSage,
+    };
 }
 
 pub use prelude::*;

@@ -250,7 +250,13 @@ mod tests {
         let g = block_graph(&mut rng);
         let uf = init::xavier_uniform(30, 8, &mut rng);
         let if_ = init::xavier_uniform(30, 8, &mut rng);
-        let model = HignnModel::train(&g, &uf, &if_, &cfg(6));
+        // More epochs than the other model tests: this one asserts a
+        // geometric property of the learned space, which needs the
+        // block structure to actually be learned, not just initialised.
+        let mut train_cfg = cfg(6);
+        train_cfg.train.epochs = 12;
+        train_cfg.train.lr = 5e-3;
+        let model = HignnModel::train(&g, &uf, &if_, &train_cfg);
         // New user clicking only block-A items should be closer (on the
         // hierarchical embedding) to block-A users than block-B users on
         // average.

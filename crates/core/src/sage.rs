@@ -170,6 +170,7 @@ impl BipartiteSage {
     ///
     /// `user_feats` / `item_feats` must carry one extra zero row at index
     /// `n` (see [`with_null_row`]) used for isolated vertices.
+    #[allow(clippy::too_many_arguments)]
     pub fn embed_batch(
         &self,
         tape: &mut Tape,

@@ -11,8 +11,10 @@
 //! preference* `z_u^H = CONCAT(z_u^1, ..., z_u^L)` and *hierarchical item
 //! attractiveness* `z_i^H` by chasing each vertex up its cluster chain.
 
+use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan};
+use crate::error::HignnError;
 use crate::sage::BipartiteSageConfig;
-use crate::trainer::{train_unsupervised, SageTrainConfig};
+use crate::trainer::{train_unsupervised_checked, SageTrainConfig, TrainError, TrainGuard};
 use hignn_cluster::ch_index::select_k_by_ch;
 use hignn_cluster::kmeans::{kmeans, mean_by_cluster, KMeansConfig};
 use hignn_cluster::streaming::single_pass_kmeans;
@@ -304,101 +306,321 @@ fn pick_counts(
     }
 }
 
+/// What to do when [`TrainGuard`] detects a non-finite loss or
+/// parameter during a level's training.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuardPolicy {
+    /// No per-epoch checks (the pre-guard behaviour).
+    Off,
+    /// Check every epoch; stop the whole build with
+    /// [`HignnError::Diverged`] on the first NaN/Inf.
+    Abort,
+    /// Check every epoch; on divergence, roll back to the last
+    /// completed level (the last checkpoint) and retrain the failed
+    /// level with a perturbed RNG stream, up to `max_retries` times
+    /// before giving up with [`HignnError::Diverged`].
+    Rollback {
+        /// Retraining attempts per level before aborting.
+        max_retries: usize,
+    },
+}
+
+/// Options for [`build_hierarchy_with`]: checkpointing, resume,
+/// divergence policy, and fault injection.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions<'a> {
+    /// Where to persist per-level checkpoints (`None` = no
+    /// checkpointing, the plain [`build_hierarchy`] behaviour).
+    pub checkpoint: Option<&'a CheckpointStore>,
+    /// Resume from the checkpoint directory instead of starting fresh.
+    /// Requires `checkpoint` and a meta record whose fingerprint
+    /// matches the current inputs.
+    pub resume: bool,
+    /// Numeric-health policy.
+    pub guard: GuardPolicy,
+    /// Deliberate fault to inject (testing only).
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for BuildOptions<'_> {
+    fn default() -> Self {
+        BuildOptions { checkpoint: None, resume: false, guard: GuardPolicy::Off, fault: None }
+    }
+}
+
+/// The stopping condition of Algorithm 1's outer loop: a coarsened
+/// graph too small (or too sparse) to cluster further.
+fn coarse_exhausted(g: &BipartiteGraph) -> bool {
+    g.num_edges() == 0 || g.num_left() < 4 || g.num_right() < 4
+}
+
+/// Seed of level `level`'s clustering RNG. Each level derives its own
+/// stream (rather than sharing one sequential generator) so that a
+/// resumed build replays the exact stream of an uninterrupted one.
+/// `retry > 0` perturbs the stream for [`GuardPolicy::Rollback`].
+fn level_rng_seed(base: u64, level: usize, retry: u64) -> u64 {
+    (base ^ 0xC1A5)
+        .wrapping_add(((level - 1) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(retry.wrapping_mul(0x5851_F42D_4C95_7F2D))
+}
+
+enum LevelFailure {
+    NonFinite { epoch: usize, detail: String },
+    Injected { description: String },
+}
+
+/// Trains, clusters, and coarsens one level. Returns the level plus the
+/// next level's input features. Pure function of its arguments —
+/// the determinism that makes checkpoint/resume byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn build_one_level(
+    g: &BipartiteGraph,
+    xu: &Matrix,
+    xi: &Matrix,
+    cfg: &HignnConfig,
+    level: usize,
+    retry: u64,
+    guard: TrainGuard,
+    crash_after_epoch: Option<usize>,
+) -> Result<(Level, Matrix, Matrix), LevelFailure> {
+    let mut rng = StdRng::seed_from_u64(level_rng_seed(cfg.seed, level, retry));
+    // (Z_u^l, Z_i^l) <- BG(G^{l-1}, X_u^{l-1}, X_i^{l-1})
+    let sage_cfg = BipartiteSageConfig { input_dim: xu.cols(), ..cfg.sage.clone() };
+    // Trainable feature tables only make sense at level 1 (raw
+    // vertices with uninformative features); coarser levels inherit
+    // informative mean-member embeddings.
+    let mut train_cfg = cfg.train.clone();
+    if level > 1 {
+        train_cfg.trainable_features = false;
+    }
+    // Coarsened graphs are orders of magnitude smaller; give them
+    // proportionally more epochs (still cheap) so the upper levels
+    // are not undertrained relative to level 1.
+    if g.num_edges() < 2000 {
+        train_cfg.epochs = (train_cfg.epochs * 4).min(60);
+    }
+    let train_seed = cfg
+        .seed
+        .wrapping_add(level as u64)
+        .wrapping_add(retry.wrapping_mul(0xA24B_AED4_963E_E407));
+    let trained = train_unsupervised_checked(
+        g, xu, xi, sage_cfg, &train_cfg, train_seed, guard, crash_after_epoch,
+    )
+    .map_err(|e| match e {
+        TrainError::NonFinite { epoch, detail } => LevelFailure::NonFinite { epoch, detail },
+        TrainError::Injected { description, .. } => LevelFailure::Injected { description },
+    })?;
+    let (mut zu, mut zi) = trained.embed_all(g, xu, xi);
+    if cfg.normalize {
+        zu.l2_normalize_rows();
+        zi.l2_normalize_rows();
+    }
+    if guard.enabled && !(zu.all_finite() && zi.all_finite()) {
+        return Err(LevelFailure::NonFinite {
+            epoch: train_cfg.epochs.saturating_sub(1),
+            detail: "non-finite level embedding after inference".into(),
+        });
+    }
+
+    // C_u^l, C_i^l <- K_u(Z_u^l), K_i(Z_i^l)
+    let ((ku, au_pre), (ki, ai_pre)) = pick_counts(&cfg.cluster_counts, level, &zu, &zi, &mut rng);
+    let cluster = |z: &Matrix, k: usize, pre: Option<Vec<u32>>, rng: &mut StdRng| -> Vec<u32> {
+        if let Some(a) = pre {
+            return a;
+        }
+        match cfg.kmeans {
+            KMeansAlgo::Lloyd => kmeans(z, &KMeansConfig::new(k), rng).assignment,
+            KMeansAlgo::SinglePass => single_pass_kmeans(z, k, 4 * k, rng).1,
+        }
+    };
+    let au_raw = cluster(&zu, ku, au_pre, &mut rng);
+    let ai_raw = cluster(&zi, ki, ai_pre, &mut rng);
+    let num_ku = au_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ku.min(zu.rows()));
+    let num_ki = ai_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ki.min(zi.rows()));
+    let au = Assignment::new(au_raw, num_ku);
+    let ai = Assignment::new(ai_raw, num_ki);
+
+    // (G^l, X_u^l, X_i^l) <- F(C_u^l, C_i^l, G^{l-1})
+    let coarsened = coarsen(g, &au, &ai);
+    let new_xu = mean_by_cluster(&zu, au.as_slice(), au.num_clusters());
+    let new_xi = mean_by_cluster(&zi, ai.as_slice(), ai.num_clusters());
+
+    Ok((
+        Level {
+            user_embeddings: zu,
+            item_embeddings: zi,
+            user_assignment: au,
+            item_assignment: ai,
+            coarsened,
+            epoch_losses: trained.epoch_losses,
+        },
+        new_xu,
+        new_xi,
+    ))
+}
+
 /// Builds the full HiGNN hierarchy over `graph` (Algorithm 1).
 ///
 /// Stops early (returning fewer levels) if a coarsened graph becomes too
-/// small to cluster further or loses all edges.
+/// small to cluster further or loses all edges. Infallible convenience
+/// wrapper over [`build_hierarchy_with`] with default options (no
+/// checkpointing, no guard, no faults).
 pub fn build_hierarchy(
     graph: &BipartiteGraph,
     user_feats: &Matrix,
     item_feats: &Matrix,
     cfg: &HignnConfig,
 ) -> Hierarchy {
+    build_hierarchy_with(graph, user_feats, item_feats, cfg, &BuildOptions::default())
+        .expect("infallible without checkpointing, guard, or fault injection")
+}
+
+/// [`build_hierarchy`] with crash safety: per-level checkpointing,
+/// resume, numeric-health guards, and (for tests) fault injection.
+///
+/// With `opts.checkpoint` set, every completed level is persisted
+/// atomically before the next begins, and `opts.resume` continues an
+/// interrupted run from its last durable level — producing a hierarchy
+/// **identical** to the uninterrupted one (each level's RNG stream is
+/// derived independently from `cfg.seed`, so nothing depends on how
+/// many levels ran in this process).
+pub fn build_hierarchy_with(
+    graph: &BipartiteGraph,
+    user_feats: &Matrix,
+    item_feats: &Matrix,
+    cfg: &HignnConfig,
+    opts: &BuildOptions<'_>,
+) -> Result<Hierarchy, HignnError> {
     assert!(cfg.levels >= 1, "build_hierarchy: need at least one level");
     assert_eq!(user_feats.rows(), graph.num_left(), "user feature rows");
     assert_eq!(item_feats.rows(), graph.num_right(), "item feature rows");
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC1A5);
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(HignnError::Config("resume requires a checkpoint directory".into()));
+    }
+
+    let fingerprint = run_fingerprint(graph, user_feats, item_feats, cfg);
+    let mut levels: Vec<Level> = Vec::with_capacity(cfg.levels);
+    if let Some(store) = opts.checkpoint {
+        if opts.resume {
+            let (_meta, loaded) = store.load_state(fingerprint, cfg.levels)?;
+            levels = loaded;
+        } else {
+            // Fresh run: (re)initialise the meta record.
+            store.write_meta(&CheckpointMeta {
+                fingerprint,
+                seed: cfg.seed,
+                levels_total: cfg.levels as u64,
+                levels_done: 0,
+            })?;
+        }
+    }
+
+    // Replay the loop state up to the last completed level. The inputs
+    // of level l+1 are a deterministic function of level l's stored
+    // embeddings and assignments, so nothing extra needs persisting.
     let mut g = graph.clone();
     let mut xu = user_feats.clone();
     let mut xi = item_feats.clone();
-    let mut levels = Vec::with_capacity(cfg.levels);
-
-    for level in 1..=cfg.levels {
-        // (Z_u^l, Z_i^l) <- BG(G^{l-1}, X_u^{l-1}, X_i^{l-1})
-        let sage_cfg = BipartiteSageConfig { input_dim: xu.cols(), ..cfg.sage.clone() };
-        // Trainable feature tables only make sense at level 1 (raw
-        // vertices with uninformative features); coarser levels inherit
-        // informative mean-member embeddings.
-        let mut train_cfg = cfg.train.clone();
-        if level > 1 {
-            train_cfg.trainable_features = false;
-        }
-        // Coarsened graphs are orders of magnitude smaller; give them
-        // proportionally more epochs (still cheap) so the upper levels
-        // are not undertrained relative to level 1.
-        if g.num_edges() < 2000 {
-            train_cfg.epochs = (train_cfg.epochs * 4).min(60);
-        }
-        let trained = train_unsupervised(
-            &g,
-            &xu,
-            &xi,
-            sage_cfg,
-            &train_cfg,
-            cfg.seed.wrapping_add(level as u64),
+    for level in &levels {
+        g = level.coarsened.clone();
+        xu = mean_by_cluster(
+            &level.user_embeddings,
+            level.user_assignment.as_slice(),
+            level.user_assignment.num_clusters(),
         );
-        let (mut zu, mut zi) = trained.embed_all(&g, &xu, &xi);
-        if cfg.normalize {
-            zu.l2_normalize_rows();
-            zi.l2_normalize_rows();
-        }
-
-        // C_u^l, C_i^l <- K_u(Z_u^l), K_i(Z_i^l)
-        let ((ku, au_pre), (ki, ai_pre)) =
-            pick_counts(&cfg.cluster_counts, level, &zu, &zi, &mut rng);
-        let cluster = |z: &Matrix, k: usize, pre: Option<Vec<u32>>, rng: &mut StdRng| -> Vec<u32> {
-            if let Some(a) = pre {
-                return a;
-            }
-            match cfg.kmeans {
-                KMeansAlgo::Lloyd => kmeans(z, &KMeansConfig::new(k), rng).assignment,
-                KMeansAlgo::SinglePass => single_pass_kmeans(z, k, 4 * k, rng).1,
-            }
-        };
-        let au_raw = cluster(&zu, ku, au_pre, &mut rng);
-        let ai_raw = cluster(&zi, ki, ai_pre, &mut rng);
-        let num_ku = au_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ku.min(zu.rows()));
-        let num_ki = ai_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ki.min(zi.rows()));
-        let au = Assignment::new(au_raw, num_ku);
-        let ai = Assignment::new(ai_raw, num_ki);
-
-        // (G^l, X_u^l, X_i^l) <- F(C_u^l, C_i^l, G^{l-1})
-        let coarsened = coarsen(&g, &au, &ai);
-        let new_xu = mean_by_cluster(&zu, au.as_slice(), au.num_clusters());
-        let new_xi = mean_by_cluster(&zi, ai.as_slice(), ai.num_clusters());
-
-        let done = coarsened.num_edges() == 0
-            || coarsened.num_left() < 4
-            || coarsened.num_right() < 4;
-
-        levels.push(Level {
-            user_embeddings: zu,
-            item_embeddings: zi,
-            user_assignment: au,
-            item_assignment: ai,
-            coarsened: coarsened.clone(),
-            epoch_losses: trained.epoch_losses,
-        });
-
-        if done && level < cfg.levels {
-            break;
-        }
-        g = coarsened;
-        xu = new_xu;
-        xi = new_xi;
+        xi = mean_by_cluster(
+            &level.item_embeddings,
+            level.item_assignment.as_slice(),
+            level.item_assignment.num_clusters(),
+        );
     }
 
-    Hierarchy { levels, num_users: graph.num_left(), num_items: graph.num_right() }
+    let resumed_done = levels.last().is_some_and(|l| coarse_exhausted(&l.coarsened));
+    let start = levels.len() + 1;
+    let guard = match opts.guard {
+        GuardPolicy::Off => TrainGuard::default(),
+        _ => TrainGuard::checking(),
+    };
+
+    if !resumed_done {
+        for level in start..=cfg.levels {
+            let crash_after_epoch = match opts.fault {
+                Some(FaultPlan::CrashAfterEpoch { level: fl, epoch }) if fl == level => Some(epoch),
+                _ => None,
+            };
+            let mut retry: u64 = 0;
+            let (built, new_xu, new_xi) = loop {
+                match build_one_level(&g, &xu, &xi, cfg, level, retry, guard, crash_after_epoch) {
+                    Ok(out) => break out,
+                    Err(LevelFailure::Injected { description }) => {
+                        return Err(HignnError::FaultInjected {
+                            description: format!("level {level}: {description}"),
+                        });
+                    }
+                    Err(LevelFailure::NonFinite { epoch, detail }) => match opts.guard {
+                        GuardPolicy::Rollback { max_retries } if (retry as usize) < max_retries => {
+                            retry += 1;
+                        }
+                        _ => return Err(HignnError::Diverged { level, epoch, detail }),
+                    },
+                }
+            };
+
+            if let Some(store) = opts.checkpoint {
+                // Level record first, then the meta commit point: a
+                // crash in between leaves an orphan level file that a
+                // resumed run simply overwrites.
+                store.save_level(level, &built)?;
+                store.write_meta(&CheckpointMeta {
+                    fingerprint,
+                    seed: cfg.seed,
+                    levels_total: cfg.levels as u64,
+                    levels_done: level as u64,
+                })?;
+            }
+            match opts.fault {
+                Some(FaultPlan::CrashAfterLevel(fl)) if fl == level => {
+                    return Err(HignnError::FaultInjected {
+                        description: format!("simulated crash after level {level} checkpoint"),
+                    });
+                }
+                Some(FaultPlan::TruncateCheckpoint { level: fl, keep_bytes }) if fl == level => {
+                    let store = opts.checkpoint.ok_or_else(|| {
+                        HignnError::Config("truncate fault requires a checkpoint directory".into())
+                    })?;
+                    store.truncate_level(level, keep_bytes)?;
+                    return Err(HignnError::FaultInjected {
+                        description: format!(
+                            "truncated level {level} checkpoint to {keep_bytes} bytes and crashed"
+                        ),
+                    });
+                }
+                Some(FaultPlan::CorruptCheckpoint { level: fl, offset, mask }) if fl == level => {
+                    let store = opts.checkpoint.ok_or_else(|| {
+                        HignnError::Config("corrupt fault requires a checkpoint directory".into())
+                    })?;
+                    store.corrupt_level(level, offset, mask)?;
+                    return Err(HignnError::FaultInjected {
+                        description: format!(
+                            "corrupted level {level} checkpoint at offset {offset} and crashed"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+
+            let done = coarse_exhausted(&built.coarsened);
+            g = built.coarsened.clone();
+            levels.push(built);
+            if done && level < cfg.levels {
+                break;
+            }
+            xu = new_xu;
+            xi = new_xi;
+        }
+    }
+
+    Ok(Hierarchy { levels, num_users: graph.num_left(), num_items: graph.num_right() })
 }
 
 #[cfg(test)]

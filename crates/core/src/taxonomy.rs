@@ -264,6 +264,7 @@ mod tests {
 
     /// Two topic blocks: queries/items 0..n/2 on topic A with token 1,
     /// the rest on topic B with token 2.
+    #[allow(clippy::type_complexity)]
     fn blocky() -> (BipartiteGraph, Matrix, Matrix, Vec<String>, Vec<Vec<u32>>, Vec<Vec<u32>>) {
         let n = 24;
         let mut rng = StdRng::seed_from_u64(3);

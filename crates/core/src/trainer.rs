@@ -135,8 +135,49 @@ impl TrainedSage {
     }
 }
 
+/// Per-epoch numeric-health checks for training.
+///
+/// When enabled, every epoch's mean loss and every parameter matrix are
+/// checked for finiteness (via `Matrix::all_finite`); the first NaN/Inf
+/// stops training with [`TrainError::NonFinite`] instead of silently
+/// poisoning all downstream levels. What happens next (abort the run or
+/// roll back to the last checkpoint) is decided by the caller's
+/// divergence policy — see `crate::stack::GuardPolicy`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrainGuard {
+    /// Run the per-epoch checks.
+    pub enabled: bool,
+}
+
+impl TrainGuard {
+    /// A guard that checks every epoch.
+    pub fn checking() -> Self {
+        TrainGuard { enabled: true }
+    }
+}
+
+/// Why [`train_unsupervised_checked`] stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// A non-finite loss or parameter appeared.
+    NonFinite {
+        /// 0-based epoch at which it was detected.
+        epoch: usize,
+        /// What was non-finite (e.g. `mean epoch loss = NaN`).
+        detail: String,
+    },
+    /// A fault plan asked for a simulated crash at this point.
+    Injected {
+        /// 0-based epoch after which the crash fired.
+        epoch: usize,
+        /// Human-readable description of the injected fault.
+        description: String,
+    },
+}
+
 /// Trains one bipartite GraphSAGE level on `graph` with the unsupervised
-/// loss, returning the trained module.
+/// loss, returning the trained module. Infallible convenience wrapper
+/// over [`train_unsupervised_checked`] with the guard disabled.
 pub fn train_unsupervised(
     graph: &BipartiteGraph,
     user_feats: &Matrix,
@@ -145,6 +186,33 @@ pub fn train_unsupervised(
     cfg: &SageTrainConfig,
     seed: u64,
 ) -> TrainedSage {
+    train_unsupervised_checked(
+        graph,
+        user_feats,
+        item_feats,
+        sage_cfg,
+        cfg,
+        seed,
+        TrainGuard::default(),
+        None,
+    )
+    .expect("training cannot fail with the guard disabled and no fault injection")
+}
+
+/// Like [`train_unsupervised`], but with per-epoch numeric-health
+/// checks ([`TrainGuard`]) and an optional simulated crash after epoch
+/// `crash_after_epoch` (0-based) for the fault-injection harness.
+#[allow(clippy::too_many_arguments)]
+pub fn train_unsupervised_checked(
+    graph: &BipartiteGraph,
+    user_feats: &Matrix,
+    item_feats: &Matrix,
+    sage_cfg: BipartiteSageConfig,
+    cfg: &SageTrainConfig,
+    seed: u64,
+    guard: TrainGuard,
+    crash_after_epoch: Option<usize>,
+) -> Result<TrainedSage, TrainError> {
     assert!(graph.num_edges() > 0, "train_unsupervised: graph has no edges");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
@@ -178,7 +246,7 @@ pub fn train_unsupervised(
     let mut order: Vec<usize> = (0..edges.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
-    for _epoch in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
         // Shuffle edge order.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -271,10 +339,32 @@ pub fn train_unsupervised(
             let grads = tape.backward(loss);
             opt.step(&mut store, &grads);
         }
-        epoch_losses.push((epoch_loss / batches.max(1) as f64) as f32);
+        let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
+        epoch_losses.push(mean_loss);
+
+        if guard.enabled {
+            if !mean_loss.is_finite() {
+                return Err(TrainError::NonFinite {
+                    epoch,
+                    detail: format!("mean epoch loss = {mean_loss}"),
+                });
+            }
+            if !store.all_finite() {
+                return Err(TrainError::NonFinite {
+                    epoch,
+                    detail: "non-finite parameter after optimizer step".into(),
+                });
+            }
+        }
+        if crash_after_epoch == Some(epoch) {
+            return Err(TrainError::Injected {
+                epoch,
+                description: format!("simulated crash after epoch {epoch}"),
+            });
+        }
     }
 
-    TrainedSage { sage, scorer, store, feature_params, epoch_losses }
+    Ok(TrainedSage { sage, scorer, store, feature_params, epoch_losses })
 }
 
 #[cfg(test)]

@@ -42,7 +42,8 @@ impl TopicHierarchy {
         let mut parent = vec![0usize];
         let mut children: Vec<Vec<usize>> = vec![Vec::new()];
         let mut level = vec![0usize];
-        let mut level_ranges = vec![0..1];
+        let mut level_ranges = Vec::with_capacity(branching.len() + 1);
+        level_ranges.push(0..1);
         let mut frontier = vec![0usize];
         for (depth, &b) in branching.iter().enumerate() {
             let start = parent.len();

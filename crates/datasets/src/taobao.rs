@@ -129,8 +129,8 @@ impl GroundTruth {
         let path = &self.user_paths[user];
         let leaf = self.item_leaf[item] as usize;
         let mut matching = 0usize;
-        for level in 1..=depth {
-            if self.hierarchy.ancestor_at_level(leaf, level) == path[level] {
+        for (level, &p) in path.iter().enumerate().take(depth + 1).skip(1) {
+            if self.hierarchy.ancestor_at_level(leaf, level) == p {
                 matching = level;
             } else {
                 break;

@@ -28,16 +28,46 @@ pub struct ParsedEdgeList {
     pub left_ids: Vec<u64>,
     /// Original right-side ids, indexed by dense id.
     pub right_ids: Vec<u64>,
+    /// Malformed lines skipped ([`LinePolicy::Lenient`] only; always 0
+    /// under [`LinePolicy::Strict`]).
+    pub skipped_lines: usize,
 }
 
-fn bad_line(line_no: usize, msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {msg}"))
+/// What to do with a malformed data line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LinePolicy {
+    /// Fail on the first malformed line with an error naming the
+    /// 1-based line number and quoting the offending content.
+    #[default]
+    Strict,
+    /// Skip malformed lines, counting them in
+    /// [`ParsedEdgeList::skipped_lines`].
+    Lenient,
 }
 
-/// Reads a whitespace/tab/comma-delimited edge list.
+fn bad_line(line_no: usize, msg: &str, content: &str) -> io::Error {
+    // Quote the offending content (truncated) so the operator can find
+    // and fix it without opening the file at the reported line.
+    let shown: String = if content.chars().count() > 60 {
+        let head: String = content.chars().take(57).collect();
+        format!("{head}...")
+    } else {
+        content.to_string()
+    };
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {line_no}: {msg}: `{shown}`"),
+    )
+}
+
+/// Reads a whitespace/tab/comma-delimited edge list with
+/// [`LinePolicy::Strict`].
 ///
 /// Each data line is `left right [weight]`; `#`-prefixed lines and blank
-/// lines are skipped; a missing weight defaults to 1.0.
+/// lines are skipped; a missing weight defaults to 1.0. The first
+/// malformed line fails the parse with an error naming its 1-based line
+/// number and quoting its content; use [`read_edge_list_with`] with
+/// [`LinePolicy::Lenient`] to skip malformed lines instead.
 ///
 /// ```
 /// use hignn_graph::edgelist::read_edge_list;
@@ -46,11 +76,45 @@ fn bad_line(line_no: usize, msg: &str) -> io::Error {
 /// assert_eq!(parsed.left_ids, vec![7]);
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> io::Result<ParsedEdgeList> {
+    read_edge_list_with(reader, LinePolicy::Strict)
+}
+
+/// Reads an edge list with an explicit malformed-line policy.
+pub fn read_edge_list_with<R: Read>(reader: R, policy: LinePolicy) -> io::Result<ParsedEdgeList> {
     let mut left_map: HashMap<u64, u32> = HashMap::new();
     let mut right_map: HashMap<u64, u32> = HashMap::new();
     let mut left_ids: Vec<u64> = Vec::new();
     let mut right_ids: Vec<u64> = Vec::new();
     let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut skipped_lines = 0usize;
+
+    let parse_line = |line_no: usize, data: &str| -> io::Result<(u64, u64, f32)> {
+        let mut fields =
+            data.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty());
+        let left: u64 = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing left id", data))?
+            .parse()
+            .map_err(|_| bad_line(line_no, "left id is not a non-negative integer", data))?;
+        let right: u64 = fields
+            .next()
+            .ok_or_else(|| bad_line(line_no, "missing right id", data))?
+            .parse()
+            .map_err(|_| bad_line(line_no, "right id is not a non-negative integer", data))?;
+        let weight: f32 = match fields.next() {
+            Some(w) => {
+                w.parse().map_err(|_| bad_line(line_no, "weight is not a number", data))?
+            }
+            None => 1.0,
+        };
+        if fields.next().is_some() {
+            return Err(bad_line(line_no, "too many fields (expected `left right [weight]`)", data));
+        }
+        if !(weight.is_finite() && weight > 0.0) {
+            return Err(bad_line(line_no, "weight must be positive and finite", data));
+        }
+        Ok((left, right, weight))
+    };
 
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
@@ -59,29 +123,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<ParsedEdgeList> {
         if data.is_empty() {
             continue;
         }
-        let mut fields = data.split(|c: char| c == ',' || c.is_whitespace()).filter(|f| !f.is_empty());
-        let left: u64 = fields
-            .next()
-            .ok_or_else(|| bad_line(line_no, "missing left id"))?
-            .parse()
-            .map_err(|_| bad_line(line_no, "left id is not a non-negative integer"))?;
-        let right: u64 = fields
-            .next()
-            .ok_or_else(|| bad_line(line_no, "missing right id"))?
-            .parse()
-            .map_err(|_| bad_line(line_no, "right id is not a non-negative integer"))?;
-        let weight: f32 = match fields.next() {
-            Some(w) => w
-                .parse()
-                .map_err(|_| bad_line(line_no, "weight is not a number"))?,
-            None => 1.0,
+        let (left, right, weight) = match parse_line(line_no, data) {
+            Ok(parsed) => parsed,
+            Err(e) => match policy {
+                LinePolicy::Strict => return Err(e),
+                LinePolicy::Lenient => {
+                    skipped_lines += 1;
+                    continue;
+                }
+            },
         };
-        if fields.next().is_some() {
-            return Err(bad_line(line_no, "too many fields"));
-        }
-        if !(weight.is_finite() && weight > 0.0) {
-            return Err(bad_line(line_no, "weight must be positive and finite"));
-        }
         let l = *left_map.entry(left).or_insert_with(|| {
             left_ids.push(left);
             (left_ids.len() - 1) as u32
@@ -93,10 +144,17 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<ParsedEdgeList> {
         edges.push((l, r, weight));
     }
     if edges.is_empty() {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "edge list is empty"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            if skipped_lines > 0 {
+                format!("edge list has no valid lines ({skipped_lines} malformed lines skipped)")
+            } else {
+                "edge list is empty".to_string()
+            },
+        ));
     }
     let graph = BipartiteGraph::from_edges(left_ids.len(), right_ids.len(), edges);
-    Ok(ParsedEdgeList { graph, left_ids, right_ids })
+    Ok(ParsedEdgeList { graph, left_ids, right_ids, skipped_lines })
 }
 
 /// Writes a graph as a tab-separated edge list (`left right weight`).
@@ -148,9 +206,31 @@ mod tests {
         assert!(read_edge_list("1 2 -1.0\n".as_bytes()).is_err());
         assert!(read_edge_list("1 2 3 4\n".as_bytes()).is_err());
         assert!(read_edge_list("".as_bytes()).is_err());
-        // Error message names the line.
-        let err = read_edge_list("1 2 1.0\nbroken\n".as_bytes()).unwrap_err();
-        assert!(err.to_string().contains("line 2"), "{err}");
+        // Error message names the 1-based line and quotes its content.
+        let err = read_edge_list("1 2 1.0\nbroken line\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("`broken line`"), "{msg}");
+        // Over-long content is truncated, not dumped wholesale.
+        let long = format!("1 2 {}\n", "x".repeat(500));
+        let msg = read_edge_list(long.as_bytes()).unwrap_err().to_string();
+        assert!(msg.contains("..."), "{msg}");
+        assert!(msg.len() < 200, "error message too long: {} chars", msg.len());
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_malformed_lines() {
+        let text = "1 2 1.0\nbroken\n3 4\n5 six 2.0\n";
+        let parsed = read_edge_list_with(text.as_bytes(), LinePolicy::Lenient).unwrap();
+        assert_eq!(parsed.graph.num_edges(), 2);
+        assert_eq!(parsed.skipped_lines, 2);
+        // Strict mode reports zero skips on clean input.
+        let clean = read_edge_list("1 2 1.0\n".as_bytes()).unwrap();
+        assert_eq!(clean.skipped_lines, 0);
+        // All-malformed input still errors, mentioning the skip count.
+        let err = read_edge_list_with("junk\nmore junk\n".as_bytes(), LinePolicy::Lenient)
+            .unwrap_err();
+        assert!(err.to_string().contains("2 malformed"), "{err}");
     }
 
     #[test]

@@ -41,33 +41,43 @@ pub fn read_graph<R: Read>(r: &mut R) -> io::Result<BipartiteGraph> {
     }
     let mut u32buf = [0u8; 4];
     let mut u64buf = [0u8; 8];
-    r.read_exact(&mut u32buf)?;
+    r.read_exact(&mut u32buf)
+        .map_err(|_| bad_data("graph: truncated in `version` field"))?;
     if u32::from_le_bytes(u32buf) != VERSION {
         return Err(bad_data("graph: unsupported version"));
     }
-    r.read_exact(&mut u64buf)?;
-    let num_left = u64::from_le_bytes(u64buf) as usize;
-    r.read_exact(&mut u64buf)?;
-    let num_right = u64::from_le_bytes(u64buf) as usize;
-    r.read_exact(&mut u64buf)?;
-    let num_edges = u64::from_le_bytes(u64buf) as usize;
+    let mut read_dim = |r: &mut R, what: &str| -> io::Result<usize> {
+        r.read_exact(&mut u64buf)
+            .map_err(|_| bad_data(&format!("graph: truncated in `{what}` field")))?;
+        Ok(u64::from_le_bytes(u64buf) as usize)
+    };
+    let num_left = read_dim(r, "num_left")?;
+    let num_right = read_dim(r, "num_right")?;
+    let num_edges = read_dim(r, "num_edges")?;
     if num_edges > 1 << 32 {
         return Err(bad_data("graph: implausible edge count"));
     }
-    let mut edges = Vec::with_capacity(num_edges);
+    // Grow incrementally instead of pre-allocating `num_edges` slots: a
+    // corrupt count then fails at EOF without a giant allocation.
+    let mut edges = Vec::new();
     let mut f32buf = [0u8; 4];
-    for _ in 0..num_edges {
-        r.read_exact(&mut u32buf)?;
+    for k in 0..num_edges {
+        let field = |buf: &mut [u8], r: &mut R, what: &str| -> io::Result<()> {
+            r.read_exact(buf).map_err(|_| {
+                bad_data(&format!("graph: truncated in edge {k} of {num_edges} (`{what}`)"))
+            })
+        };
+        field(&mut u32buf, r, "left")?;
         let l = u32::from_le_bytes(u32buf);
-        r.read_exact(&mut u32buf)?;
+        field(&mut u32buf, r, "right")?;
         let rt = u32::from_le_bytes(u32buf);
-        r.read_exact(&mut f32buf)?;
+        field(&mut f32buf, r, "weight")?;
         let weight = f32::from_le_bytes(f32buf);
         if (l as usize) >= num_left || (rt as usize) >= num_right {
-            return Err(bad_data("graph: edge endpoint out of range"));
+            return Err(bad_data(&format!("graph: edge {k} endpoint out of range")));
         }
         if !(weight.is_finite() && weight > 0.0) {
-            return Err(bad_data("graph: invalid edge weight"));
+            return Err(bad_data(&format!("graph: edge {k} has invalid weight")));
         }
         edges.push((l, rt, weight));
     }

@@ -72,19 +72,23 @@ pub fn write_matrix<W: Write>(w: &mut W, m: &Matrix) -> io::Result<()> {
 /// Reads a matrix in the `HGMX` format.
 pub fn read_matrix<R: Read>(r: &mut R) -> io::Result<Matrix> {
     check_header(r, MATRIX_MAGIC, "matrix")?;
-    let rows = read_u64(r)? as usize;
-    let cols = read_u64(r)? as usize;
+    let rows = read_u64(r).map_err(|_| bad_data("matrix: truncated in `rows` field"))? as usize;
+    let cols = read_u64(r).map_err(|_| bad_data("matrix: truncated in `cols` field"))? as usize;
     let count = rows
         .checked_mul(cols)
-        .ok_or_else(|| bad_data("matrix: dimension overflow"))?;
-    // Sanity cap: refuse absurd allocations from corrupted headers.
+        .ok_or_else(|| bad_data("matrix: dimension overflow (rows * cols)"))?;
+    // Sanity cap: refuse absurd sizes from corrupted headers.
     if count > 1 << 32 {
         return Err(bad_data("matrix: implausible size"));
     }
-    let mut data = Vec::with_capacity(count);
+    // Grow incrementally instead of pre-allocating the declared size:
+    // a corrupt header then fails at EOF without a giant allocation.
+    let mut data = Vec::new();
     let mut buf = [0u8; 4];
-    for _ in 0..count {
-        r.read_exact(&mut buf)?;
+    for k in 0..count {
+        r.read_exact(&mut buf).map_err(|_| {
+            bad_data(&format!("matrix: truncated in `data` (element {k} of {count})"))
+        })?;
         data.push(f32::from_le_bytes(buf));
     }
     Ok(Matrix::from_vec(rows, cols, data))
@@ -110,21 +114,28 @@ pub fn write_param_store<W: Write>(w: &mut W, store: &ParamStore) -> io::Result<
 /// code see the same ids.
 pub fn read_param_store<R: Read>(r: &mut R) -> io::Result<ParamStore> {
     check_header(r, PARAMS_MAGIC, "param store")?;
-    let count = read_u64(r)? as usize;
+    let count =
+        read_u64(r).map_err(|_| bad_data("param store: truncated in `count` field"))? as usize;
     if count > 1 << 24 {
         return Err(bad_data("param store: implausible count"));
     }
     let mut store = ParamStore::new();
-    for _ in 0..count {
-        let name_len = read_u32(r)? as usize;
+    for k in 0..count {
+        let name_len = read_u32(r)
+            .map_err(|_| bad_data(&format!("param store: truncated in `name_len` (entry {k})")))?
+            as usize;
         if name_len > 4096 {
-            return Err(bad_data("param store: implausible name length"));
+            return Err(bad_data(&format!(
+                "param store: implausible name length {name_len} (entry {k})"
+            )));
         }
         let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
+        r.read_exact(&mut name)
+            .map_err(|_| bad_data(&format!("param store: truncated in `name` (entry {k})")))?;
         let name = String::from_utf8(name)
-            .map_err(|_| bad_data("param store: non-UTF8 name"))?;
-        let value = read_matrix(r)?;
+            .map_err(|_| bad_data(&format!("param store: non-UTF8 name (entry {k})")))?;
+        let value = read_matrix(r)
+            .map_err(|e| bad_data(&format!("param store: entry {k} (`{name}`): {e}")))?;
         store.add(name, value);
     }
     Ok(store)

@@ -63,14 +63,14 @@ pub fn train_word2vec(
                 let w = rng.gen_range(1..=cfg.window);
                 let lo = pos.saturating_sub(w);
                 let hi = (pos + w + 1).min(sent.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &ctx_tok) in sent.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
                     let progress = step as f32 / total_steps as f32;
                     let lr = cfg.lr * (1.0 - 0.9 * progress.min(1.0));
                     step += 1;
-                    let context = sent[ctx_pos] as usize;
+                    let context = ctx_tok as usize;
                     grad_in.iter_mut().for_each(|g| *g = 0.0);
                     // Positive pair + negatives.
                     for neg_i in 0..=cfg.negative {

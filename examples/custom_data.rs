@@ -22,7 +22,7 @@ fn main() {
     for user in 0..120u64 {
         let community = user % 3;
         for _ in 0..6 {
-            let item = 1000 + community * 40 + rng.gen_range(0..40);
+            let item = 1000 + community * 40 + rng.gen_range(0..40u64);
             let clicks = rng.gen_range(1..4);
             log.push_str(&format!("{user} {item} {clicks}\n"));
         }

@@ -63,7 +63,7 @@ fn main() {
     //    (no retraining) and look at where they land.
     let session_clicks = vec![(3u32, 2.0f32), (17, 1.0), (42, 1.0)];
     println!("\nnew visitor clicked items {:?}", session_clicks.iter().map(|c| c.0).collect::<Vec<_>>());
-    let folded = model.fold_in_users(&[session_clicks.clone()]);
+    let folded = model.fold_in_users(std::slice::from_ref(&session_clicks));
     println!("folded-in hierarchical embedding: 1 x {}", folded.cols());
 
     // 4. Recommend top-5 items for the new visitor by splicing its

@@ -1,0 +1,430 @@
+//! Crash-safety integration tests: checkpoint/resume determinism,
+//! fault injection, corruption detection, and format fuzzing.
+//!
+//! These drive the whole recovery story at the library level (the CLI
+//! tests in `hignn-cli` cover the same story end to end through the
+//! binary's flags and exit codes):
+//!
+//! * a build killed after any level — or mid-level — and resumed from
+//!   its checkpoint produces a hierarchy **byte-identical** to an
+//!   uninterrupted run;
+//! * every injected checkpoint corruption or truncation is detected as
+//!   a checksum/format error (exit class 4), never a panic and never a
+//!   silently wrong hierarchy;
+//! * the `HGHI` v2 codec round-trips arbitrary synthetic hierarchies
+//!   (property-tested) and rejects truncation at every 64-byte boundary.
+
+use hignn::io::{read_hierarchy, write_hierarchy, write_hierarchy_v1};
+use hignn::prelude::*;
+use hignn_graph::{Assignment, BipartiteGraph, SamplingMode};
+use hignn_tensor::{init, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------
+// Helpers.
+
+/// A small clustered graph + features + config that trains in well
+/// under a second but still builds two honest levels.
+fn small_setup() -> (BipartiteGraph, Matrix, Matrix, HignnConfig) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let (blocks, per) = (4usize, 10usize);
+    let n = blocks * per;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        let b = u as usize / per;
+        for _ in 0..5 {
+            let i = (b * per + rng.gen_range(0..per)) as u32;
+            edges.push((u, i, 1.0));
+        }
+    }
+    let g = BipartiteGraph::from_edges(n, n, edges);
+    let uf = init::xavier_uniform(n, 8, &mut rng);
+    let if_ = init::xavier_uniform(n, 8, &mut rng);
+    let cfg = HignnConfig {
+        levels: 2,
+        sage: BipartiteSageConfig {
+            input_dim: 8,
+            dim: 8,
+            fanouts: vec![4, 3],
+            sampling: SamplingMode::Uniform,
+            ..Default::default()
+        },
+        train: SageTrainConfig { epochs: 3, batch_edges: 32, neg_pool: 16, ..Default::default() },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: true,
+        seed: 17,
+    };
+    (g, uf, if_, cfg)
+}
+
+fn serialize(h: &Hierarchy) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_hierarchy(&mut buf, h).expect("in-memory write cannot fail");
+    buf
+}
+
+/// A unique scratch directory per test (parallel test binaries share
+/// the system temp dir).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hignn_cr_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+// ---------------------------------------------------------------------
+// Resume-after-kill reproduces the uninterrupted run byte-for-byte.
+
+#[test]
+fn resume_after_crash_at_each_level_is_byte_identical() {
+    let (g, uf, if_, cfg) = small_setup();
+    let clean = build_hierarchy_with(&g, &uf, &if_, &cfg, &BuildOptions::default()).unwrap();
+    let clean_bytes = serialize(&clean);
+
+    for crash_level in 1..=2usize {
+        let dir = scratch(&format!("lvl{crash_level}"));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let err = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions {
+                checkpoint: Some(&store),
+                fault: Some(FaultPlan::CrashAfterLevel(crash_level)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "expected injected fault, got: {err}");
+
+        let resumed = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            serialize(&resumed),
+            clean_bytes,
+            "resume after crash at level {crash_level} diverged from the uninterrupted run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn resume_after_mid_level_crash_is_byte_identical() {
+    let (g, uf, if_, cfg) = small_setup();
+    let clean = build_hierarchy_with(&g, &uf, &if_, &cfg, &BuildOptions::default()).unwrap();
+
+    // Die inside level 2's training loop: level 1 is durable, level 2 is
+    // lost entirely and must be retrained from scratch on resume.
+    let dir = scratch("midlvl");
+    let store = CheckpointStore::create(&dir).unwrap();
+    let err = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions {
+            checkpoint: Some(&store),
+            fault: Some(FaultPlan::CrashAfterEpoch { level: 2, epoch: 0 }),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 6, "expected injected fault, got: {err}");
+
+    let resumed = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(serialize(&resumed), serialize(&clean));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_different_inputs() {
+    let (g, uf, if_, cfg) = small_setup();
+    let dir = scratch("fingerprint");
+    let store = CheckpointStore::create(&dir).unwrap();
+    let _ = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions {
+            checkpoint: Some(&store),
+            fault: Some(FaultPlan::CrashAfterLevel(1)),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+
+    // Same graph, different seed: a different run. Resuming must be
+    // refused (config error), not silently splice two runs together.
+    let mut other = cfg.clone();
+    other.seed = cfg.seed + 1;
+    let err = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &other,
+        &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 2, "expected config refusal, got: {err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Injected damage is always detected — never a panic, never a silently
+// wrong result.
+
+#[test]
+fn every_seeded_corruption_is_detected_on_resume() {
+    let (g, uf, if_, cfg) = small_setup();
+    let dir = scratch("corrupt");
+    for seed in 0..16u64 {
+        let store = CheckpointStore::create(&dir).unwrap();
+        let err = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions {
+                checkpoint: Some(&store),
+                fault: Some(FaultPlan::seeded_corruption(1, seed)),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "seed {seed}: expected injected fault, got: {err}");
+
+        let resume = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+        );
+        let err = resume.expect_err(&format!("seed {seed}: corruption went undetected"));
+        assert_eq!(err.exit_code(), 4, "seed {seed}: expected corruption, got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn every_truncation_is_detected_on_resume() {
+    let (g, uf, if_, cfg) = small_setup();
+    let dir = scratch("trunc");
+    // 0 = empty file; small values cut inside magic/version/length;
+    // larger ones cut inside the CRC-protected payload.
+    for keep_bytes in [0u64, 3, 4, 8, 15, 16, 64, 500] {
+        let store = CheckpointStore::create(&dir).unwrap();
+        let err = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions {
+                checkpoint: Some(&store),
+                fault: Some(FaultPlan::TruncateCheckpoint { level: 1, keep_bytes }),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6, "keep {keep_bytes}: expected injected fault, got: {err}");
+
+        let resume = build_hierarchy_with(
+            &g,
+            &uf,
+            &if_,
+            &cfg,
+            &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+        );
+        let err = resume.expect_err(&format!("keep {keep_bytes}: truncation went undetected"));
+        assert_eq!(err.exit_code(), 4, "keep {keep_bytes}: expected corruption, got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Numeric-health guard: poisoned inputs surface as structured
+// divergence errors, under both policies.
+
+#[test]
+fn nan_features_trigger_divergence_abort() {
+    let (g, _uf, if_, cfg) = small_setup();
+    let uf = Matrix::from_vec(g.num_left(), 8, vec![f32::NAN; g.num_left() * 8]);
+    let err = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { guard: GuardPolicy::Abort, ..Default::default() },
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 5, "expected divergence, got: {err}");
+    assert!(err.to_string().contains("level 1"), "{err}");
+}
+
+#[test]
+fn rollback_retries_then_gives_up_on_persistent_nan() {
+    // NaN inputs diverge on every retry, so Rollback must eventually
+    // give up with the same structured error instead of looping.
+    let (g, _uf, if_, cfg) = small_setup();
+    let uf = Matrix::from_vec(g.num_left(), 8, vec![f32::NAN; g.num_left() * 8]);
+    let err = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { guard: GuardPolicy::Rollback { max_retries: 2 }, ..Default::default() },
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 5, "expected divergence after retries, got: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Codec fuzzing: truncation at every 64-byte boundary and single-byte
+// corruption must yield clean errors.
+
+#[test]
+fn truncation_at_every_64_byte_boundary_errors_cleanly() {
+    let (g, uf, if_, cfg) = small_setup();
+    let h = build_hierarchy_with(&g, &uf, &if_, &cfg, &BuildOptions::default()).unwrap();
+
+    let v2 = serialize(&h);
+    let mut v1 = Vec::new();
+    write_hierarchy_v1(&mut v1, &h).unwrap();
+    assert!(read_hierarchy(&mut v2.as_slice()).is_ok());
+    assert!(read_hierarchy(&mut v1.as_slice()).is_ok());
+
+    for bytes in [&v2, &v1] {
+        for cut in (0..bytes.len()).step_by(64).chain([bytes.len() - 1]) {
+            let truncated = &bytes[..cut];
+            assert!(
+                read_hierarchy(&mut &truncated[..]).is_err(),
+                "file cut at byte {cut} of {} parsed successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn single_byte_corruption_of_v2_file_errors_cleanly() {
+    let (g, uf, if_, cfg) = small_setup();
+    let h = build_hierarchy_with(&g, &uf, &if_, &cfg, &BuildOptions::default()).unwrap();
+    let clean = serialize(&h);
+    // Different stride and mask than the unit test in `core::io`, for
+    // wider combined coverage of byte positions.
+    for pos in (0..clean.len()).step_by(13) {
+        let mut evil = clean.clone();
+        evil[pos] ^= 0x80;
+        assert!(
+            read_hierarchy(&mut evil.as_slice()).is_err(),
+            "flip at byte {pos} of {} went undetected",
+            clean.len()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests: the codec round-trips arbitrary well-formed
+// hierarchies, not just trained ones.
+
+/// Builds a structurally valid but otherwise arbitrary hierarchy from a
+/// seed: random sizes, random embeddings, random (chain-consistent)
+/// assignments, random coarsened graphs, random loss history.
+fn synth_hierarchy(seed: u64) -> Hierarchy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_users = rng.gen_range(4usize..20);
+    let num_items = rng.gen_range(4usize..20);
+    let dim = rng.gen_range(2usize..6);
+    let num_levels = rng.gen_range(1usize..4);
+
+    let mut levels = Vec::new();
+    let (mut nu, mut ni) = (num_users, num_items);
+    for _ in 0..num_levels {
+        let ku = rng.gen_range(2..=nu.clamp(2, 6));
+        let ki = rng.gen_range(2..=ni.clamp(2, 6));
+        // Guarantee every cluster id stays in range; coverage of all
+        // clusters is not required by the format.
+        let ua: Vec<u32> = (0..nu).map(|_| rng.gen_range(0..ku as u32)).collect();
+        let ia: Vec<u32> = (0..ni).map(|_| rng.gen_range(0..ki as u32)).collect();
+        let num_edges = rng.gen_range(0usize..12);
+        let edges: Vec<(u32, u32, f32)> = (0..num_edges)
+            .map(|_| {
+                (
+                    rng.gen_range(0..ku as u32),
+                    rng.gen_range(0..ki as u32),
+                    rng.gen_range(0.5f32..4.0),
+                )
+            })
+            .collect();
+        let num_losses = rng.gen_range(0usize..4);
+        levels.push(Level {
+            user_embeddings: init::xavier_uniform(nu, dim, &mut rng),
+            item_embeddings: init::xavier_uniform(ni, dim, &mut rng),
+            user_assignment: Assignment::new(ua, ku),
+            item_assignment: Assignment::new(ia, ki),
+            coarsened: BipartiteGraph::from_edges(ku, ki, edges),
+            epoch_losses: (0..num_losses).map(|_| rng.gen_range(0.0f32..2.0)).collect(),
+        });
+        nu = ku;
+        ni = ki;
+    }
+    Hierarchy::from_parts(levels, num_users, num_items).expect("synthetic hierarchy is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn synthetic_hierarchy_v2_roundtrip(seed in 0u64..100_000) {
+        let h = synth_hierarchy(seed);
+        let bytes = serialize(&h);
+        let back = read_hierarchy(&mut bytes.as_slice()).unwrap();
+        // Re-serialisation being byte-identical covers every field of
+        // every level in one comparison.
+        prop_assert_eq!(serialize(&back), bytes);
+        prop_assert_eq!(back.num_users(), h.num_users());
+        prop_assert_eq!(back.num_items(), h.num_items());
+        prop_assert_eq!(back.num_levels(), h.num_levels());
+    }
+
+    #[test]
+    fn synthetic_hierarchy_v1_reader_matches_v2(seed in 0u64..100_000) {
+        let h = synth_hierarchy(seed);
+        let mut v1 = Vec::new();
+        write_hierarchy_v1(&mut v1, &h).unwrap();
+        let back = read_hierarchy(&mut v1.as_slice()).unwrap();
+        // The legacy reader reconstructs the same hierarchy: writing it
+        // back in v2 matches the direct v2 encoding.
+        prop_assert_eq!(serialize(&back), serialize(&h));
+    }
+
+    #[test]
+    fn synthetic_hierarchy_truncation_always_errors(
+        seed in 0u64..100_000,
+        frac in 0.0f64..1.0,
+    ) {
+        let h = synth_hierarchy(seed);
+        let bytes = serialize(&h);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        prop_assert!(read_hierarchy(&mut &bytes[..cut]).is_err());
+    }
+}

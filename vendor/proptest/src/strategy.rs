@@ -1,0 +1,281 @@
+//! Strategies: deterministic value generators for property tests.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A generator of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy simply draws a value from the given RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!`).
+pub struct OneOf<S> {
+    arms: Vec<S>,
+}
+
+impl<S: Strategy> OneOf<S> {
+    /// Builds the union; panics on an empty arm list.
+    pub fn new(arms: Vec<S>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<S: Strategy> Strategy for OneOf<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        let k = rng.gen_range(0..self.arms.len());
+        self.arms[k].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// String strategies from a regex subset.
+///
+/// Supported syntax: literal characters, `.` (drawn from a printable
+/// pool including non-ASCII), character classes `[a-z0-9_]` (ranges and
+/// singletons, no negation), and `{m}` / `{m,n}` repetition after an
+/// atom. This covers the patterns the workspace's tests use.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        sample_regex(self, rng)
+    }
+}
+
+/// Pool `.` draws from: ASCII text plus a few multi-byte characters so
+/// tokenisation tests see non-trivial Unicode.
+const DOT_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'B', 'Z', '0', '1', '9', ' ', '\t', '.', ',', '-', '_',
+    '!', '?', '#', '/', 'é', 'ß', 'Ж', '中', '𝐴',
+];
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+fn sample_regex(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in regex `{pattern}`"));
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated range in regex `{pattern}`"));
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex `{pattern}`");
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex `{pattern}`")),
+            ),
+            other => Atom::Literal(other),
+        };
+        // Optional {m} / {m,n} repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for r in chars.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad repeat lower bound"),
+                    n.trim().parse::<usize>().expect("bad repeat upper bound"),
+                ),
+                None => {
+                    let m = spec.trim().parse::<usize>().expect("bad repeat count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.gen_range(lo..=hi);
+        for _ in 0..count {
+            out.push(match &atom {
+                Atom::Literal(c) => *c,
+                Atom::Dot => DOT_POOL[rng.gen_range(0..DOT_POOL.len())],
+                Atom::Class(ranges) => {
+                    let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                    char::from_u32(rng.gen_range(a as u32..=b as u32)).unwrap_or(a)
+                }
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (2usize..5, -1.0f32..1.0, Just(7u8));
+        for _ in 0..200 {
+            let (a, b, c) = s.sample(&mut rng);
+            assert!((2..5).contains(&a));
+            assert!((-1.0..1.0).contains(&b));
+            assert_eq!(c, 7);
+        }
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(0u32..10, n).prop_map(move |v| (n, v))
+        });
+        for _ in 0..100 {
+            let (n, v) = s.sample(&mut rng);
+            assert_eq!(v.len(), n);
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn regex_subset_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let w = "[a-z]{1,6}".sample(&mut rng);
+            assert!((1..=6).contains(&w.chars().count()), "{w:?}");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w:?}");
+            let any = ".{0,40}".sample(&mut rng);
+            assert!(any.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = OneOf::new(vec![Just(1u8), Just(2), Just(3)]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}
