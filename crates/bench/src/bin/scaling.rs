@@ -1,0 +1,171 @@
+//! Thread-scaling benchmark for the data-parallel execution layer.
+//!
+//! Times one unsupervised training epoch and one Lloyd K-means round at
+//! 1/2/4/8 worker threads on a synthetic Taobao-like graph, verifies the
+//! results are bit-identical across thread counts, and writes a
+//! machine-readable `BENCH_parallel.json` (throughput + speedup vs the
+//! 1-thread baseline) as the perf trajectory for future PRs.
+//!
+//! ```sh
+//! cargo run --release -p hignn-bench --bin scaling -- [--scale F] [--seed N] [--quick]
+//! ```
+
+use hignn::prelude::*;
+use hignn_bench::report::banner;
+use hignn_bench::ExpArgs;
+use hignn_cluster::kmeans::{kmeans_with, KMeansConfig};
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Timing {
+    threads: usize,
+    seconds: f64,
+    items_per_sec: f64,
+}
+
+fn speedup(timings: &[Timing], threads: usize) -> f64 {
+    let base = timings.iter().find(|t| t.threads == 1).map(|t| t.seconds).unwrap_or(f64::NAN);
+    let this = timings.iter().find(|t| t.threads == threads).map(|t| t.seconds);
+    this.map(|s| base / s).unwrap_or(f64::NAN)
+}
+
+fn json_section(name: &str, timings: &[Timing], unit: &str) -> String {
+    let mut s = format!("  \"{name}\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"{unit}\": {:.1}, \"speedup\": {:.3}}}{comma}",
+            t.threads,
+            t.seconds,
+            t.items_per_sec,
+            speedup(timings, t.threads),
+        );
+    }
+    s.push_str("  ]");
+    s
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
+    let g = &ds.graph;
+    banner("Thread scaling — one training epoch + one K-means round");
+    println!(
+        "host cores: {host_cores} | graph: {} users x {} items, {} edges | scale {}",
+        g.num_left(),
+        g.num_right(),
+        g.num_edges(),
+        args.scale
+    );
+
+    let sage_cfg = BipartiteSageConfig {
+        input_dim: ds.user_features.cols(),
+        ..Default::default()
+    };
+    let train_cfg = SageTrainConfig { epochs: 1, ..Default::default() };
+    let k = (g.num_left() / 20).max(4);
+
+    let mut train_timings = Vec::new();
+    let mut kmeans_timings = Vec::new();
+    let mut loss_bits: Option<Vec<u32>> = None;
+    let mut inertia_bits: Option<u64> = None;
+    let mut deterministic = true;
+
+    for &threads in &THREAD_COUNTS {
+        let exec = ParallelExecutor::new(threads);
+
+        // One unsupervised epoch (Eq. 5 loss, data-parallel shards).
+        let t0 = Instant::now();
+        let trained = train_unsupervised_checked(
+            g,
+            &ds.user_features,
+            &ds.item_features,
+            sage_cfg.clone(),
+            &train_cfg,
+            args.seed,
+            &exec,
+            TrainGuard::default(),
+            None,
+        )
+        .expect("no guard, no faults");
+        let train_secs = t0.elapsed().as_secs_f64();
+        train_timings.push(Timing {
+            threads,
+            seconds: train_secs,
+            items_per_sec: g.num_edges() as f64 / train_secs,
+        });
+
+        let bits: Vec<u32> = trained.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        match &loss_bits {
+            None => loss_bits = Some(bits),
+            Some(expected) => {
+                if *expected != bits {
+                    eprintln!("DETERMINISM VIOLATION: {threads}-thread epoch loss diverged");
+                    deterministic = false;
+                }
+            }
+        }
+
+        // One Lloyd round over the level-1 user embeddings.
+        let (zu, _zi) = trained.embed_all_with(g, &ds.user_features, &ds.item_features, &exec);
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5CA1);
+        let t1 = Instant::now();
+        let result =
+            kmeans_with(&zu, &KMeansConfig { k, max_iters: 1, tol: 0.0 }, &mut rng, &exec);
+        let km_secs = t1.elapsed().as_secs_f64();
+        kmeans_timings.push(Timing {
+            threads,
+            seconds: km_secs,
+            items_per_sec: zu.rows() as f64 / km_secs,
+        });
+
+        match inertia_bits {
+            None => inertia_bits = Some(result.inertia.to_bits()),
+            Some(expected) => {
+                if expected != result.inertia.to_bits() {
+                    eprintln!("DETERMINISM VIOLATION: {threads}-thread K-means inertia diverged");
+                    deterministic = false;
+                }
+            }
+        }
+
+        println!(
+            "threads {threads}: epoch {:.3}s ({:.0} edges/s, {:.2}x) | kmeans {:.4}s ({:.0} rows/s, {:.2}x)",
+            train_secs,
+            g.num_edges() as f64 / train_secs,
+            speedup(&train_timings, threads),
+            km_secs,
+            zu.rows() as f64 / km_secs,
+            speedup(&kmeans_timings, threads),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \"host_cores\": {host_cores},\n  \"scale\": {},\n  \
+         \"seed\": {},\n  \"graph\": {{\"users\": {}, \"items\": {}, \"edges\": {}}},\n\
+         {},\n{},\n  \"deterministic\": {deterministic},\n  \
+         \"note\": \"speedup is wall-clock T(1 thread)/T(N threads) on this host; with \
+         host_cores < N the extra workers cannot help and the honest number stays ~1x. \
+         Determinism is asserted bitwise across all thread counts.\"\n}}\n",
+        args.scale,
+        args.seed,
+        g.num_left(),
+        g.num_right(),
+        g.num_edges(),
+        json_section("train_epoch", &train_timings, "edges_per_sec"),
+        json_section("kmeans_round", &kmeans_timings, "rows_per_sec"),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json (deterministic = {deterministic})");
+    if !deterministic {
+        std::process::exit(5);
+    }
+}

@@ -8,7 +8,7 @@ use crate::opts::Opts;
 use hignn::checkpoint::CheckpointStore;
 use hignn::io::{load_hierarchy, save_hierarchy};
 use hignn::prelude::*;
-use hignn::stack::{build_hierarchy_with, BuildOptions, GuardPolicy};
+use hignn::stack::GuardPolicy;
 use hignn_graph::edgelist::{read_edge_list_with, LinePolicy, ParsedEdgeList};
 use hignn_graph::GraphStats;
 use hignn_tensor::serialize::write_matrix;
@@ -17,7 +17,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use std::path::Path;
 
 /// Usage text printed by `hignn help`.
 pub const USAGE: &str = "\
@@ -27,12 +26,18 @@ USAGE:
   hignn stats    --edges FILE [--lenient]
   hignn train    --edges FILE --out MODEL [--levels 3] [--alpha 5]
                  [--dim 32] [--epochs 4] [--seed 0] [--no-normalize]
-                 [--checkpoint DIR | --resume DIR]
+                 [--threads N] [--checkpoint DIR | --resume DIR]
                  [--on-divergence abort|rollback|off] [--lenient]
   hignn info     --model MODEL
   hignn embed    --model MODEL --side user|item --out FILE.hgmx
   hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
   hignn help
+
+THREADS:
+  --threads N trains, infers, and clusters on N worker threads
+  (default: all available cores). The thread count never changes the
+  result — any N produces a bit-identical model, and a checkpoint
+  written at one thread count resumes at any other.
 
 CRASH RECOVERY:
   --checkpoint DIR persists each completed level atomically; after a
@@ -97,16 +102,17 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
 
 fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     usage(opts.assert_known(&[
-        "edges", "out", "levels", "alpha", "dim", "epochs", "seed", "no-normalize", "checkpoint",
-        "resume", "on-divergence", "lenient", "fault",
+        "edges", "out", "levels", "alpha", "dim", "epochs", "seed", "no-normalize", "threads",
+        "checkpoint", "resume", "on-divergence", "lenient", "fault",
     ]))?;
-    let parsed = load_edges(opts, out)?;
     let model_path = usage(opts.require("out"))?.to_string();
     let levels: usize = usage(opts.get_or("levels", 3))?;
     let alpha: f64 = usage(opts.get_or("alpha", 5.0))?;
     let dim: usize = usage(opts.get_or("dim", 32))?;
     let epochs: usize = usage(opts.get_or("epochs", 4))?;
     let seed: u64 = usage(opts.get_or("seed", 0))?;
+    let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads: usize = usage(opts.get_or("threads", default_threads))?;
 
     // Crash-safety options. `--resume DIR` implies checkpointing to DIR.
     let (ckpt_dir, resume) = match (opts.get("resume"), opts.get("checkpoint")) {
@@ -135,6 +141,33 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     // deliberately undocumented in USAGE.
     let fault = opts.get("fault").map(FaultPlan::parse).transpose().map_err(HignnError::Config)?;
 
+    // One validated spec carries every knob (including --threads). Built
+    // before any filesystem access, so usage/config errors (exit 2) take
+    // precedence over I/O errors (exit 3).
+    let mut builder = HignnBuilder::new()
+        .levels(levels)
+        .input_dim(dim)
+        .embedding_dim(dim)
+        .epochs(epochs)
+        // Text edge lists carry no vertex features; use trainable random
+        // tables (the featureless-graph treatment, see DESIGN.md §6).
+        .trainable_features(true)
+        .alpha_decay(alpha)
+        .kmeans(KMeansAlgo::Lloyd)
+        .normalize(!opts.flag("no-normalize"))
+        .seed(seed)
+        .threads(threads)
+        .guard(guard)
+        .resume(resume);
+    if let Some(dir) = &ckpt_dir {
+        builder = builder.checkpoint_dir(dir);
+    }
+    if let Some(fault) = fault {
+        builder = builder.fault(fault);
+    }
+    let spec = builder.build()?;
+
+    let parsed = load_edges(opts, out)?;
     let g = &parsed.graph;
     emit(
         out,
@@ -145,28 +178,14 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
             g.num_edges()
         ),
     );
-    // Text edge lists carry no vertex features; use trainable random
-    // tables (the featureless-graph treatment, see DESIGN.md §6).
     let mut rng = StdRng::seed_from_u64(seed ^ 0xCE1);
     let scale = 1.0 / (dim as f32).sqrt();
     let uf = init::normal(g.num_left(), dim, scale, &mut rng);
     let if_ = init::normal(g.num_right(), dim, scale, &mut rng);
-    let cfg = HignnConfig {
-        levels,
-        sage: BipartiteSageConfig { input_dim: dim, dim, ..Default::default() },
-        train: SageTrainConfig { epochs, trainable_features: true, ..Default::default() },
-        cluster_counts: ClusterCounts::AlphaDecay { alpha },
-        kmeans: KMeansAlgo::Lloyd,
-        normalize: !opts.flag("no-normalize"),
-        seed,
-    };
 
-    let store = match &ckpt_dir {
-        Some(dir) => Some(CheckpointStore::create(Path::new(dir))?),
-        None => None,
-    };
     if resume {
-        let meta = store.as_ref().expect("resume implies a store").read_meta()?;
+        let dir = spec.checkpoint_dir().expect("resume implies a checkpoint directory");
+        let meta = CheckpointStore::create(dir)?.read_meta()?;
         emit(
             out,
             format!(
@@ -175,8 +194,7 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
             ),
         );
     }
-    let build_opts = BuildOptions { checkpoint: store.as_ref(), resume, guard, fault };
-    let hierarchy = build_hierarchy_with(g, &uf, &if_, &cfg, &build_opts)?;
+    let hierarchy = spec.run(g, &uf, &if_)?;
     for (l, level) in hierarchy.levels().iter().enumerate() {
         emit(
             out,
@@ -326,6 +344,16 @@ mod tests {
         let err = res.unwrap_err();
         assert_eq!(err.exit_code(), 2, "typo must be a usage error: {err}");
         assert!(err.to_string().contains("levles"), "{err}");
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error() {
+        let (res, _) = run_args(&[
+            "train", "--edges", "e.tsv", "--out", "m.hgh", "--threads", "0",
+        ]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "--threads 0 must exit 2: {err}");
+        assert!(err.to_string().contains("threads"), "{err}");
     }
 
     #[test]

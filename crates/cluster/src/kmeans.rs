@@ -3,7 +3,13 @@
 //! This is the deterministic clustering stage of HiGNN (Algorithm 1,
 //! `K_u(Z_u^l)` / `K_i(Z_i^l)`): given the embedding matrix a bipartite
 //! GraphSAGE level produced, cluster each side in its own feature space.
+//!
+//! The assignment and update steps — the O(n·k·d) bulk of Lloyd — run
+//! data-parallel over fixed row chunks ([`ROW_CHUNK`]); per-chunk
+//! partials merge in chunk order, so any worker count produces
+//! bit-identical clusterings (see [`hignn_tensor::parallel`]).
 
+use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
 use hignn_tensor::Matrix;
 use rand::Rng;
 
@@ -61,9 +67,24 @@ impl KMeansResult {
 /// # Panics
 /// Panics if `data` has no rows or `cfg.k == 0`.
 pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansResult {
+    kmeans_with(data, cfg, rng, &ParallelExecutor::single())
+}
+
+/// [`kmeans`] with an explicit executor for the assignment and update
+/// steps. The worker count never changes the result: both steps
+/// decompose over fixed [`ROW_CHUNK`] row chunks whose partials merge
+/// in chunk order, so `kmeans_with(.., N workers)` is bit-identical to
+/// [`kmeans`].
+pub fn kmeans_with(
+    data: &Matrix,
+    cfg: &KMeansConfig,
+    rng: &mut impl Rng,
+    exec: &ParallelExecutor,
+) -> KMeansResult {
     assert!(data.rows() > 0, "kmeans: empty data");
     assert!(cfg.k > 0, "kmeans: k must be positive");
     let k = cfg.k.min(data.rows());
+    let d = data.cols();
     let mut centroids = kmeans_pp_seed(data, k, rng);
     let mut assignment = vec![0u32; data.rows()];
     let mut inertia = f64::MAX;
@@ -71,22 +92,31 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansRe
 
     for iter in 0..cfg.max_iters {
         iterations = iter + 1;
-        // Assignment step.
-        let mut new_inertia = 0f64;
-        for (i, slot) in assignment.iter_mut().enumerate() {
-            let (c, d) = nearest_centroid(&centroids, data.row(i));
-            *slot = c as u32;
-            new_inertia += d as f64;
-        }
-        // Update step.
-        let mut sums = Matrix::zeros(k, data.cols());
+        // Assignment step (parallel over row chunks).
+        let new_inertia;
+        (assignment, new_inertia) = assign_all(&centroids, data, exec);
+        // Update step: per-chunk partial sums/counts, merged in chunk
+        // order so the f32 accumulation order is fixed.
+        let partials = exec.map_chunks(data.rows(), ROW_CHUNK, |_, range| {
+            let mut sums = vec![0f32; k * d];
+            let mut counts = vec![0usize; k];
+            for i in range {
+                let c = assignment[i] as usize;
+                counts[c] += 1;
+                for (s, &v) in sums[c * d..(c + 1) * d].iter_mut().zip(data.row(i)) {
+                    *s += v;
+                }
+            }
+            (sums, counts)
+        });
+        let mut sums = Matrix::zeros(k, d);
         let mut counts = vec![0usize; k];
-        for (i, &a) in assignment.iter().enumerate() {
-            let c = a as usize;
-            counts[c] += 1;
-            let row = data.row(i);
-            for (s, &v) in sums.row_mut(c).iter_mut().zip(row) {
+        for (part_sums, part_counts) in partials {
+            for (s, v) in sums.data_mut().iter_mut().zip(part_sums) {
                 *s += v;
+            }
+            for (c, v) in counts.iter_mut().zip(part_counts) {
+                *c += v;
             }
         }
         for (c, &count) in counts.iter().enumerate() {
@@ -118,13 +148,36 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut impl Rng) -> KMeansRe
     }
 
     // Final assignment against the last centroid update.
-    let mut final_inertia = 0f64;
-    for (i, slot) in assignment.iter_mut().enumerate() {
-        let (c, d) = nearest_centroid(&centroids, data.row(i));
-        *slot = c as u32;
-        final_inertia += d as f64;
-    }
+    let (assignment, final_inertia) = assign_all(&centroids, data, exec);
     KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
+}
+
+/// Assigns every row of `data` to its nearest centroid, data-parallel
+/// over fixed [`ROW_CHUNK`] chunks. Returns the assignment plus the
+/// total squared distance (inertia), with per-chunk partial inertias
+/// summed in chunk order — bit-identical at any worker count.
+pub fn assign_all(
+    centroids: &Matrix,
+    data: &Matrix,
+    exec: &ParallelExecutor,
+) -> (Vec<u32>, f64) {
+    let chunks = exec.map_chunks(data.rows(), ROW_CHUNK, |_, range| {
+        let mut assigned = Vec::with_capacity(range.len());
+        let mut inertia = 0f64;
+        for i in range {
+            let (c, d) = nearest_centroid(centroids, data.row(i));
+            assigned.push(c as u32);
+            inertia += d as f64;
+        }
+        (assigned, inertia)
+    });
+    let mut assignment = Vec::with_capacity(data.rows());
+    let mut inertia = 0f64;
+    for (assigned, partial) in chunks {
+        assignment.extend(assigned);
+        inertia += partial;
+    }
+    (assignment, inertia)
 }
 
 /// k-means++ seeding: first centre uniform, subsequent centres with
@@ -289,6 +342,27 @@ mod tests {
         let r1 = kmeans(&data, &KMeansConfig::new(3), &mut StdRng::seed_from_u64(5));
         let r2 = kmeans(&data, &KMeansConfig::new(3), &mut StdRng::seed_from_u64(5));
         assert_eq!(r1.assignment, r2.assignment);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_bits() {
+        // > ROW_CHUNK points so the parallel path genuinely chunks.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 700;
+        let mut data = Matrix::zeros(n, 3);
+        for i in 0..n {
+            for j in 0..3 {
+                data.set(i, j, rng.gen_range(-1.0f32..1.0) + (i % 4) as f32 * 5.0);
+            }
+        }
+        let base = kmeans(&data, &KMeansConfig::new(4), &mut StdRng::seed_from_u64(3));
+        for workers in [2, 4, 8] {
+            let exec = ParallelExecutor::new(workers);
+            let r = kmeans_with(&data, &KMeansConfig::new(4), &mut StdRng::seed_from_u64(3), &exec);
+            assert_eq!(r.assignment, base.assignment, "workers = {workers}");
+            assert_eq!(r.centroids.data(), base.centroids.data(), "workers = {workers}");
+            assert_eq!(r.inertia.to_bits(), base.inertia.to_bits(), "workers = {workers}");
+        }
     }
 
     #[test]

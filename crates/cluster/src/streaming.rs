@@ -8,7 +8,8 @@
 //! variant is provided for the middle ground between single-pass and full
 //! Lloyd.
 
-use crate::kmeans::{kmeans_pp_seed, nearest_centroid};
+use crate::kmeans::{assign_all, kmeans_pp_seed, nearest_centroid};
+use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
 use hignn_tensor::Matrix;
 use rand::Rng;
 
@@ -68,6 +69,20 @@ pub fn single_pass_kmeans(
     seed_sample_size: usize,
     rng: &mut impl Rng,
 ) -> (Matrix, Vec<u32>) {
+    single_pass_kmeans_with(data, k, seed_sample_size, rng, &ParallelExecutor::single())
+}
+
+/// [`single_pass_kmeans`] with an explicit executor. The MacQueen
+/// streaming pass is inherently sequential (each observation moves a
+/// centre), so only the final full re-assignment — the other O(n·k·d)
+/// half — runs in parallel. Bit-identical at any worker count.
+pub fn single_pass_kmeans_with(
+    data: &Matrix,
+    k: usize,
+    seed_sample_size: usize,
+    rng: &mut impl Rng,
+    exec: &ParallelExecutor,
+) -> (Matrix, Vec<u32>) {
     assert!(data.rows() > 0, "single_pass_kmeans: empty data");
     let sample_rows = seed_sample_size.clamp(k.min(data.rows()), data.rows());
     let sample_idx: Vec<usize> = (0..sample_rows).collect();
@@ -76,7 +91,7 @@ pub fn single_pass_kmeans(
     for i in 0..data.rows() {
         skm.observe(data.row(i));
     }
-    let assignment: Vec<u32> = (0..data.rows()).map(|i| skm.assign(data.row(i))).collect();
+    let (assignment, _inertia) = assign_all(&skm.centroids, data, exec);
     (skm.centroids, assignment)
 }
 
@@ -89,6 +104,21 @@ pub fn minibatch_kmeans(
     num_batches: usize,
     rng: &mut impl Rng,
 ) -> (Matrix, Vec<u32>) {
+    minibatch_kmeans_with(data, k, batch_size, num_batches, rng, &ParallelExecutor::single())
+}
+
+/// [`minibatch_kmeans`] with an explicit executor: each batch's
+/// assignment step and the final full re-assignment run data-parallel
+/// over fixed chunks; the centre updates (sequential running means)
+/// stay on the calling thread. Bit-identical at any worker count.
+pub fn minibatch_kmeans_with(
+    data: &Matrix,
+    k: usize,
+    batch_size: usize,
+    num_batches: usize,
+    rng: &mut impl Rng,
+    exec: &ParallelExecutor,
+) -> (Matrix, Vec<u32>) {
     assert!(data.rows() > 0, "minibatch_kmeans: empty data");
     let k = k.min(data.rows());
     let mut centroids = kmeans_pp_seed(data, k, rng);
@@ -97,10 +127,16 @@ pub fn minibatch_kmeans(
         let batch: Vec<usize> = (0..batch_size.min(data.rows()))
             .map(|_| rng.gen_range(0..data.rows()))
             .collect();
-        // Cache assignments then apply updates.
-        let assigned: Vec<usize> = batch
-            .iter()
-            .map(|&i| nearest_centroid(&centroids, data.row(i)).0)
+        // Cache assignments (parallel) then apply updates (sequential).
+        let assigned: Vec<usize> = exec
+            .map_chunks(batch.len(), ROW_CHUNK, |_, range| {
+                batch[range]
+                    .iter()
+                    .map(|&i| nearest_centroid(&centroids, data.row(i)).0)
+                    .collect::<Vec<usize>>()
+            })
+            .into_iter()
+            .flatten()
             .collect();
         for (&i, &c) in batch.iter().zip(&assigned) {
             counts[c] += 1;
@@ -111,9 +147,7 @@ pub fn minibatch_kmeans(
             }
         }
     }
-    let assignment: Vec<u32> = (0..data.rows())
-        .map(|i| nearest_centroid(&centroids, data.row(i)).0 as u32)
-        .collect();
+    let (assignment, _inertia) = assign_all(&centroids, data, exec);
     (centroids, assignment)
 }
 
@@ -177,6 +211,25 @@ mod tests {
         let before = skm.centroids().clone();
         let _ = skm.assign(&[3.0]);
         assert_eq!(skm.centroids(), &before);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_bits() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = two_blobs(&mut rng, 400); // 800 rows > ROW_CHUNK
+        let (c1, a1) = single_pass_kmeans(&data, 2, 64, &mut StdRng::seed_from_u64(5));
+        let (m1, b1) = minibatch_kmeans(&data, 2, 32, 20, &mut StdRng::seed_from_u64(6));
+        for workers in [2, 4] {
+            let exec = ParallelExecutor::new(workers);
+            let (c, a) =
+                single_pass_kmeans_with(&data, 2, 64, &mut StdRng::seed_from_u64(5), &exec);
+            assert_eq!(a, a1, "single-pass workers = {workers}");
+            assert_eq!(c.data(), c1.data(), "single-pass workers = {workers}");
+            let (m, b) =
+                minibatch_kmeans_with(&data, 2, 32, 20, &mut StdRng::seed_from_u64(6), &exec);
+            assert_eq!(b, b1, "mini-batch workers = {workers}");
+            assert_eq!(m.data(), m1.data(), "mini-batch workers = {workers}");
+        }
     }
 
     #[test]

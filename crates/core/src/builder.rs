@@ -1,0 +1,549 @@
+//! Builder-style configuration: one validated entry point for training.
+//!
+//! Historically four overlapping config surfaces fed a hierarchy build —
+//! [`SageTrainConfig`], [`BipartiteSageConfig`], [`HignnConfig`], and
+//! [`BuildOptions`] — each carrying its own defaults and no validation
+//! until deep inside the build. [`HignnBuilder`] collapses them: every
+//! knob (including the `threads` worker count, which appears here
+//! **exactly once**) is set through one chainable builder, and
+//! [`HignnBuilder::build`] validates the whole configuration up front,
+//! returning a frozen [`TrainSpec`] that runs the build.
+//!
+//! ```
+//! use hignn::prelude::*;
+//! use hignn_graph::BipartiteGraph;
+//! use hignn_tensor::init;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut edges = Vec::new();
+//! for u in 0..20u32 {
+//!     let base = if u < 10 { 0 } else { 10 };
+//!     for k in 0..4u32 { edges.push((u, base + (u + k) % 10, 1.0)); }
+//! }
+//! let graph = BipartiteGraph::from_edges(20, 20, edges);
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let user_feats = init::xavier_uniform(20, 8, &mut rng);
+//! let item_feats = init::xavier_uniform(20, 8, &mut rng);
+//!
+//! let spec = HignnBuilder::new()
+//!     .levels(2)
+//!     .input_dim(8)
+//!     .embedding_dim(8)
+//!     .fanouts(vec![3, 2])
+//!     .epochs(1)
+//!     .batch_edges(32)
+//!     .alpha_decay(4.0)
+//!     .seed(7)
+//!     .threads(1)
+//!     .build()
+//!     .unwrap();
+//! let hierarchy = spec.run(&graph, &user_feats, &item_feats).unwrap();
+//! assert_eq!(hierarchy.hierarchical_users().rows(), 20);
+//! ```
+//!
+//! The old structs still work and convert into a builder through thin
+//! deprecated shims ([`HignnConfig::into_builder`] and friends) so
+//! existing call sites migrate mechanically.
+
+use std::path::{Path, PathBuf};
+
+use crate::checkpoint::{CheckpointStore, FaultPlan};
+use crate::error::HignnError;
+use crate::sage::{Aggregator, BipartiteSageConfig};
+use crate::stack::{
+    build_hierarchy_with, BuildOptions, ClusterCounts, GuardPolicy, Hierarchy, HignnConfig,
+    KMeansAlgo,
+};
+use crate::trainer::SageTrainConfig;
+use hignn_graph::{BipartiteGraph, SamplingMode};
+use hignn_tensor::Matrix;
+
+/// Chainable, validated configuration of a full HiGNN training run.
+///
+/// Construct with [`HignnBuilder::new`] (paper defaults), override what
+/// you need, then call [`HignnBuilder::build`] to validate everything at
+/// once and obtain a [`TrainSpec`].
+#[derive(Clone, Debug)]
+pub struct HignnBuilder {
+    cfg: HignnConfig,
+    threads: usize,
+    guard: GuardPolicy,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    fault: Option<FaultPlan>,
+}
+
+impl Default for HignnBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HignnBuilder {
+    /// A builder with the paper's defaults (3 levels, mean aggregator,
+    /// alpha-decay cluster counts, 1 worker thread).
+    pub fn new() -> Self {
+        HignnBuilder {
+            cfg: HignnConfig::default(),
+            threads: 1,
+            guard: GuardPolicy::Off,
+            checkpoint_dir: None,
+            resume: false,
+            fault: None,
+        }
+    }
+
+    // --- hierarchy shape -------------------------------------------------
+
+    /// Number of levels `L`.
+    pub fn levels(mut self, levels: usize) -> Self {
+        self.cfg.levels = levels;
+        self
+    }
+
+    /// Base RNG seed (each level derives its own stream).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// L2-normalise each level's embeddings (default on).
+    pub fn normalize(mut self, normalize: bool) -> Self {
+        self.cfg.normalize = normalize;
+        self
+    }
+
+    // --- GraphSAGE -------------------------------------------------------
+
+    /// Input feature dimensionality of level 1.
+    pub fn input_dim(mut self, dim: usize) -> Self {
+        self.cfg.sage.input_dim = dim;
+        self
+    }
+
+    /// Embedding dimensionality of every step output.
+    pub fn embedding_dim(mut self, dim: usize) -> Self {
+        self.cfg.sage.dim = dim;
+        self
+    }
+
+    /// Neighbours sampled per depth (`fanouts.len()` = number of steps).
+    pub fn fanouts(mut self, fanouts: Vec<usize>) -> Self {
+        self.cfg.sage.fanouts = fanouts;
+        self
+    }
+
+    /// Neighbour sampling mode (uniform or edge-weight-biased).
+    pub fn sampling(mut self, mode: SamplingMode) -> Self {
+        self.cfg.sage.sampling = mode;
+        self
+    }
+
+    /// Neighbourhood aggregator (mean in the paper).
+    pub fn aggregator(mut self, agg: Aggregator) -> Self {
+        self.cfg.sage.aggregator = agg;
+        self
+    }
+
+    /// Share weights across sides (query-item variant, Section V.B).
+    pub fn shared_weights(mut self, shared: bool) -> Self {
+        self.cfg.sage.shared_weights = shared;
+        self
+    }
+
+    /// Replaces the whole GraphSAGE sub-config at once.
+    pub fn sage_config(mut self, sage: BipartiteSageConfig) -> Self {
+        self.cfg.sage = sage;
+        self
+    }
+
+    // --- training --------------------------------------------------------
+
+    /// Training epochs per level.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.cfg.train.epochs = epochs;
+        self
+    }
+
+    /// Edges per minibatch.
+    pub fn batch_edges(mut self, batch_edges: usize) -> Self {
+        self.cfg.train.batch_edges = batch_edges;
+        self
+    }
+
+    /// Learning rate.
+    pub fn learning_rate(mut self, lr: f32) -> Self {
+        self.cfg.train.lr = lr;
+        self
+    }
+
+    /// Learn level-1 input features instead of using the provided ones.
+    pub fn trainable_features(mut self, trainable: bool) -> Self {
+        self.cfg.train.trainable_features = trainable;
+        self
+    }
+
+    /// Gradient shards per batch. Part of the numeric contract: changing
+    /// it changes results (unlike [`HignnBuilder::threads`]).
+    pub fn grad_shards(mut self, shards: usize) -> Self {
+        self.cfg.train.grad_shards = shards;
+        self
+    }
+
+    /// Replaces the whole training sub-config at once.
+    pub fn train_config(mut self, train: SageTrainConfig) -> Self {
+        self.cfg.train = train;
+        self
+    }
+
+    // --- clustering ------------------------------------------------------
+
+    /// Cluster-count strategy `K_l = K_{l-1} / alpha`.
+    pub fn alpha_decay(mut self, alpha: f64) -> Self {
+        self.cfg.cluster_counts = ClusterCounts::AlphaDecay { alpha };
+        self
+    }
+
+    /// Explicit `(K_u, K_i)` per level.
+    pub fn fixed_counts(mut self, counts: Vec<(usize, usize)>) -> Self {
+        self.cfg.cluster_counts = ClusterCounts::Fixed(counts);
+        self
+    }
+
+    /// Calinski-Harabasz-guided cluster-count selection (Eq. 13).
+    pub fn ch_select(mut self, divisors: Vec<f64>) -> Self {
+        self.cfg.cluster_counts = ClusterCounts::ChSelect { divisors };
+        self
+    }
+
+    /// K-means variant (Lloyd or single-pass).
+    pub fn kmeans(mut self, algo: KMeansAlgo) -> Self {
+        self.cfg.kmeans = algo;
+        self
+    }
+
+    // --- execution -------------------------------------------------------
+
+    /// Worker threads for training, inference, and clustering. Purely
+    /// physical: any value >= 1 produces bit-identical hierarchies.
+    /// This is the *only* place the thread count is configured.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Numeric-health policy on NaN/Inf during training.
+    pub fn guard(mut self, guard: GuardPolicy) -> Self {
+        self.guard = guard;
+        self
+    }
+
+    /// Persist per-level checkpoints under `dir` (created on demand).
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from the checkpoint directory instead of starting fresh.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.resume = resume;
+        self
+    }
+
+    /// Injects a deliberate fault (testing only).
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    // --- finalisation ----------------------------------------------------
+
+    /// Validates every knob at once and freezes the configuration.
+    pub fn build(self) -> Result<TrainSpec, HignnError> {
+        let err = |msg: String| Err(HignnError::Config(msg));
+        if self.cfg.levels == 0 {
+            return err("levels must be at least 1".into());
+        }
+        if self.threads == 0 {
+            return err("threads must be at least 1 (0 workers cannot make progress)".into());
+        }
+        if self.cfg.sage.fanouts.is_empty() {
+            return err("fanouts must name at least one aggregation step".into());
+        }
+        if self.cfg.sage.fanouts.contains(&0) {
+            return err("every fanout must be at least 1".into());
+        }
+        if self.cfg.sage.input_dim == 0 || self.cfg.sage.dim == 0 {
+            return err("input_dim and embedding_dim must be positive".into());
+        }
+        if self.cfg.train.epochs == 0 {
+            return err("epochs must be at least 1".into());
+        }
+        if self.cfg.train.batch_edges == 0 {
+            return err("batch_edges must be at least 1".into());
+        }
+        if !(self.cfg.train.lr.is_finite() && self.cfg.train.lr > 0.0) {
+            return err(format!("learning rate must be finite and positive, got {}", self.cfg.train.lr));
+        }
+        if self.cfg.train.grad_shards == 0 {
+            return err("grad_shards must be at least 1".into());
+        }
+        match &self.cfg.cluster_counts {
+            ClusterCounts::AlphaDecay { alpha } => {
+                if !(alpha.is_finite() && *alpha > 1.0) {
+                    return err(format!("alpha decay factor must be > 1, got {alpha}"));
+                }
+            }
+            ClusterCounts::Fixed(counts) => {
+                if counts.is_empty() {
+                    return err("fixed cluster counts must name at least one level".into());
+                }
+            }
+            ClusterCounts::ChSelect { divisors } => {
+                if divisors.is_empty() {
+                    return err("CH selection needs at least one candidate divisor".into());
+                }
+            }
+        }
+        if self.resume && self.checkpoint_dir.is_none() {
+            return err("resume requires a checkpoint directory".into());
+        }
+        let fault_needs_store = matches!(
+            self.fault,
+            Some(FaultPlan::TruncateCheckpoint { .. } | FaultPlan::CorruptCheckpoint { .. })
+        );
+        if fault_needs_store && self.checkpoint_dir.is_none() {
+            return err("checkpoint faults require a checkpoint directory".into());
+        }
+        Ok(TrainSpec {
+            cfg: self.cfg,
+            threads: self.threads,
+            guard: self.guard,
+            checkpoint_dir: self.checkpoint_dir,
+            resume: self.resume,
+            fault: self.fault,
+        })
+    }
+}
+
+/// A validated, frozen training configuration produced by
+/// [`HignnBuilder::build`]. Running it is deterministic in everything
+/// except [`TrainSpec::threads`], which is purely physical.
+#[derive(Clone, Debug)]
+pub struct TrainSpec {
+    cfg: HignnConfig,
+    threads: usize,
+    guard: GuardPolicy,
+    checkpoint_dir: Option<PathBuf>,
+    resume: bool,
+    fault: Option<FaultPlan>,
+}
+
+impl TrainSpec {
+    /// The underlying (validated) stack configuration.
+    pub fn config(&self) -> &HignnConfig {
+        &self.cfg
+    }
+
+    /// Worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Numeric-health policy.
+    pub fn guard(&self) -> GuardPolicy {
+        self.guard
+    }
+
+    /// Checkpoint directory, if checkpointing is enabled.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// Whether the run resumes from the checkpoint directory.
+    pub fn resume(&self) -> bool {
+        self.resume
+    }
+
+    /// Builds the full hierarchy (Algorithm 1) under this spec.
+    pub fn run(
+        &self,
+        graph: &BipartiteGraph,
+        user_feats: &Matrix,
+        item_feats: &Matrix,
+    ) -> Result<Hierarchy, HignnError> {
+        let store = match &self.checkpoint_dir {
+            Some(dir) => Some(CheckpointStore::create(dir)?),
+            None => None,
+        };
+        let opts = BuildOptions {
+            checkpoint: store.as_ref(),
+            resume: self.resume,
+            guard: self.guard,
+            fault: self.fault,
+            threads: self.threads,
+        };
+        build_hierarchy_with(graph, user_feats, item_feats, &self.cfg, &opts)
+    }
+}
+
+// --- migration shims from the pre-builder config structs -----------------
+
+impl HignnConfig {
+    /// Converts a legacy config into the builder.
+    #[deprecated(note = "construct a HignnBuilder directly; this shim exists for migration")]
+    pub fn into_builder(self) -> HignnBuilder {
+        HignnBuilder { cfg: self, ..HignnBuilder::new() }
+    }
+}
+
+impl BipartiteSageConfig {
+    /// Converts a legacy GraphSAGE config into a builder carrying it.
+    #[deprecated(note = "use HignnBuilder's sage setters; this shim exists for migration")]
+    pub fn into_builder(self) -> HignnBuilder {
+        HignnBuilder::new().sage_config(self)
+    }
+}
+
+impl SageTrainConfig {
+    /// Converts a legacy training config into a builder carrying it.
+    #[deprecated(note = "use HignnBuilder's training setters; this shim exists for migration")]
+    pub fn into_builder(self) -> HignnBuilder {
+        HignnBuilder::new().train_config(self)
+    }
+}
+
+impl BuildOptions<'_> {
+    /// Folds legacy build options into a builder. The borrowed
+    /// [`CheckpointStore`] is carried over by its directory path.
+    #[deprecated(note = "use HignnBuilder's execution setters; this shim exists for migration")]
+    pub fn apply_to(&self, mut builder: HignnBuilder) -> HignnBuilder {
+        builder = builder.threads(self.threads).guard(self.guard).resume(self.resume);
+        if let Some(store) = self.checkpoint {
+            builder = builder.checkpoint_dir(store.dir());
+        }
+        if let Some(fault) = self.fault {
+            builder = builder.fault(fault);
+        }
+        builder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hignn_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn toy_inputs() -> (BipartiteGraph, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut edges = Vec::new();
+        for u in 0..24u32 {
+            let b = u / 8;
+            for _ in 0..4 {
+                edges.push((u, b * 8 + rng.gen_range(0..8), 1.0));
+            }
+        }
+        let g = BipartiteGraph::from_edges(24, 24, edges);
+        let uf = init::xavier_uniform(24, 8, &mut rng);
+        let if_ = init::xavier_uniform(24, 8, &mut rng);
+        (g, uf, if_)
+    }
+
+    fn small_builder() -> HignnBuilder {
+        HignnBuilder::new()
+            .levels(2)
+            .input_dim(8)
+            .embedding_dim(8)
+            .fanouts(vec![4, 3])
+            .sampling(SamplingMode::Uniform)
+            .epochs(2)
+            .batch_edges(32)
+            .alpha_decay(4.0)
+            .seed(1)
+    }
+
+    #[test]
+    fn builder_runs_a_build() {
+        let (g, uf, if_) = toy_inputs();
+        let spec = small_builder().build().unwrap();
+        let h = spec.run(&g, &uf, &if_).unwrap();
+        assert_eq!(h.num_levels(), 2);
+        assert_eq!(h.num_users(), 24);
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        let cases: Vec<(HignnBuilder, &str)> = vec![
+            (small_builder().levels(0), "levels"),
+            (small_builder().threads(0), "threads"),
+            (small_builder().fanouts(vec![]), "fanouts"),
+            (small_builder().fanouts(vec![4, 0]), "fanout"),
+            (small_builder().embedding_dim(0), "dim"),
+            (small_builder().epochs(0), "epochs"),
+            (small_builder().batch_edges(0), "batch_edges"),
+            (small_builder().learning_rate(f32::NAN), "learning rate"),
+            (small_builder().learning_rate(-1.0), "learning rate"),
+            (small_builder().grad_shards(0), "grad_shards"),
+            (small_builder().alpha_decay(1.0), "alpha"),
+            (small_builder().fixed_counts(vec![]), "cluster counts"),
+            (small_builder().ch_select(vec![]), "divisor"),
+            (small_builder().resume(true), "checkpoint"),
+        ];
+        for (builder, needle) in cases {
+            match builder.build() {
+                Err(HignnError::Config(msg)) => {
+                    assert!(msg.contains(needle), "{msg:?} should mention {needle:?}")
+                }
+                other => panic!("expected Config error mentioning {needle:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_the_result() {
+        let (g, uf, if_) = toy_inputs();
+        let h1 = small_builder().threads(1).build().unwrap().run(&g, &uf, &if_).unwrap();
+        let h4 = small_builder().threads(4).build().unwrap().run(&g, &uf, &if_).unwrap();
+        assert_eq!(h1.num_levels(), h4.num_levels());
+        for (l1, l4) in h1.levels().iter().zip(h4.levels()) {
+            assert_eq!(l1.user_embeddings.data(), l4.user_embeddings.data());
+            assert_eq!(l1.item_embeddings.data(), l4.item_embeddings.data());
+            assert_eq!(l1.user_assignment.as_slice(), l4.user_assignment.as_slice());
+            assert_eq!(l1.item_assignment.as_slice(), l4.item_assignment.as_slice());
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_configs_convert() {
+        let (g, uf, if_) = toy_inputs();
+        let legacy = HignnConfig {
+            levels: 1,
+            sage: BipartiteSageConfig {
+                input_dim: 8,
+                fanouts: vec![3, 2],
+                sampling: SamplingMode::Uniform,
+                ..Default::default()
+            },
+            train: SageTrainConfig { epochs: 1, batch_edges: 32, ..Default::default() },
+            cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
+            kmeans: KMeansAlgo::Lloyd,
+            normalize: true,
+            seed: 9,
+        };
+        let direct = build_hierarchy_with(&g, &uf, &if_, &legacy, &BuildOptions::default()).unwrap();
+        let spec = legacy.clone().into_builder().build().unwrap();
+        let via_builder = spec.run(&g, &uf, &if_).unwrap();
+        assert_eq!(
+            direct.levels()[0].user_embeddings.data(),
+            via_builder.levels()[0].user_embeddings.data(),
+        );
+        // BuildOptions folds its execution knobs in.
+        let opts = BuildOptions { threads: 4, guard: GuardPolicy::Abort, ..Default::default() };
+        let spec2 = opts.apply_to(legacy.into_builder()).build().unwrap();
+        assert_eq!(spec2.threads(), 4);
+        assert_eq!(spec2.guard(), GuardPolicy::Abort);
+    }
+}

@@ -5,12 +5,18 @@
 //! record per completed hierarchy level:
 //!
 //! ```text
-//! <dir>/meta.hgck      := "HGCK" u32(version=1) section(meta)
+//! <dir>/meta.hgck      := "HGCK" u32(version=2) section(meta)
 //! meta                 := u64(fingerprint) u64(seed)
 //!                         u64(levels_total) u64(levels_done)
-//! <dir>/level_NN.hgcl  := "HGCL" u32(version=1) section(level)
+//!                         u64(threads)            -- v2; v1 lacks it
+//! <dir>/level_NN.hgcl  := "HGCL" u32(version=2) section(level)
 //! section              := u64(payload_len) payload u32(crc32)
 //! ```
+//!
+//! Version-1 records (no `threads` word) still load; `threads` reads
+//! back as 0 (= unrecorded). The thread count is provenance only — it
+//! never participates in the fingerprint, because a checkpoint written
+//! at N threads must resume byte-identically at any thread count.
 //!
 //! Every write is atomic (temp file + fsync + rename), and the meta
 //! record is only advanced *after* its level record is durably on disk,
@@ -35,7 +41,9 @@ use std::path::{Path, PathBuf};
 
 const META_MAGIC: &[u8; 4] = b"HGCK";
 const LEVEL_MAGIC: &[u8; 4] = b"HGCL";
-const CKPT_VERSION: u32 = 1;
+const CKPT_VERSION: u32 = 2;
+/// Oldest checkpoint version this build still reads.
+const CKPT_MIN_VERSION: u32 = 1;
 
 /// The meta record of a checkpoint directory: which run it belongs to
 /// and how far that run got.
@@ -50,6 +58,11 @@ pub struct CheckpointMeta {
     pub levels_total: u64,
     /// Completed levels with durable level records.
     pub levels_done: u64,
+    /// Worker threads of the run that wrote this record (provenance
+    /// only — resuming at a different thread count is fully supported
+    /// and yields identical bytes). 0 = written by a version-1 build
+    /// that did not record it.
+    pub threads: u64,
 }
 
 /// A directory of per-level training checkpoints.
@@ -87,11 +100,12 @@ impl CheckpointStore {
 
     /// Atomically writes the meta record.
     pub fn write_meta(&self, meta: &CheckpointMeta) -> Result<(), HignnError> {
-        let mut payload = Vec::with_capacity(32);
+        let mut payload = Vec::with_capacity(40);
         payload.extend_from_slice(&meta.fingerprint.to_le_bytes());
         payload.extend_from_slice(&meta.seed.to_le_bytes());
         payload.extend_from_slice(&meta.levels_total.to_le_bytes());
         payload.extend_from_slice(&meta.levels_done.to_le_bytes());
+        payload.extend_from_slice(&meta.threads.to_le_bytes());
         let mut buf = Vec::new();
         buf.extend_from_slice(META_MAGIC);
         buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
@@ -120,15 +134,19 @@ impl CheckpointStore {
         r.read_exact(&mut vbuf)
             .map_err(|_| HignnError::corrupt(&ctx, "truncated before version"))?;
         let version = u32::from_le_bytes(vbuf);
-        if version != CKPT_VERSION {
+        if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&version) {
             return Err(HignnError::corrupt(&ctx, format!("unsupported version {version}")));
         }
         let payload = read_section(&mut r, "checkpoint meta")
             .map_err(|e| HignnError::corrupt(&ctx, e.to_string()))?;
-        if payload.len() != 32 {
+        let expected_len = if version == 1 { 32 } else { 40 };
+        if payload.len() != expected_len {
             return Err(HignnError::corrupt(
                 &ctx,
-                format!("meta payload is {} bytes, expected 32", payload.len()),
+                format!(
+                    "meta payload is {} bytes, expected {expected_len} for version {version}",
+                    payload.len()
+                ),
             ));
         }
         let word = |k: usize| {
@@ -139,6 +157,7 @@ impl CheckpointStore {
             seed: word(1),
             levels_total: word(2),
             levels_done: word(3),
+            threads: if version >= 2 { word(4) } else { 0 },
         };
         if meta.levels_done > meta.levels_total {
             return Err(HignnError::corrupt(
@@ -177,7 +196,7 @@ impl CheckpointStore {
         r.read_exact(&mut vbuf)
             .map_err(|_| HignnError::corrupt(&ctx, "truncated before version"))?;
         let version = u32::from_le_bytes(vbuf);
-        if version != CKPT_VERSION {
+        if !(CKPT_MIN_VERSION..=CKPT_VERSION).contains(&version) {
             return Err(HignnError::corrupt(&ctx, format!("unsupported version {version}")));
         }
         let what = format!("checkpoint level {idx}");
@@ -378,8 +397,13 @@ mod tests {
     fn meta_roundtrip_and_corruption_detection() {
         let dir = std::env::temp_dir().join(format!("hignn_ckpt_meta_{}", std::process::id()));
         let store = CheckpointStore::create(&dir).unwrap();
-        let meta =
-            CheckpointMeta { fingerprint: 0xDEAD_BEEF, seed: 7, levels_total: 3, levels_done: 1 };
+        let meta = CheckpointMeta {
+            fingerprint: 0xDEAD_BEEF,
+            seed: 7,
+            levels_total: 3,
+            levels_done: 1,
+            threads: 4,
+        };
         store.write_meta(&meta).unwrap();
         assert!(store.has_meta());
         assert_eq!(store.read_meta().unwrap(), meta);
@@ -391,6 +415,26 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = store.read_meta().unwrap_err();
         assert_eq!(err.exit_code(), 4, "expected corruption, got: {err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version1_meta_without_threads_still_loads() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_v1_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Hand-build a v1 record: 32-byte payload, version word 1.
+        let mut payload = Vec::with_capacity(32);
+        for w in [0xFEEDu64, 9, 2, 2] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        write_section(&mut buf, &payload).unwrap();
+        std::fs::write(dir.join("meta.hgck"), &buf).unwrap();
+        let meta = store.read_meta().unwrap();
+        assert_eq!(meta.fingerprint, 0xFEED);
+        assert_eq!(meta.threads, 0, "v1 records read back threads = 0");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

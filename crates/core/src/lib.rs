@@ -15,6 +15,8 @@
 //!
 //! Modules:
 //!
+//! * [`builder`] — validated builder-style configuration
+//!   ([`HignnBuilder`] → [`TrainSpec`]), the preferred entry point.
 //! * [`sage`] — bipartite GraphSAGE (Eqs. 1-4; shared-weight query-item
 //!   variant of Eqs. 8-11).
 //! * [`trainer`] — unsupervised edge-reconstruction training with negative
@@ -50,22 +52,25 @@
 //! let user_feats = init::xavier_uniform(20, 8, &mut rng);
 //! let item_feats = init::xavier_uniform(20, 8, &mut rng);
 //!
-//! let cfg = HignnConfig {
-//!     levels: 2,
-//!     sage: BipartiteSageConfig { input_dim: 8, dim: 8, fanouts: vec![3, 2],
-//!                                 ..Default::default() },
-//!     train: SageTrainConfig { epochs: 1, batch_edges: 32, ..Default::default() },
-//!     cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
-//!     kmeans: KMeansAlgo::Lloyd,
-//!     normalize: true,
-//!     seed: 7,
-//! };
-//! let hierarchy = build_hierarchy(&graph, &user_feats, &item_feats, &cfg);
+//! let hierarchy = HignnBuilder::new()
+//!     .levels(2)
+//!     .input_dim(8)
+//!     .embedding_dim(8)
+//!     .fanouts(vec![3, 2])
+//!     .epochs(1)
+//!     .batch_edges(32)
+//!     .alpha_decay(4.0)
+//!     .seed(7)
+//!     .build()
+//!     .expect("validated configuration")
+//!     .run(&graph, &user_feats, &item_feats)
+//!     .expect("infallible without checkpointing or guard");
 //! assert_eq!(hierarchy.hierarchical_users().rows(), 20);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod checkpoint;
 pub mod crc32;
 pub mod error;
@@ -80,6 +85,7 @@ pub mod trainer;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
+    pub use crate::builder::{HignnBuilder, TrainSpec};
     pub use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan};
     pub use crate::error::HignnError;
     pub use crate::predictor::{CvrPredictor, FeatureBlocks, PredictorConfig, Sample};
@@ -95,6 +101,7 @@ pub mod prelude {
         train_unsupervised, train_unsupervised_checked, SageTrainConfig, TrainError,
         TrainGuard, TrainedSage,
     };
+    pub use hignn_tensor::ParallelExecutor;
 }
 
 pub use prelude::*;

@@ -15,6 +15,7 @@
 
 use hignn_graph::{BipartiteGraph, SamplingMode, Side};
 use hignn_tensor::nn::Activation;
+use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
 use hignn_tensor::{init, Matrix, ParamId, ParamStore, Tape, Var};
 use rand::Rng;
 
@@ -285,6 +286,21 @@ impl BipartiteSage {
         user_feats: &Matrix,
         item_feats: &Matrix,
     ) -> (Matrix, Matrix) {
+        self.embed_all_with(store, graph, user_feats, item_feats, &ParallelExecutor::single())
+    }
+
+    /// [`BipartiteSage::embed_all`] with an explicit executor. Both the
+    /// neighbourhood aggregation and the dense update are embarrassingly
+    /// row-parallel, so they run over fixed [`ROW_CHUNK`]-row chunks
+    /// merged in chunk order — bit-identical at any worker count.
+    pub fn embed_all_with(
+        &self,
+        store: &ParamStore,
+        graph: &BipartiteGraph,
+        user_feats: &Matrix,
+        item_feats: &Matrix,
+        exec: &ParallelExecutor,
+    ) -> (Matrix, Matrix) {
         // Accepts features with or without the null row.
         let take = |m: &Matrix, n: usize| -> Matrix {
             if m.rows() == n + 1 {
@@ -297,17 +313,28 @@ impl BipartiteSage {
         let mut hu = take(user_feats, graph.num_left());
         let mut hi = take(item_feats, graph.num_right());
         for p in 1..=self.num_steps() {
-            let agg_u = neighborhood_mean(graph, Side::Left, &hi, self.cfg.aggregator);
-            let agg_i = neighborhood_mean(graph, Side::Right, &hu, self.cfg.aggregator);
+            let agg_u = neighborhood_mean_with(graph, Side::Left, &hi, self.cfg.aggregator, exec);
+            let agg_i = neighborhood_mean_with(graph, Side::Right, &hu, self.cfg.aggregator, exec);
             let up = &self.user_steps[p - 1];
             let ip = &self.item_steps[p - 1];
-            let new_hu = dense_step(store, &hu, &agg_u, up, self.cfg.activation);
-            let new_hi = dense_step(store, &hi, &agg_i, ip, self.cfg.activation);
+            let new_hu = dense_step(store, &hu, &agg_u, up, self.cfg.activation, exec);
+            let new_hi = dense_step(store, &hi, &agg_i, ip, self.cfg.activation, exec);
             hu = new_hu;
             hi = new_hi;
         }
         (hu, hi)
     }
+}
+
+/// Concatenates per-chunk row blocks produced by
+/// [`ParallelExecutor::map_chunks`] back into one matrix, handling the
+/// zero-chunk (empty input) case.
+fn concat_chunks(chunks: &[Matrix], cols: usize) -> Matrix {
+    if chunks.is_empty() {
+        return Matrix::zeros(0, cols);
+    }
+    let refs: Vec<&Matrix> = chunks.iter().collect();
+    Matrix::concat_rows(&refs)
 }
 
 fn apply_activation(tape: &mut Tape, act: Activation, x: Var) -> Var {
@@ -319,22 +346,38 @@ fn apply_activation(tape: &mut Tape, act: Activation, x: Var) -> Var {
     }
 }
 
+/// One dense update `h <- act([h | agg M] W + b)`, row-chunked over the
+/// executor. Every output row is an independent dot-product accumulation
+/// (the `ikj` matmul never mixes rows), so the chunked result is
+/// bit-identical to the sequential one.
 fn dense_step(
     store: &ParamStore,
     h_self: &Matrix,
     h_agg: &Matrix,
     params: &StepParams,
     act: Activation,
+    exec: &ParallelExecutor,
 ) -> Matrix {
-    let transformed = h_agg.matmul(store.get(params.m));
-    let cat = Matrix::concat_cols(&[h_self, &transformed]);
-    let lin = cat.matmul(store.get(params.w)).add_row_broadcast(store.get(params.b));
-    match act {
-        Activation::LeakyRelu => lin.map(|v| if v > 0.0 { v } else { 0.01 * v }),
-        Activation::Relu => lin.map(|v| v.max(0.0)),
-        Activation::Tanh => lin.map(f32::tanh),
-        Activation::Identity => lin,
-    }
+    let m = store.get(params.m);
+    let w = store.get(params.w);
+    let b = store.get(params.b);
+    let activate = |lin: Matrix| -> Matrix {
+        match act {
+            Activation::LeakyRelu => lin.map(|v| if v > 0.0 { v } else { 0.01 * v }),
+            Activation::Relu => lin.map(|v| v.max(0.0)),
+            Activation::Tanh => lin.map(f32::tanh),
+            Activation::Identity => lin,
+        }
+    };
+    let chunks = exec.map_chunks(h_self.rows(), ROW_CHUNK, |_, range| {
+        let idx: Vec<usize> = range.collect();
+        let hs = h_self.gather_rows(&idx);
+        let ha = h_agg.gather_rows(&idx);
+        let transformed = ha.matmul(m);
+        let cat = Matrix::concat_cols(&[&hs, &transformed]);
+        activate(cat.matmul(w).add_row_broadcast(b))
+    });
+    concat_chunks(&chunks, w.cols())
 }
 
 /// Exact neighbourhood mean (or sum) for every vertex of `side`, given
@@ -345,41 +388,57 @@ pub fn neighborhood_mean(
     opposite_embeddings: &Matrix,
     aggregator: Aggregator,
 ) -> Matrix {
+    neighborhood_mean_with(graph, side, opposite_embeddings, aggregator, &ParallelExecutor::single())
+}
+
+/// [`neighborhood_mean`] with an explicit executor: vertices are
+/// aggregated in fixed [`ROW_CHUNK`]-sized chunks merged in chunk order,
+/// so the result is bit-identical at any worker count.
+pub fn neighborhood_mean_with(
+    graph: &BipartiteGraph,
+    side: Side,
+    opposite_embeddings: &Matrix,
+    aggregator: Aggregator,
+    exec: &ParallelExecutor,
+) -> Matrix {
     let n = graph.num_vertices(side);
     let d = opposite_embeddings.cols();
-    let mut out = Matrix::zeros(n, d);
-    for v in 0..n {
-        let (nbrs, _) = graph.neighbors(side, v);
-        if nbrs.is_empty() {
-            continue;
-        }
-        match aggregator {
-            Aggregator::Mean | Aggregator::Sum => {
-                let inv = match aggregator {
-                    Aggregator::Mean => 1.0 / nbrs.len() as f32,
-                    _ => 1.0,
-                };
-                let row = out.row_mut(v);
-                for &nb in nbrs {
-                    for (o, &e) in row.iter_mut().zip(opposite_embeddings.row(nb as usize)) {
-                        *o += e * inv;
+    let chunks = exec.map_chunks(n, ROW_CHUNK, |_, range| {
+        let mut out = Matrix::zeros(range.len(), d);
+        for (local, v) in range.enumerate() {
+            let (nbrs, _) = graph.neighbors(side, v);
+            if nbrs.is_empty() {
+                continue;
+            }
+            match aggregator {
+                Aggregator::Mean | Aggregator::Sum => {
+                    let inv = match aggregator {
+                        Aggregator::Mean => 1.0 / nbrs.len() as f32,
+                        _ => 1.0,
+                    };
+                    let row = out.row_mut(local);
+                    for &nb in nbrs {
+                        for (o, &e) in row.iter_mut().zip(opposite_embeddings.row(nb as usize)) {
+                            *o += e * inv;
+                        }
                     }
                 }
-            }
-            Aggregator::Max => {
-                let row = out.row_mut(v);
-                row.fill(f32::MIN);
-                for &nb in nbrs {
-                    for (o, &e) in row.iter_mut().zip(opposite_embeddings.row(nb as usize)) {
-                        if e > *o {
-                            *o = e;
+                Aggregator::Max => {
+                    let row = out.row_mut(local);
+                    row.fill(f32::MIN);
+                    for &nb in nbrs {
+                        for (o, &e) in row.iter_mut().zip(opposite_embeddings.row(nb as usize)) {
+                            if e > *o {
+                                *o = e;
+                            }
                         }
                     }
                 }
             }
         }
-    }
-    out
+        out
+    });
+    concat_chunks(&chunks, d)
 }
 
 /// The side of layer `l` in a sampled tree rooted at `root_side`.
@@ -511,6 +570,31 @@ mod tests {
         assert_eq!(zu1, zu2);
         assert_eq!(zi1, zi2);
         assert!(zu1.all_finite() && zi1.all_finite());
+    }
+
+    #[test]
+    fn embed_all_worker_count_does_not_change_bits() {
+        // > 2 chunks of ROW_CHUNK rows so the parallel path really splits.
+        let n = 600u32;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for j in 0..3u32 {
+                edges.push((u, u.wrapping_mul(7).wrapping_add(j * 131) % n, 1.0 + j as f32));
+            }
+        }
+        let g = BipartiteGraph::from_edges(n as usize, n as usize, edges);
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut store = ParamStore::new();
+        let sage = BipartiteSage::new(&mut store, "sage", toy_cfg(), &mut rng);
+        let uf = feats(n as usize, 4, 15);
+        let if_ = feats(n as usize, 4, 16);
+        let (zu1, zi1) = sage.embed_all(&store, &g, &uf, &if_);
+        for workers in [2, 4, 8] {
+            let exec = ParallelExecutor::new(workers);
+            let (zu, zi) = sage.embed_all_with(&store, &g, &uf, &if_, &exec);
+            assert_eq!(zu.data(), zu1.data(), "user side, workers = {workers}");
+            assert_eq!(zi.data(), zi1.data(), "item side, workers = {workers}");
+        }
     }
 
     #[test]

@@ -16,9 +16,10 @@ use crate::error::HignnError;
 use crate::sage::BipartiteSageConfig;
 use crate::trainer::{train_unsupervised_checked, SageTrainConfig, TrainError, TrainGuard};
 use hignn_cluster::ch_index::select_k_by_ch;
-use hignn_cluster::kmeans::{kmeans, mean_by_cluster, KMeansConfig};
-use hignn_cluster::streaming::single_pass_kmeans;
+use hignn_cluster::kmeans::{kmeans_with, mean_by_cluster, KMeansConfig};
+use hignn_cluster::streaming::single_pass_kmeans_with;
 use hignn_graph::{coarsen, Assignment, BipartiteGraph};
+use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
 use hignn_tensor::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -224,18 +225,56 @@ impl Hierarchy {
 
     /// Hierarchical embeddings of all users (`num_users x user_dim`).
     pub fn hierarchical_users(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.num_users, self.user_dim());
-        for u in 0..self.num_users {
-            out.set_row(u, &self.hierarchical_user(u));
+        self.hierarchical_users_with(&ParallelExecutor::single())
+    }
+
+    /// [`Hierarchy::hierarchical_users`] with an explicit executor. Each
+    /// user's chain walk is independent, so extraction runs over fixed
+    /// row chunks merged in chunk order — bit-identical at any worker
+    /// count.
+    pub fn hierarchical_users_with(&self, exec: &ParallelExecutor) -> Matrix {
+        let dim = self.user_dim();
+        let mut out = Matrix::zeros(self.num_users, dim);
+        let chunks = exec.map_chunks(self.num_users, ROW_CHUNK, |_, range| {
+            let mut block = Matrix::zeros(range.len(), dim);
+            for (local, u) in range.enumerate() {
+                block.set_row(local, &self.hierarchical_user(u));
+            }
+            block
+        });
+        let mut row = 0;
+        for block in &chunks {
+            for r in 0..block.rows() {
+                out.set_row(row, block.row(r));
+                row += 1;
+            }
         }
         out
     }
 
     /// Hierarchical embeddings of all items (`num_items x item_dim`).
     pub fn hierarchical_items(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.num_items, self.item_dim());
-        for i in 0..self.num_items {
-            out.set_row(i, &self.hierarchical_item(i));
+        self.hierarchical_items_with(&ParallelExecutor::single())
+    }
+
+    /// [`Hierarchy::hierarchical_items`] with an explicit executor;
+    /// bit-identical at any worker count.
+    pub fn hierarchical_items_with(&self, exec: &ParallelExecutor) -> Matrix {
+        let dim = self.item_dim();
+        let mut out = Matrix::zeros(self.num_items, dim);
+        let chunks = exec.map_chunks(self.num_items, ROW_CHUNK, |_, range| {
+            let mut block = Matrix::zeros(range.len(), dim);
+            for (local, i) in range.enumerate() {
+                block.set_row(local, &self.hierarchical_item(i));
+            }
+            block
+        });
+        let mut row = 0;
+        for block in &chunks {
+            for r in 0..block.rows() {
+                out.set_row(row, block.row(r));
+                row += 1;
+            }
         }
         out
     }
@@ -340,11 +379,23 @@ pub struct BuildOptions<'a> {
     pub guard: GuardPolicy,
     /// Deliberate fault to inject (testing only).
     pub fault: Option<FaultPlan>,
+    /// Worker threads for training, inference, and clustering. Purely
+    /// physical: any value produces bit-identical hierarchies (and
+    /// checkpoints written at one thread count resume at any other),
+    /// because all work decomposition is derived from the config, never
+    /// from this knob.
+    pub threads: usize,
 }
 
 impl Default for BuildOptions<'_> {
     fn default() -> Self {
-        BuildOptions { checkpoint: None, resume: false, guard: GuardPolicy::Off, fault: None }
+        BuildOptions {
+            checkpoint: None,
+            resume: false,
+            guard: GuardPolicy::Off,
+            fault: None,
+            threads: 1,
+        }
     }
 }
 
@@ -380,6 +431,7 @@ fn build_one_level(
     cfg: &HignnConfig,
     level: usize,
     retry: u64,
+    exec: &ParallelExecutor,
     guard: TrainGuard,
     crash_after_epoch: Option<usize>,
 ) -> Result<(Level, Matrix, Matrix), LevelFailure> {
@@ -404,13 +456,13 @@ fn build_one_level(
         .wrapping_add(level as u64)
         .wrapping_add(retry.wrapping_mul(0xA24B_AED4_963E_E407));
     let trained = train_unsupervised_checked(
-        g, xu, xi, sage_cfg, &train_cfg, train_seed, guard, crash_after_epoch,
+        g, xu, xi, sage_cfg, &train_cfg, train_seed, exec, guard, crash_after_epoch,
     )
     .map_err(|e| match e {
         TrainError::NonFinite { epoch, detail } => LevelFailure::NonFinite { epoch, detail },
         TrainError::Injected { description, .. } => LevelFailure::Injected { description },
     })?;
-    let (mut zu, mut zi) = trained.embed_all(g, xu, xi);
+    let (mut zu, mut zi) = trained.embed_all_with(g, xu, xi, exec);
     if cfg.normalize {
         zu.l2_normalize_rows();
         zi.l2_normalize_rows();
@@ -429,8 +481,8 @@ fn build_one_level(
             return a;
         }
         match cfg.kmeans {
-            KMeansAlgo::Lloyd => kmeans(z, &KMeansConfig::new(k), rng).assignment,
-            KMeansAlgo::SinglePass => single_pass_kmeans(z, k, 4 * k, rng).1,
+            KMeansAlgo::Lloyd => kmeans_with(z, &KMeansConfig::new(k), rng, exec).assignment,
+            KMeansAlgo::SinglePass => single_pass_kmeans_with(z, k, 4 * k, rng, exec).1,
         }
     };
     let au_raw = cluster(&zu, ku, au_pre, &mut rng);
@@ -511,6 +563,7 @@ pub fn build_hierarchy_with(
                 seed: cfg.seed,
                 levels_total: cfg.levels as u64,
                 levels_done: 0,
+                threads: opts.threads.max(1) as u64,
             })?;
         }
     }
@@ -541,6 +594,7 @@ pub fn build_hierarchy_with(
         GuardPolicy::Off => TrainGuard::default(),
         _ => TrainGuard::checking(),
     };
+    let exec = ParallelExecutor::new(opts.threads);
 
     if !resumed_done {
         for level in start..=cfg.levels {
@@ -550,7 +604,8 @@ pub fn build_hierarchy_with(
             };
             let mut retry: u64 = 0;
             let (built, new_xu, new_xi) = loop {
-                match build_one_level(&g, &xu, &xi, cfg, level, retry, guard, crash_after_epoch) {
+                match build_one_level(&g, &xu, &xi, cfg, level, retry, &exec, guard, crash_after_epoch)
+                {
                     Ok(out) => break out,
                     Err(LevelFailure::Injected { description }) => {
                         return Err(HignnError::FaultInjected {
@@ -576,6 +631,7 @@ pub fn build_hierarchy_with(
                     seed: cfg.seed,
                     levels_total: cfg.levels as u64,
                     levels_done: level as u64,
+                    threads: opts.threads.max(1) as u64,
                 })?;
             }
             match opts.fault {

@@ -15,15 +15,29 @@
 //! GraphSAGE we implement the standard sign convention — negatives are
 //! pushed toward low scores — which is BCE with target 0.)
 //!
-//! Negative embeddings are computed once per batch as a shared pool and
+//! Negative embeddings are computed once per shard as a shared pool and
 //! paired with positives by row gathering, which keeps the per-batch cost
 //! at ~2x the positive-only cost instead of `(Q_u + Q_i)`x.
+//!
+//! ## Data-parallel execution
+//!
+//! Each minibatch is split into [`SageTrainConfig::grad_shards`] logical
+//! shards. Workers launched by a
+//! [`hignn_tensor::parallel::ParallelExecutor`] share `&ParamStore`
+//! immutably, run the forward/backward pass for their shard on a private
+//! [`Tape`] with a shard-local RNG seeded from
+//! `(seed, epoch, batch, shard)`, and the per-shard gradients are
+//! combined by [`hignn_tensor::parallel::reduce_gradients`] in a fixed
+//! tree order before a single optimizer step. Because the decomposition
+//! and every RNG stream depend only on the configuration — never on the
+//! worker count — an N-thread run is bit-identical to a 1-thread run.
 
-use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig};
+use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig, FeatureSource};
 use hignn_graph::{BipartiteGraph, NegativeSampler, Side};
 use hignn_tensor::nn::{Activation, Mlp};
 use hignn_tensor::optim::{Adam, Optimizer};
-use hignn_tensor::{Matrix, ParamStore, Tape};
+use hignn_tensor::parallel::{reduce_gradients, ParallelExecutor};
+use hignn_tensor::{Gradients, Matrix, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -59,6 +73,12 @@ pub struct SageTrainConfig {
     /// "id-hash" features); production HiGNN has real profile features
     /// and keeps this off.
     pub trainable_features: bool,
+    /// Logical gradient shards per minibatch. Part of the numeric
+    /// contract: shard boundaries and per-shard RNG streams are derived
+    /// from this count (never from the thread count), so changing it
+    /// changes results, while changing the worker count does not. The
+    /// executor runs up to this many shards concurrently.
+    pub grad_shards: usize,
 }
 
 impl Default for SageTrainConfig {
@@ -74,8 +94,21 @@ impl Default for SageTrainConfig {
             neg_pool: 64,
             scorer_hidden: vec![64],
             trainable_features: false,
+            grad_shards: 8,
         }
     }
+}
+
+/// Derives the RNG seed for one gradient shard from the run seed and the
+/// shard's logical coordinates (epoch, batch, shard index). SplitMix64-
+/// style finalising so nearby coordinates yield unrelated streams.
+fn shard_seed(seed: u64, epoch: u64, batch: u64, shard: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [epoch, batch, shard] {
+        h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    h
 }
 
 /// A trained GraphSAGE level: module + scorer + their parameters.
@@ -103,12 +136,27 @@ impl TrainedSage {
         user_feats: &Matrix,
         item_feats: &Matrix,
     ) -> (Matrix, Matrix) {
+        self.embed_all_with(graph, user_feats, item_feats, &ParallelExecutor::single())
+    }
+
+    /// [`TrainedSage::embed_all`] with an explicit executor; bit-identical
+    /// at any worker count.
+    pub fn embed_all_with(
+        &self,
+        graph: &BipartiteGraph,
+        user_feats: &Matrix,
+        item_feats: &Matrix,
+        exec: &ParallelExecutor,
+    ) -> (Matrix, Matrix) {
         match self.feature_params {
-            Some((u, i)) => {
-                self.sage
-                    .embed_all(&self.store, graph, self.store.get(u), self.store.get(i))
-            }
-            None => self.sage.embed_all(&self.store, graph, user_feats, item_feats),
+            Some((u, i)) => self.sage.embed_all_with(
+                &self.store,
+                graph,
+                self.store.get(u),
+                self.store.get(i),
+                exec,
+            ),
+            None => self.sage.embed_all_with(&self.store, graph, user_feats, item_feats, exec),
         }
     }
 
@@ -177,7 +225,8 @@ pub enum TrainError {
 
 /// Trains one bipartite GraphSAGE level on `graph` with the unsupervised
 /// loss, returning the trained module. Infallible convenience wrapper
-/// over [`train_unsupervised_checked`] with the guard disabled.
+/// over [`train_unsupervised_checked`] with the guard disabled and a
+/// single-threaded executor (bit-identical to any other thread count).
 pub fn train_unsupervised(
     graph: &BipartiteGraph,
     user_feats: &Matrix,
@@ -193,15 +242,120 @@ pub fn train_unsupervised(
         sage_cfg,
         cfg,
         seed,
+        &ParallelExecutor::single(),
         TrainGuard::default(),
         None,
     )
     .expect("training cannot fail with the guard disabled and no fault injection")
 }
 
-/// Like [`train_unsupervised`], but with per-epoch numeric-health
-/// checks ([`TrainGuard`]) and an optional simulated crash after epoch
-/// `crash_after_epoch` (0-based) for the fault-injection harness.
+/// Everything one gradient shard needs, bundled so the worker closure
+/// stays readable. All fields are shared immutably across workers.
+struct ShardCtx<'a> {
+    store: &'a ParamStore,
+    sage: &'a BipartiteSage,
+    scorer: &'a Mlp,
+    graph: &'a BipartiteGraph,
+    user_src: FeatureSource<'a>,
+    item_src: FeatureSource<'a>,
+    neg_user_sampler: &'a NegativeSampler,
+    neg_item_sampler: &'a NegativeSampler,
+    cfg: &'a SageTrainConfig,
+}
+
+/// Forward/backward for one shard of a minibatch on a private tape.
+///
+/// Returns the shard's loss and gradients, both already scaled by
+/// `weight` (= shard rows / batch rows), so the caller just sums losses
+/// and tree-reduces gradients in shard order.
+fn shard_pass(
+    ctx: &ShardCtx<'_>,
+    users: &[usize],
+    items: &[usize],
+    weights: &[f32],
+    gamma: f32,
+    weight: f32,
+    rng: &mut StdRng,
+) -> (f32, Gradients) {
+    let cfg = ctx.cfg;
+    let n = users.len();
+    let pool = cfg.neg_pool.max(cfg.neg_users.max(cfg.neg_items));
+    let neg_users: Vec<usize> = ctx.neg_user_sampler.sample_many(pool, rng);
+    let neg_items: Vec<usize> = ctx.neg_item_sampler.sample_many(pool, rng);
+
+    let mut tape = Tape::new(ctx.store);
+    let zu = ctx.sage.embed_batch_src(
+        &mut tape, ctx.graph, Side::Left, users, ctx.user_src, ctx.item_src, rng,
+    );
+    let zi = ctx.sage.embed_batch_src(
+        &mut tape, ctx.graph, Side::Right, items, ctx.user_src, ctx.item_src, rng,
+    );
+    let zun = ctx.sage.embed_batch_src(
+        &mut tape, ctx.graph, Side::Left, &neg_users, ctx.user_src, ctx.item_src, rng,
+    );
+    let zin = ctx.sage.embed_batch_src(
+        &mut tape, ctx.graph, Side::Right, &neg_items, ctx.user_src, ctx.item_src, rng,
+    );
+
+    // Positive scores.
+    let w_col = tape.input(Matrix::column_vector(weights));
+    let pos_in = tape.concat_cols(&[zu, zi, w_col]);
+    let pos_logits = ctx.scorer.forward(&mut tape, pos_in);
+    let pos_targets = vec![1.0f32; n];
+    let pos_loss = tape.bce_with_logits(pos_logits, &pos_targets);
+
+    // Negative pairs: each positive edge's vertex against Q pool draws.
+    let gather_pairs = |q: usize, rng: &mut StdRng| -> (Vec<usize>, Vec<usize>) {
+        let mut pool_idx = Vec::with_capacity(n * q);
+        let mut pos_idx = Vec::with_capacity(n * q);
+        for k in 0..n {
+            for _ in 0..q {
+                pool_idx.push(rng.gen_range(0..pool));
+                pos_idx.push(k);
+            }
+        }
+        (pool_idx, pos_idx)
+    };
+    let gamma_col =
+        |tape: &mut Tape, rows: usize, gamma: f32| tape.input(Matrix::full(rows, 1, gamma));
+
+    let (pool_idx, pos_idx) = gather_pairs(cfg.neg_users, rng);
+    let zun_g = tape.gather_rows(zun, &pool_idx);
+    let zi_g = tape.gather_rows(zi, &pos_idx);
+    let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
+    let negu_in = tape.concat_cols(&[zun_g, zi_g, g_col]);
+    let negu_logits = ctx.scorer.forward(&mut tape, negu_in);
+    let negu_targets = vec![0.0f32; pool_idx.len()];
+    let negu_loss = tape.bce_with_logits(negu_logits, &negu_targets);
+
+    let (pool_idx, pos_idx) = gather_pairs(cfg.neg_items, rng);
+    let zin_g = tape.gather_rows(zin, &pool_idx);
+    let zu_g = tape.gather_rows(zu, &pos_idx);
+    let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
+    let negi_in = tape.concat_cols(&[zu_g, zin_g, g_col]);
+    let negi_logits = ctx.scorer.forward(&mut tape, negi_in);
+    let negi_targets = vec![0.0f32; pool_idx.len()];
+    let negi_loss = tape.bce_with_logits(negi_logits, &negi_targets);
+
+    // J = pos + Q_u * E[neg_u] + Q_i * E[neg_i].
+    let negu_scaled = tape.scale(negu_loss, cfg.neg_users as f32);
+    let negi_scaled = tape.scale(negi_loss, cfg.neg_items as f32);
+    let loss = tape.add(pos_loss, negu_scaled);
+    let loss = tape.add(loss, negi_scaled);
+
+    let loss_val = tape.scalar(loss);
+    let mut grads = tape.backward(loss);
+    grads.scale(weight);
+    (loss_val * weight, grads)
+}
+
+/// Like [`train_unsupervised`], but with an explicit executor, per-epoch
+/// numeric-health checks ([`TrainGuard`]) and an optional simulated
+/// crash after epoch `crash_after_epoch` (0-based) for the
+/// fault-injection harness.
+///
+/// `exec` controls only physical concurrency: any worker count yields
+/// bit-identical parameters (see the module docs for why).
 #[allow(clippy::too_many_arguments)]
 pub fn train_unsupervised_checked(
     graph: &BipartiteGraph,
@@ -210,6 +364,7 @@ pub fn train_unsupervised_checked(
     sage_cfg: BipartiteSageConfig,
     cfg: &SageTrainConfig,
     seed: u64,
+    exec: &ParallelExecutor,
     guard: TrainGuard,
     crash_after_epoch: Option<usize>,
 ) -> Result<TrainedSage, TrainError> {
@@ -253,90 +408,66 @@ pub fn train_unsupervised_checked(
         }
         let mut epoch_loss = 0f64;
         let mut batches = 0usize;
-        for chunk in order.chunks(cfg.batch_edges) {
+        for (batch_idx, chunk) in order.chunks(cfg.batch_edges).enumerate() {
             let batch: Vec<(u32, u32, f32)> = chunk.iter().map(|&k| edges[k]).collect();
             let users: Vec<usize> = batch.iter().map(|&(u, _, _)| u as usize).collect();
             let items: Vec<usize> = batch.iter().map(|&(_, i, _)| i as usize).collect();
             let weights: Vec<f32> = batch.iter().map(|&(_, _, w)| (1.0 + w).ln()).collect();
-
-            let pool = cfg.neg_pool.max(cfg.neg_users.max(cfg.neg_items));
-            let neg_users: Vec<usize> = neg_user_sampler.sample_many(pool, &mut rng);
-            let neg_items: Vec<usize> = neg_item_sampler.sample_many(pool, &mut rng);
-
-            let mut tape = Tape::new(&store);
-            let zu = sage.embed_batch_src(
-                &mut tape, graph, Side::Left, &users, user_src, item_src,
-                &mut rng,
-            );
-            let zi = sage.embed_batch_src(
-                &mut tape, graph, Side::Right, &items, user_src, item_src,
-                &mut rng,
-            );
-            let zun = sage.embed_batch_src(
-                &mut tape, graph, Side::Left, &neg_users, user_src, item_src,
-                &mut rng,
-            );
-            let zin = sage.embed_batch_src(
-                &mut tape, graph, Side::Right, &neg_items, user_src, item_src,
-                &mut rng,
-            );
-
-            // Positive scores.
-            let w_col = tape.input(Matrix::column_vector(&weights));
-            let pos_in = tape.concat_cols(&[zu, zi, w_col]);
-            let pos_logits = scorer.forward(&mut tape, pos_in);
-            let pos_targets = vec![1.0f32; batch.len()];
-            let pos_loss = tape.bce_with_logits(pos_logits, &pos_targets);
-
-            // Negative-user pairs: each positive edge's item against Q_u
-            // pool users.
             let n = batch.len();
-            let gather_pairs = |q: usize, rng: &mut StdRng| -> (Vec<usize>, Vec<usize>) {
-                let mut pool_idx = Vec::with_capacity(n * q);
-                let mut pos_idx = Vec::with_capacity(n * q);
-                for k in 0..n {
-                    for _ in 0..q {
-                        pool_idx.push(rng.gen_range(0..pool));
-                        pos_idx.push(k);
-                    }
-                }
-                (pool_idx, pos_idx)
-            };
-            let gamma_col = |tape: &mut Tape, rows: usize, gamma: f32| {
-                tape.input(Matrix::full(rows, 1, gamma))
-            };
 
+            // Batch-wide gamma, computed before dispatch so every shard
+            // sees the same value regardless of decomposition.
             let gamma = cfg
                 .gamma
-                .unwrap_or_else(|| weights.iter().sum::<f32>() / weights.len().max(1) as f32);
+                .unwrap_or_else(|| weights.iter().sum::<f32>() / n.max(1) as f32);
 
-            let (pool_idx, pos_idx) = gather_pairs(cfg.neg_users, &mut rng);
-            let zun_g = tape.gather_rows(zun, &pool_idx);
-            let zi_g = tape.gather_rows(zi, &pos_idx);
-            let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
-            let negu_in = tape.concat_cols(&[zun_g, zi_g, g_col]);
-            let negu_logits = scorer.forward(&mut tape, negu_in);
-            let negu_targets = vec![0.0f32; pool_idx.len()];
-            let negu_loss = tape.bce_with_logits(negu_logits, &negu_targets);
+            // Logical shards: boundaries depend only on n and the
+            // configured shard count, never on the worker count.
+            let shard_len = n.div_ceil(cfg.grad_shards.max(1));
+            let num_shards = n.div_ceil(shard_len);
+            let ctx = ShardCtx {
+                store: &store,
+                sage: &sage,
+                scorer: &scorer,
+                graph,
+                user_src,
+                item_src,
+                neg_user_sampler: &neg_user_sampler,
+                neg_item_sampler: &neg_item_sampler,
+                cfg,
+            };
+            let shard_results: Vec<(f32, Gradients)> = exec.map(num_shards, |s| {
+                let lo = s * shard_len;
+                let hi = (lo + shard_len).min(n);
+                let mut shard_rng = StdRng::seed_from_u64(shard_seed(
+                    seed,
+                    epoch as u64,
+                    batch_idx as u64,
+                    s as u64,
+                ));
+                shard_pass(
+                    &ctx,
+                    &users[lo..hi],
+                    &items[lo..hi],
+                    &weights[lo..hi],
+                    gamma,
+                    (hi - lo) as f32 / n as f32,
+                    &mut shard_rng,
+                )
+            });
 
-            let (pool_idx, pos_idx) = gather_pairs(cfg.neg_items, &mut rng);
-            let zin_g = tape.gather_rows(zin, &pool_idx);
-            let zu_g = tape.gather_rows(zu, &pos_idx);
-            let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
-            let negi_in = tape.concat_cols(&[zu_g, zin_g, g_col]);
-            let negi_logits = scorer.forward(&mut tape, negi_in);
-            let negi_targets = vec![0.0f32; pool_idx.len()];
-            let negi_loss = tape.bce_with_logits(negi_logits, &negi_targets);
+            // Losses sum in shard order; gradients reduce by a fixed
+            // pairwise tree — both independent of the worker count.
+            let mut shard_grads = Vec::with_capacity(shard_results.len());
+            let mut batch_loss = 0f64;
+            for (loss, g) in shard_results {
+                batch_loss += loss as f64;
+                shard_grads.push(g);
+            }
+            let grads = reduce_gradients(shard_grads);
 
-            // J = pos + Q_u * E[neg_u] + Q_i * E[neg_i].
-            let negu_scaled = tape.scale(negu_loss, cfg.neg_users as f32);
-            let negi_scaled = tape.scale(negi_loss, cfg.neg_items as f32);
-            let loss = tape.add(pos_loss, negu_scaled);
-            let loss = tape.add(loss, negi_scaled);
-
-            epoch_loss += tape.scalar(loss) as f64;
+            epoch_loss += batch_loss;
             batches += 1;
-            let grads = tape.backward(loss);
             opt.step(&mut store, &grads);
         }
         let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;

@@ -13,9 +13,14 @@
 //!   covering linear algebra, concatenation, row gather (embedding
 //!   lookup), fixed-fanout and segment mean aggregation (GraphSAGE), the
 //!   paper's activations, and stable BCE-with-logits.
-//! * [`param::ParamStore`] / [`param::Gradients`] — shared trainable state
-//!   designed for data-parallel minibatch training with
-//!   `std::thread::scope`.
+//! * [`param::ParamStore`] / [`param::Gradients`] — shared trainable state:
+//!   workers borrow the store immutably, build private tapes, and their
+//!   per-shard gradients are reduced before one optimizer step.
+//! * [`parallel::ParallelExecutor`] — scoped-thread data parallelism
+//!   (`std::thread::scope`, no extra dependencies) with a determinism
+//!   contract: work is decomposed into thread-count-independent shards
+//!   and reduced in a fixed tree order, so an N-worker run is
+//!   bit-identical to a 1-worker run.
 //! * [`optim`] — SGD (+momentum) and Adam with decoupled weight decay.
 //! * [`nn`] — [`nn::Linear`] / [`nn::Mlp`] building blocks.
 //! * [`gradcheck`] — finite-difference gradient verification used by the
@@ -54,10 +59,12 @@ pub mod init;
 pub mod matrix;
 pub mod nn;
 pub mod optim;
+pub mod parallel;
 pub mod param;
 pub mod serialize;
 pub mod tape;
 
 pub use matrix::Matrix;
+pub use parallel::ParallelExecutor;
 pub use param::{Gradients, ParamId, ParamStore};
 pub use tape::{stable_sigmoid, Tape, Var};

@@ -3,9 +3,13 @@
 //! A [`ParamStore`] owns every trainable matrix of a model. Each training
 //! step builds a fresh [`crate::tape::Tape`] against the store, runs
 //! backward to obtain [`Gradients`], and hands both to an optimizer.
-//! Keeping parameters outside the tape makes data-parallel training
-//! trivial: worker threads share `&ParamStore` immutably and their
-//! per-shard `Gradients` are summed before the optimizer step.
+//! Keeping parameters outside the tape is what makes data-parallel
+//! training work: worker threads launched by
+//! [`crate::parallel::ParallelExecutor`] share `&ParamStore` immutably,
+//! build private tapes over thread-count-independent shards of the
+//! batch, and their per-shard [`Gradients`] are combined by
+//! [`crate::parallel::reduce_gradients`] in a fixed tree order before a
+//! single optimizer step — so results do not depend on the worker count.
 
 use crate::matrix::Matrix;
 use std::collections::HashMap;

@@ -16,25 +16,27 @@ fn main() {
     let ds = generate_taobao(&TaobaoConfig::taobao1(0.1));
     println!("generated dataset:\n{}\n", GraphStats::compute(&ds.graph));
 
-    // 2. Configure HiGNN: 3 levels, bipartite GraphSAGE with d = 32,
-    //    K-means cluster counts decaying by alpha = 5 per level.
-    let cfg = HignnConfig {
-        levels: 3,
-        sage: BipartiteSageConfig {
-            input_dim: ds.user_features.cols(),
-            ..Default::default()
-        },
-        train: SageTrainConfig { epochs: 2, trainable_features: true, ..Default::default() },
-        cluster_counts: ClusterCounts::AlphaDecay { alpha: 5.0 },
-        kmeans: KMeansAlgo::Lloyd,
-        normalize: true,
-        seed: 7,
-    };
+    // 2. Configure HiGNN through the validated builder: 3 levels,
+    //    bipartite GraphSAGE with d = 32, K-means cluster counts decaying
+    //    by alpha = 5 per level, all available worker threads (the thread
+    //    count never changes the result).
+    let spec = HignnBuilder::new()
+        .levels(3)
+        .input_dim(ds.user_features.cols())
+        .epochs(2)
+        .trainable_features(true)
+        .alpha_decay(5.0)
+        .seed(7)
+        .threads(ParallelExecutor::available().workers())
+        .build()
+        .expect("valid configuration");
 
     // 3. Build the hierarchy (Algorithm 1: GraphSAGE -> K-means ->
     //    coarsen, repeated L times).
-    println!("training {} levels ...", cfg.levels);
-    let hierarchy = build_hierarchy(&ds.graph, &ds.user_features, &ds.item_features, &cfg);
+    println!("training {} levels ...", spec.config().levels);
+    let hierarchy = spec
+        .run(&ds.graph, &ds.user_features, &ds.item_features)
+        .expect("training failed");
 
     for (l, level) in hierarchy.levels().iter().enumerate() {
         println!(
