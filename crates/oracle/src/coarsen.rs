@@ -1,0 +1,72 @@
+//! Textbook Eq. 6 graph coarsening.
+//!
+//! `S(C_u, C_i) = Σ S(e)` over all member edges `e = (u, i)` with
+//! `u ∈ C_u, i ∈ C_i`; a coarse edge exists iff that sum is positive
+//! (which, with positive input weights, means iff any member edge
+//! exists). The reference accumulates into a dense `k_l x k_r` table in
+//! the order the edge list is given. Fed the optimized graph's sorted
+//! `edges()` slice, every cluster-pair bucket then sums the same `f32`
+//! values in the same order as `hignn_graph::coarsen`, so the surviving
+//! weights must agree **bitwise**.
+//!
+//! The other half of Eq. 6 — the coarse vertex feature as the mean
+//! embedding of the cluster's members — is
+//! [`mean_member_embeddings`].
+
+use crate::Rows32;
+
+/// The cluster feature of Eq. 6: each coarse vertex is the mean
+/// embedding of its members (re-exported from the K-means oracle, where
+/// the identical computation is the centroid update without reseeding).
+pub use crate::kmeans::mean_by_cluster as mean_member_embeddings;
+
+/// Sums member edge weights into a dense `k_l x k_r` weight table.
+///
+/// `edges` holds `(left, right, weight)` triples; `left_clusters` /
+/// `right_clusters` map vertices to cluster ids below `k_l` / `k_r`.
+/// Entry `[cl][cr]` is the coarse edge weight, `0.0` meaning "no edge".
+pub fn coarsen_weights(
+    edges: &[(u32, u32, f32)],
+    left_clusters: &[u32],
+    right_clusters: &[u32],
+    k_left: usize,
+    k_right: usize,
+) -> Rows32 {
+    let mut table = vec![vec![0.0f32; k_right]; k_left];
+    for &(l, r, w) in edges {
+        let cl = left_clusters[l as usize] as usize;
+        let cr = right_clusters[r as usize] as usize;
+        assert!(cl < k_left, "left cluster {cl} out of range");
+        assert!(cr < k_right, "right cluster {cr} out of range");
+        table[cl][cr] += w;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_member_edge_weights() {
+        let edges = [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (2, 2, 4.0)];
+        let table = coarsen_weights(&edges, &[0, 0, 1], &[0, 0, 1], 2, 2);
+        assert_eq!(table, vec![vec![6.0, 0.0], vec![0.0, 4.0]]);
+    }
+
+    #[test]
+    fn total_weight_is_preserved() {
+        let edges = [(0, 0, 1.5), (1, 1, 2.5), (2, 0, 3.0)];
+        let table = coarsen_weights(&edges, &[1, 0, 1], &[0, 1], 2, 2);
+        let total: f32 = table.iter().flatten().sum();
+        assert_eq!(total, 7.0);
+    }
+
+    #[test]
+    fn mean_member_embeddings_is_the_eq6_feature() {
+        let emb: Rows32 = vec![vec![1.0, 3.0], vec![3.0, 5.0], vec![8.0, 8.0]];
+        let features = mean_member_embeddings(&emb, &[0, 0, 1], 2);
+        assert_eq!(features[0], vec![2.0, 4.0]);
+        assert_eq!(features[1], vec![8.0, 8.0]);
+    }
+}

@@ -105,3 +105,120 @@ proptest! {
         });
     }
 }
+
+/// Builds one side's CSR arrays (offsets + flat neighbour list) from an
+/// edge list, without depending on the graph crate.
+fn csr(n: usize, pairs: impl Iterator<Item = (usize, usize)>) -> (Vec<usize>, Vec<usize>) {
+    let mut adj = vec![Vec::new(); n];
+    for (v, o) in pairs {
+        adj[v].push(o);
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut flat = Vec::new();
+    offsets.push(0);
+    for nbrs in adj {
+        flat.extend(nbrs);
+        offsets.push(flat.len());
+    }
+    (offsets, flat)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full Eq. 5 aggregation step for *both* sides, exercising the
+    /// cross-side matrices `M_u^i` and `M_i^u`: each side's neighbourhood
+    /// mean is transformed by its `M`, concatenated with the side's own
+    /// embedding, projected by `W`, biased, and passed through leaky
+    /// ReLU. All eight parameter tensors (features, M, W, b per side)
+    /// must match finite differences.
+    #[test]
+    fn cross_side_aggregation_gradcheck(
+        edges in prop::collection::vec((0usize..3, 0usize..4), 1..9),
+        user_vals in prop::collection::vec(0.1f32..1.0, 9),
+        item_vals in prop::collection::vec(0.1f32..1.0, 12),
+    ) {
+        const NL: usize = 3;
+        const NR: usize = 4;
+        const D: usize = 3;
+        // Positive features and positive fixed weights keep every
+        // pre-activation strictly positive, away from the leaky-ReLU
+        // kink the finite-difference step would otherwise straddle.
+        let mut store = ParamStore::new();
+        let hu = store.add("hu", Matrix::from_vec(NL, D, user_vals));
+        let hi = store.add("hi", Matrix::from_vec(NR, D, item_vals));
+        let mu = store.add("m_u", Matrix::from_fn(D, D, |i, j| 0.2 + 0.07 * (i * D + j) as f32));
+        let mi = store.add("m_i", Matrix::from_fn(D, D, |i, j| 0.15 + 0.06 * (i * D + j) as f32));
+        let wu = store.add("w_u", Matrix::from_fn(2 * D, D, |i, j| 0.1 + 0.04 * (i + j) as f32));
+        let wi = store.add("w_i", Matrix::from_fn(2 * D, D, |i, j| 0.12 + 0.05 * (i + j) as f32));
+        let bu = store.add("b_u", Matrix::from_fn(1, D, |_, j| 0.1 + 0.1 * j as f32));
+        let bi = store.add("b_i", Matrix::from_fn(1, D, |_, j| 0.2 + 0.1 * j as f32));
+
+        let (offs_l, flat_l) = csr(NL, edges.iter().map(|&(u, i)| (u, i)));
+        let (offs_r, flat_r) = csr(NR, edges.iter().map(|&(u, i)| (i, u)));
+
+        let params = [hu, hi, mu, mi, wu, wi, bu, bi];
+        check_param_grads(&store, &params, 1e-3, 5e-2, move |t| {
+            let hu_v = t.param(hu);
+            let hi_v = t.param(hi);
+            let step = |t: &mut Tape, h: Var, other: Var, flat: &[usize], offs: &[usize],
+                        m: hignn_tensor::ParamId, w: hignn_tensor::ParamId, b: hignn_tensor::ParamId| {
+                let gathered = t.gather_rows(other, flat);
+                let agg = t.segment_mean(gathered, offs);
+                let m_v = t.param(m);
+                let transformed = t.matmul(agg, m_v);
+                let cat = t.concat_cols(&[h, transformed]);
+                let w_v = t.param(w);
+                let lin = t.matmul(cat, w_v);
+                let b_v = t.param(b);
+                let lin = t.add_bias(lin, b_v);
+                t.leaky_relu(lin, 0.1)
+            };
+            let zu = step(t, hu_v, hi_v, &flat_l, &offs_l, mu, wu, bu);
+            let zi = step(t, hi_v, hu_v, &flat_r, &offs_r, mi, wi, bi);
+            let su = t.sum_squares(zu);
+            let si = t.sum_squares(zi);
+            t.add(su, si)
+        });
+    }
+
+    /// The Eq. 7 predictor head: a leaky-ReLU MLP over pair features
+    /// ending in a single logit column, trained with binary
+    /// cross-entropy. Both hidden layers' weights/biases and the output
+    /// layer must match finite differences through the BCE reduction.
+    #[test]
+    fn mlp_head_with_bce_gradcheck(
+        x_vals in prop::collection::vec(0.05f32..1.2, 20),
+        target_bits in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        const ROWS: usize = 4;
+        const D0: usize = 5;
+        const H: usize = 3;
+        let targets: Vec<f32> = target_bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+        let mut store = ParamStore::new();
+        let x = store.add("x", Matrix::from_vec(ROWS, D0, x_vals));
+        let w0 = store.add("head.w0", Matrix::from_fn(D0, H, |i, j| 0.1 + 0.05 * (i + 2 * j) as f32));
+        let b0 = store.add("head.b0", Matrix::from_fn(1, H, |_, j| 0.1 + 0.1 * j as f32));
+        let w1 = store.add("head.w1", Matrix::from_fn(H, H, |i, j| 0.08 + 0.06 * (i + j) as f32));
+        let b1 = store.add("head.b1", Matrix::from_fn(1, H, |_, j| 0.05 + 0.1 * j as f32));
+        let w2 = store.add("head.w2", Matrix::from_fn(H, 1, |i, _| 0.2 + 0.1 * i as f32));
+        let b2 = store.add("head.b2", Matrix::from_vec(1, 1, vec![0.1]));
+
+        let params = [x, w0, b0, w1, b1, w2, b2];
+        check_param_grads(&store, &params, 1e-3, 5e-2, move |t| {
+            let mut h = t.param(x);
+            for (w, b) in [(w0, b0), (w1, b1)] {
+                let w_v = t.param(w);
+                let b_v = t.param(b);
+                h = t.matmul(h, w_v);
+                h = t.add_bias(h, b_v);
+                h = t.leaky_relu(h, 0.1);
+            }
+            let w_v = t.param(w2);
+            let b_v = t.param(b2);
+            let logits = t.matmul(h, w_v);
+            let logits = t.add_bias(logits, b_v);
+            t.bce_with_logits(logits, &targets)
+        });
+    }
+}

@@ -1,1 +1,3 @@
-//! Integration test helpers live in tests/tests/*.rs.
+//! Shared helpers for the integration tests in tests/tests/*.rs.
+
+pub mod strategies;

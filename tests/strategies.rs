@@ -1,0 +1,115 @@
+//! Seeded proptest strategies shared across the property-based suites
+//! (`properties.rs`, `differential_oracle.rs`).
+//!
+//! Everything here is deterministic given the proptest case RNG: the
+//! differential-oracle suite relies on replaying a persisted case index
+//! to reproduce the exact graph/matrix an earlier run failed on.
+//! Converters between `hignn_tensor::Matrix` and the oracle crate's
+//! plain `Vec<Vec<_>>` rows live here too, so tests never hand-roll the
+//! (easy to transpose) translation.
+
+// Index loops keep the Matrix↔rows converters visibly order-preserving.
+#![allow(clippy::needless_range_loop)]
+
+use hignn_graph::{BipartiteGraph, Side};
+use hignn_tensor::Matrix;
+use proptest::prelude::*;
+
+/// A raw bipartite graph draw: `(num_left, num_right, edges)`. At least
+/// one edge, so `BipartiteGraph::from_edges` and the trainers accept it.
+pub type RawGraph = (usize, usize, Vec<(u32, u32, f32)>);
+
+/// Strategy: a small bipartite graph with positive edge weights.
+pub fn bipartite_graph(
+    max_left: usize,
+    max_right: usize,
+    max_edges: usize,
+) -> impl Strategy<Value = RawGraph> {
+    assert!(max_left >= 2 && max_right >= 2 && max_edges >= 2);
+    (2usize..max_left, 2usize..max_right).prop_flat_map(move |(nl, nr)| {
+        let edges = prop::collection::vec(
+            (0..nl as u32, 0..nr as u32, 0.5f32..5.0),
+            1..max_edges,
+        );
+        (Just(nl), Just(nr), edges)
+    })
+}
+
+/// Strategy: a dense `rows x cols` matrix with entries in
+/// `-bound..bound`, dimensions drawn from the given ranges.
+pub fn matrix(
+    rows: core::ops::Range<usize>,
+    cols: core::ops::Range<usize>,
+    bound: f32,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(move |(r, c)| {
+        prop::collection::vec(-bound..bound, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+/// Strategy: a fixed-shape matrix (for conforming matmul operands).
+pub fn matrix_exact(rows: usize, cols: usize, bound: f32) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-bound..bound, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a cluster assignment of `n` vertices into `k` clusters in
+/// which every cluster id below `k` actually occurs (vertex `v < k` is
+/// pinned to cluster `v`, the rest are free draws).
+pub fn surjective_assignment(n: usize, k: usize) -> impl Strategy<Value = Vec<u32>> {
+    assert!(k <= n, "need n >= k for a surjective assignment");
+    prop::collection::vec(0..k as u32, n).prop_map(move |mut a| {
+        for v in 0..k {
+            a[v] = v as u32;
+        }
+        a
+    })
+}
+
+/// `Matrix` → oracle rows (`f32`).
+pub fn to_rows32(m: &Matrix) -> Vec<Vec<f32>> {
+    (0..m.rows()).map(|i| m.row(i).to_vec()).collect()
+}
+
+/// `Matrix` → oracle rows widened to `f64`.
+pub fn to_rows64(m: &Matrix) -> Vec<Vec<f64>> {
+    (0..m.rows())
+        .map(|i| m.row(i).iter().map(|&v| v as f64).collect())
+        .collect()
+}
+
+/// Oracle rows → `Matrix` (panics on ragged input).
+pub fn from_rows32(rows: &[Vec<f32>]) -> Matrix {
+    let cols = rows.first().map_or(0, |r| r.len());
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged rows");
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), cols, data)
+}
+
+/// Adjacency lists of one side of a graph (`out[v]` = opposite-side
+/// neighbours of `v`), the plain form the oracle crate consumes.
+pub fn adjacency(graph: &BipartiteGraph, side: Side) -> Vec<Vec<usize>> {
+    (0..graph.num_vertices(side))
+        .map(|v| {
+            let (nbrs, _) = graph.neighbors(side, v);
+            nbrs.iter().map(|&n| n as usize).collect()
+        })
+        .collect()
+}
+
+/// Largest absolute difference between a `Matrix` and `f64` oracle rows.
+pub fn max_abs_diff64(m: &Matrix, rows: &[Vec<f64>]) -> f64 {
+    assert_eq!(m.rows(), rows.len(), "row count mismatch");
+    let mut worst = 0.0f64;
+    for i in 0..m.rows() {
+        assert_eq!(m.cols(), rows[i].len(), "col count mismatch");
+        for j in 0..m.cols() {
+            worst = worst.max((m.get(i, j) as f64 - rows[i][j]).abs());
+        }
+    }
+    worst
+}

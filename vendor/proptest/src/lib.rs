@@ -15,13 +15,28 @@
 //! Unlike upstream proptest there is **no shrinking**: a failing case
 //! panics with the test name and case index, which is reproducible
 //! because sampling is fully deterministic (seeded per test name).
+//!
+//! Two upstream behaviours *are* replicated (as vendored extensions):
+//!
+//! * the `PROPTEST_CASES` environment variable overrides every
+//!   config's case count (used by CI's deep-test job), and
+//! * failing case indices are persisted to
+//!   `proptest-regressions/<test path>.txt` next to the owning crate's
+//!   `Cargo.toml` and replayed *before* the regular cases on the next
+//!   run, so a failure found once (e.g. under a large CI case count)
+//!   keeps failing locally until fixed. Since sampling is seeded by
+//!   `(test path, case index)`, the index alone is a complete
+//!   reproduction recipe — that is this crate's stand-in for upstream's
+//!   persisted shrunk seeds.
 
 pub mod strategy;
 
-/// Test-runner configuration (`ProptestConfig`).
+/// Test-runner configuration (`ProptestConfig`) and the case driver.
 pub mod test_runner {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::path::{Path, PathBuf};
 
     /// Subset of proptest's `Config`: only the case count.
     #[derive(Clone, Debug)]
@@ -34,6 +49,16 @@ pub mod test_runner {
         /// A config running `cases` cases per property.
         pub fn with_cases(cases: u32) -> Self {
             ProptestConfig { cases }
+        }
+
+        /// The case count actually used: the `PROPTEST_CASES`
+        /// environment variable when set to a positive integer,
+        /// otherwise [`ProptestConfig::cases`].
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.trim().parse::<u32>().ok().filter(|&n| n > 0).unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
         }
     }
 
@@ -52,6 +77,173 @@ pub mod test_runner {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+
+    /// Where failing cases of `test_path` are persisted: a one-file-per-
+    /// test text file under `<manifest_dir>/proptest-regressions/`.
+    pub fn persistence_path(manifest_dir: &str, test_path: &str) -> PathBuf {
+        let sanitized: String = test_path
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '-' })
+            .collect();
+        Path::new(manifest_dir).join("proptest-regressions").join(format!("{sanitized}.txt"))
+    }
+
+    /// Failing case indices previously recorded at `path` (empty when
+    /// the file does not exist). Lines are `cc <index>`; anything else
+    /// (comments, blanks) is ignored.
+    pub fn persisted_cases(path: &Path) -> Vec<u32> {
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        let mut cases = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.trim().strip_prefix("cc ") {
+                if let Ok(case) = rest.trim().parse::<u32>() {
+                    if !cases.contains(&case) {
+                        cases.push(case);
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    /// Appends `case` to the regression file at `path` (creating it,
+    /// with a header, as needed; no-op if the case is already recorded).
+    pub fn persist_case(path: &Path, case: u32) -> std::io::Result<()> {
+        if persisted_cases(path).contains(&case) {
+            return Ok(());
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut text = if path.exists() {
+            std::fs::read_to_string(path)?
+        } else {
+            "# Seeds for failing proptest cases. Each `cc <index>` line is a case\n\
+             # index replayed before the regular cases on every run; sampling is\n\
+             # deterministic per (test path, index), so the index alone reproduces\n\
+             # the input. Delete a line only when its failure is understood.\n"
+                .to_string()
+        };
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&format!("cc {case}\n"));
+        std::fs::write(path, text)
+    }
+
+    /// Runs one property: first every persisted regression case, then
+    /// the regular cases `0..cases` (skipping already-replayed ones). A
+    /// panicking fresh case is persisted before the panic is re-raised,
+    /// so the failure replays on every subsequent run.
+    pub fn drive(test_path: &str, manifest_dir: &str, cases: u32, run: impl Fn(u32)) {
+        let path = persistence_path(manifest_dir, test_path);
+        let persisted = persisted_cases(&path);
+        for &case in &persisted {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(case))) {
+                eprintln!(
+                    "proptest: {test_path} persisted regression case {case} still fails \
+                     (recorded in {})",
+                    path.display()
+                );
+                resume_unwind(payload);
+            }
+        }
+        for case in 0..cases {
+            if persisted.contains(&case) {
+                continue;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(case))) {
+                match persist_case(&path, case) {
+                    Ok(()) => eprintln!(
+                        "proptest: {test_path} failed at case {case}; persisted to {} \
+                         (replayed first on the next run)",
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "proptest: {test_path} failed at case {case}; could not persist \
+                         to {}: {e}",
+                        path.display()
+                    ),
+                }
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        fn scratch_file(tag: &str) -> PathBuf {
+            static COUNTER: AtomicU32 = AtomicU32::new(0);
+            let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+            std::env::temp_dir().join(format!(
+                "hignn-proptest-{}-{unique}-{tag}",
+                std::process::id()
+            ))
+        }
+
+        #[test]
+        fn persistence_path_sanitizes_module_separators() {
+            let p = persistence_path("/crate", "tests::oracle::matmul_matches");
+            assert_eq!(
+                p,
+                Path::new("/crate/proptest-regressions/tests--oracle--matmul_matches.txt")
+            );
+        }
+
+        #[test]
+        fn persist_and_read_back_roundtrip() {
+            let dir = scratch_file("roundtrip");
+            let path = dir.join("t.txt");
+            assert!(persisted_cases(&path).is_empty());
+            persist_case(&path, 17).unwrap();
+            persist_case(&path, 3).unwrap();
+            persist_case(&path, 17).unwrap(); // deduplicated
+            assert_eq!(persisted_cases(&path), vec![17, 3]);
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(text.starts_with('#'), "header comment expected:\n{text}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn drive_replays_persisted_cases_first_and_records_new_failures() {
+            let dir = scratch_file("drive");
+            let manifest = dir.to_str().unwrap().to_string();
+            let path = persistence_path(&manifest, "t::prop");
+            persist_case(&path, 40).unwrap(); // outside 0..cases, still replayed
+            let seen = std::sync::Mutex::new(Vec::new());
+            drive("t::prop", &manifest, 3, |case| {
+                seen.lock().unwrap().push(case);
+            });
+            assert_eq!(*seen.lock().unwrap(), vec![40, 0, 1, 2]);
+
+            // A failing fresh case gets persisted before the panic
+            // propagates.
+            let failed = catch_unwind(AssertUnwindSafe(|| {
+                drive("t::prop", &manifest, 3, |case| assert_ne!(case, 2));
+            }));
+            assert!(failed.is_err());
+            assert_eq!(persisted_cases(&path), vec![40, 2]);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        #[test]
+        fn env_var_overrides_configured_cases() {
+            // Serialized by being the only test touching the variable.
+            let cfg = ProptestConfig::with_cases(7);
+            std::env::remove_var("PROPTEST_CASES");
+            assert_eq!(cfg.resolved_cases(), 7);
+            std::env::set_var("PROPTEST_CASES", "256");
+            assert_eq!(cfg.resolved_cases(), 256);
+            std::env::set_var("PROPTEST_CASES", "not a number");
+            assert_eq!(cfg.resolved_cases(), 7);
+            std::env::set_var("PROPTEST_CASES", "0");
+            assert_eq!(cfg.resolved_cases(), 7);
+            std::env::remove_var("PROPTEST_CASES");
+        }
     }
 }
 
@@ -193,19 +385,27 @@ macro_rules! __proptest_impl {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
             let strat = ($($strat,)+);
-            for case in 0..config.cases {
-                let mut __proptest_rng = $crate::test_runner::case_rng(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case,
-                );
-                let ($($pat,)+) =
-                    $crate::strategy::Strategy::sample(&strat, &mut __proptest_rng);
-                // A closure so `prop_assume!` can skip the case via
-                // early return; assertion failures panic (sampling is
-                // deterministic per test name, so failures reproduce).
-                let _ = case;
-                (move || $body)();
-            }
+            // `drive` replays persisted regression cases first, then the
+            // regular cases, persisting any fresh failure's index.
+            // CARGO_MANIFEST_DIR resolves at the *expansion* site, so
+            // the regression file lands next to the owning crate.
+            $crate::test_runner::drive(
+                concat!(module_path!(), "::", stringify!($name)),
+                env!("CARGO_MANIFEST_DIR"),
+                config.resolved_cases(),
+                |case| {
+                    let mut __proptest_rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&strat, &mut __proptest_rng);
+                    // A closure so `prop_assume!` can skip the case via
+                    // early return; assertion failures panic (sampling is
+                    // deterministic per test name, so failures reproduce).
+                    (move || $body)();
+                },
+            );
         }
     )*};
 }
