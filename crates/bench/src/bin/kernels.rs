@@ -1,0 +1,317 @@
+//! Kernel-level benchmark for the vectorized/zero-allocation hot path.
+//!
+//! Times (a) the register-tiled matmul kernels over training-shaped
+//! operands, (b) the fused gather + mean-pool against the unfused
+//! gather-then-pool composition, (c) one autograd tape step with a warm
+//! buffer pool against the same step with fresh allocations, and (d) one
+//! full single-thread unsupervised training epoch. Every fused/pooled
+//! variant is asserted **bitwise identical** to its reference, and the
+//! epoch is run twice to assert run-to-run determinism; any divergence
+//! flips `deterministic` to false and exits with status 5.
+//!
+//! Writes machine-readable `BENCH_kernels.json`.
+//!
+//! ```sh
+//! cargo run --release -p hignn-bench --bin kernels -- [--scale F] [--seed N] [--quick]
+//! ```
+
+use hignn::prelude::*;
+use hignn_bench::report::banner;
+use hignn_bench::ExpArgs;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_tensor::{init, Gradients, Matrix, ParamStore, Tape, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// 1-thread `train_epoch` edges/sec measured before this optimization
+/// pass (BENCH_parallel.json, scale 0.5, seed 2020).
+const BASELINE_EDGES_PER_SEC: f64 = 3805.3;
+
+struct MatmulTiming {
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench_matmuls(rng: &mut StdRng, reps: usize) -> Vec<MatmulTiming> {
+    // Training-shaped operands: (batch x d) x (d x d) forward products,
+    // their two transposed backward products, and an odd-sized shape that
+    // exercises the scalar remainder edges of the tiled kernels.
+    let shapes: [(usize, usize, usize); 4] =
+        [(2048, 32, 32), (2048, 64, 64), (256, 128, 128), (513, 33, 65)];
+    let mut out = Vec::new();
+    for &(m, k, n) in &shapes {
+        let a = init::xavier_uniform(m, k, rng);
+        let b = init::xavier_uniform(k, n, rng);
+        let bt = init::xavier_uniform(n, k, rng);
+        let at = init::xavier_uniform(k, m, rng);
+        let flops = (2 * m * k * n) as f64;
+        for (name, secs) in [
+            ("nn", time_reps(reps, || {
+                std::hint::black_box(a.matmul(&b));
+            })),
+            ("nt", time_reps(reps, || {
+                std::hint::black_box(a.matmul_nt(&bt));
+            })),
+            ("tn", time_reps(reps, || {
+                std::hint::black_box(at.matmul_tn(&b));
+            })),
+        ] {
+            out.push(MatmulTiming { name, m, k, n, seconds: secs, gflops: flops / secs / 1e9 });
+        }
+    }
+    out
+}
+
+struct PairTiming {
+    reference_secs: f64,
+    optimized_secs: f64,
+    bitwise_equal: bool,
+}
+
+impl PairTiming {
+    fn speedup(&self) -> f64 {
+        self.reference_secs / self.optimized_secs
+    }
+}
+
+/// Fused gather + mean-pool vs gather-then-pool over an embedding-table
+/// lookup shaped like the deepest GraphSAGE layer.
+fn bench_gather_aggregate(rng: &mut StdRng, reps: usize) -> PairTiming {
+    let table = init::xavier_uniform(5000, 64, rng);
+    let group = 8;
+    let idx: Vec<usize> = (0..2048 * group).map(|i| (i * 2654435761) % 5000).collect();
+    let reference = table.gather_rows(&idx).mean_pool_rows(group);
+    let fused = table.gather_mean_pool_rows(&idx, group);
+    let bitwise_equal = reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        == fused.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    PairTiming {
+        reference_secs: time_reps(reps, || {
+            std::hint::black_box(table.gather_rows(&idx).mean_pool_rows(group)).len();
+        }),
+        optimized_secs: time_reps(reps, || {
+            std::hint::black_box(table.gather_mean_pool_rows(&idx, group)).len();
+        }),
+        bitwise_equal,
+    }
+}
+
+/// One forward/backward MLP step on a pooled tape (buffers leased from a
+/// warm [`Workspace`]) vs the same step with fresh allocations.
+fn bench_tape_step(rng: &mut StdRng, reps: usize) -> (PairTiming, u64) {
+    let n = 512;
+    let (d, h) = (64, 64);
+    let mut store = ParamStore::new();
+    let w1 = store.add("w1", init::xavier_uniform(d, h, rng));
+    let b1 = store.add("b1", Matrix::zeros(1, h));
+    let w2 = store.add("w2", init::xavier_uniform(h, 1, rng));
+    let x = init::xavier_uniform(n, d, rng);
+    let targets: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+
+    let step = |tape: &mut Tape| -> (f32, Gradients) {
+        let xv = tape.input(x.clone());
+        let w1v = tape.param(w1);
+        let b1v = tape.param(b1);
+        let w2v = tape.param(w2);
+        let h1 = tape.matmul(xv, w1v);
+        let h1 = tape.add_bias(h1, b1v);
+        let h1 = tape.leaky_relu(h1, 0.01);
+        let logits = tape.matmul(h1, w2v);
+        let loss = tape.bce_with_logits(logits, &targets);
+        let loss_val = tape.scalar(loss);
+        (loss_val, tape.backward(loss))
+    };
+    let grad_bits = |g: &Gradients| -> Vec<u32> {
+        g.iter().flat_map(|(_, m)| m.data().iter().map(|v| v.to_bits())).collect()
+    };
+
+    let mut fresh_tape = Tape::new(&store);
+    let (fresh_loss, fresh_grads) = step(&mut fresh_tape);
+    let ws = Workspace::new();
+    // Warm the pool, then check bitwise identity of the pooled step.
+    for _ in 0..2 {
+        let mut t = Tape::with_workspace(&store, &ws);
+        let (loss, grads) = step(&mut t);
+        t.recycle();
+        let equal = loss.to_bits() == fresh_loss.to_bits()
+            && grad_bits(&grads) == grad_bits(&fresh_grads);
+        grads.recycle_into(&ws);
+        if !equal {
+            return (
+                PairTiming { reference_secs: f64::NAN, optimized_secs: f64::NAN, bitwise_equal: false },
+                0,
+            );
+        }
+    }
+
+    let allocs_before = ws.fresh_allocs();
+    let pooled_secs = time_reps(reps, || {
+        let mut t = Tape::with_workspace(&store, &ws);
+        let (_, grads) = step(&mut t);
+        t.recycle();
+        grads.recycle_into(&ws);
+    });
+    let leaked_allocs = ws.fresh_allocs() - allocs_before;
+    let fresh_secs = time_reps(reps, || {
+        let mut t = Tape::new(&store);
+        let _ = step(&mut t);
+    });
+    (
+        PairTiming { reference_secs: fresh_secs, optimized_secs: pooled_secs, bitwise_equal: true },
+        leaked_allocs,
+    )
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let reps = if args.quick { 5 } else { 30 };
+    let mut rng = StdRng::seed_from_u64(args.seed ^ 0xBEEF);
+
+    banner("Kernel microbenchmarks — tiled matmul, fused gather, pooled tape");
+    let mut deterministic = true;
+
+    let matmuls = bench_matmuls(&mut rng, reps);
+    for t in &matmuls {
+        println!(
+            "matmul {}  {:>4}x{:<3} * {:>3}x{:<4} {:>9.1} us  {:>6.2} GFLOP/s",
+            t.name,
+            t.m,
+            t.k,
+            t.k,
+            t.n,
+            t.seconds * 1e6,
+            t.gflops
+        );
+    }
+
+    let gather = bench_gather_aggregate(&mut rng, reps);
+    if !gather.bitwise_equal {
+        eprintln!("DETERMINISM VIOLATION: fused gather+mean-pool diverged from composition");
+        deterministic = false;
+    }
+    println!(
+        "gather+pool  unfused {:>9.1} us  fused {:>9.1} us  ({:.2}x, bitwise {})",
+        gather.reference_secs * 1e6,
+        gather.optimized_secs * 1e6,
+        gather.speedup(),
+        gather.bitwise_equal
+    );
+
+    let (tape, leaked_allocs) = bench_tape_step(&mut rng, reps);
+    if !tape.bitwise_equal {
+        eprintln!("DETERMINISM VIOLATION: pooled tape step diverged from fresh tape");
+        deterministic = false;
+    }
+    println!(
+        "tape step    fresh   {:>9.1} us  pooled {:>8.1} us  ({:.2}x, {} fresh allocs after warmup)",
+        tape.reference_secs * 1e6,
+        tape.optimized_secs * 1e6,
+        tape.speedup(),
+        leaked_allocs
+    );
+
+    // Full single-thread epoch, run twice for run-to-run determinism.
+    let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
+    let g = &ds.graph;
+    let sage_cfg = BipartiteSageConfig { input_dim: ds.user_features.cols(), ..Default::default() };
+    let train_cfg = SageTrainConfig { epochs: 1, ..Default::default() };
+    let exec = ParallelExecutor::single();
+    let mut epoch_secs = f64::NAN;
+    let mut loss_bits: Option<Vec<u32>> = None;
+    for run in 0..2 {
+        let t0 = Instant::now();
+        let trained = train_unsupervised_checked(
+            g,
+            &ds.user_features,
+            &ds.item_features,
+            sage_cfg.clone(),
+            &train_cfg,
+            args.seed,
+            &exec,
+            TrainGuard::default(),
+            None,
+        )
+        .expect("no guard, no faults");
+        let secs = t0.elapsed().as_secs_f64();
+        if run == 0 {
+            epoch_secs = secs;
+        }
+        let bits: Vec<u32> = trained.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        match &loss_bits {
+            None => loss_bits = Some(bits),
+            Some(expected) => {
+                if *expected != bits {
+                    eprintln!("DETERMINISM VIOLATION: repeated epoch loss diverged");
+                    deterministic = false;
+                }
+            }
+        }
+    }
+    let edges_per_sec = g.num_edges() as f64 / epoch_secs;
+    let is_baseline_config = (args.scale - 0.5).abs() < 1e-12 && args.seed == 2020;
+    let speedup_vs_baseline =
+        if is_baseline_config { edges_per_sec / BASELINE_EDGES_PER_SEC } else { f64::NAN };
+    println!(
+        "train epoch  1 thread  {:.3}s  ({:.0} edges/s{})",
+        epoch_secs,
+        edges_per_sec,
+        if is_baseline_config {
+            format!(", {speedup_vs_baseline:.2}x vs pre-optimization {BASELINE_EDGES_PER_SEC}")
+        } else {
+            String::new()
+        }
+    );
+
+    let mut matmul_json = String::from("  \"matmul\": [\n");
+    for (i, t) in matmuls.iter().enumerate() {
+        let comma = if i + 1 < matmuls.len() { "," } else { "" };
+        let _ = writeln!(
+            matmul_json,
+            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"seconds\": {:.9}, \"gflops\": {:.3}}}{comma}",
+            t.name, t.m, t.k, t.n, t.seconds, t.gflops
+        );
+    }
+    matmul_json.push_str("  ]");
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"scale\": {},\n  \"seed\": {},\n\
+         {matmul_json},\n  \
+         \"gather_aggregate\": {{\"unfused_seconds\": {:.9}, \"fused_seconds\": {:.9}, \"speedup\": {:.3}}},\n  \
+         \"tape_step\": {{\"fresh_seconds\": {:.9}, \"pooled_seconds\": {:.9}, \"speedup\": {:.3}, \"fresh_allocs_after_warmup\": {leaked_allocs}}},\n  \
+         \"train_epoch\": {{\"threads\": 1, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}, \
+         \"baseline_edges_per_sec\": {BASELINE_EDGES_PER_SEC}, \"speedup_vs_baseline\": {}}},\n  \
+         \"deterministic\": {deterministic},\n  \
+         \"note\": \"every fused/pooled kernel is asserted bitwise identical to its naive \
+         reference in-process; speedup_vs_baseline is only meaningful at scale 0.5, seed 2020 \
+         (the configuration of the recorded baseline) and is null otherwise.\"\n}}\n",
+        args.scale,
+        args.seed,
+        gather.reference_secs,
+        gather.optimized_secs,
+        gather.speedup(),
+        tape.reference_secs,
+        tape.optimized_secs,
+        tape.speedup(),
+        epoch_secs,
+        edges_per_sec,
+        if is_baseline_config { format!("{speedup_vs_baseline:.3}") } else { "null".to_string() },
+    );
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json (deterministic = {deterministic})");
+    if !deterministic {
+        std::process::exit(5);
+    }
+}

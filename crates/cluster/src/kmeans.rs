@@ -85,6 +85,11 @@ pub fn kmeans_with(
     assert!(cfg.k > 0, "kmeans: k must be positive");
     let k = cfg.k.min(data.rows());
     let d = data.cols();
+    // Serial fallback for small problems: below the work threshold,
+    // thread spawn overhead dominates the O(n·k·d) step itself
+    // (BENCH_parallel.json measured sub-1.0× speedups there). Chunk
+    // decomposition is unchanged, so this never changes bits.
+    let exec = &exec.throttle(data.rows() * d * k);
     let mut centroids = kmeans_pp_seed(data, k, rng);
     let mut assignment = vec![0u32; data.rows()];
     let mut inertia = f64::MAX;
@@ -161,6 +166,7 @@ pub fn assign_all(
     data: &Matrix,
     exec: &ParallelExecutor,
 ) -> (Vec<u32>, f64) {
+    let exec = &exec.throttle(data.rows() * data.cols() * centroids.rows());
     let chunks = exec.map_chunks(data.rows(), ROW_CHUNK, |_, range| {
         let mut assigned = Vec::with_capacity(range.len());
         let mut inertia = 0f64;

@@ -229,25 +229,37 @@ impl BipartiteSage {
         // Initial embeddings. Fixed features are gathered outside the tape
         // (constants, no gradient); trainable features are gathered on the
         // tape so gradients scatter back into the embedding table.
+        //
+        // For mean/sum aggregation the deepest layer is consumed exactly
+        // once — by the pooling at step p = 1 — so its gathered
+        // `|batch|·∏fanouts x d` matrix is never materialized: the fused
+        // gather + mean-pool reads feature rows straight into the pooled
+        // output (bitwise identical to gather-then-pool; see the tape
+        // tests). Max aggregation needs the individual rows, so it keeps
+        // the unfused path.
+        let fuse_deepest = self.cfg.aggregator != Aggregator::Max;
         let mut trainable_vars: [Option<Var>; 2] = [None, None];
-        let mut initial = |tape: &mut Tape, src: &FeatureSource<'_>, slot: usize, ids: &[usize]| {
-            match src {
-                FeatureSource::Fixed(m) => {
-                    
-                    tape.input(m.gather_rows(ids))
-                }
-                FeatureSource::Trainable(pid) => {
-                    let table = *trainable_vars[slot]
-                        .get_or_insert_with(|| tape.param(*pid));
-                    tape.gather_rows(table, ids)
-                }
+        fn table_var(tape: &mut Tape, vars: &mut [Option<Var>; 2], slot: usize, pid: ParamId) -> Var {
+            *vars[slot].get_or_insert_with(|| tape.param(pid))
+        }
+        let src_for = |l: usize| -> (FeatureSource<'_>, usize) {
+            match side_at(side, l) {
+                Side::Left => (user_feats, 0),
+                Side::Right => (item_feats, 1),
             }
         };
         let mut h: Vec<Var> = Vec::with_capacity(layers.len());
         for (l, ids) in layers.iter().enumerate() {
-            let v = match side_at(side, l) {
-                Side::Left => initial(tape, &user_feats, 0, ids),
-                Side::Right => initial(tape, &item_feats, 1, ids),
+            if fuse_deepest && l == p_max {
+                break;
+            }
+            let (src, slot) = src_for(l);
+            let v = match src {
+                FeatureSource::Fixed(m) => tape.input(m.gather_rows(ids)),
+                FeatureSource::Trainable(pid) => {
+                    let table = table_var(tape, &mut trainable_vars, slot, pid);
+                    tape.gather_rows(table, ids)
+                }
             };
             h.push(v);
         }
@@ -256,13 +268,31 @@ impl BipartiteSage {
             for l in 0..=(p_max - p) {
                 let layer_side = side_at(side, l);
                 let params = &self.steps_for(layer_side)[p - 1];
-                let agg = match self.cfg.aggregator {
-                    Aggregator::Mean => tape.mean_pool_rows(h[l + 1], self.cfg.fanouts[l]),
-                    Aggregator::Sum => {
-                        let m = tape.mean_pool_rows(h[l + 1], self.cfg.fanouts[l]);
-                        tape.scale(m, self.cfg.fanouts[l] as f32)
+                let fanout = self.cfg.fanouts[l];
+                let agg = if fuse_deepest && p == 1 && l + 1 == p_max {
+                    let (src, slot) = src_for(p_max);
+                    let pooled = match src {
+                        FeatureSource::Fixed(m) => {
+                            tape.input(m.gather_mean_pool_rows(&layers[p_max], fanout))
+                        }
+                        FeatureSource::Trainable(pid) => {
+                            let table = table_var(tape, &mut trainable_vars, slot, pid);
+                            tape.gather_mean_pool_rows(table, &layers[p_max], fanout)
+                        }
+                    };
+                    match self.cfg.aggregator {
+                        Aggregator::Sum => tape.scale(pooled, fanout as f32),
+                        _ => pooled,
                     }
-                    Aggregator::Max => tape.max_pool_rows(h[l + 1], self.cfg.fanouts[l]),
+                } else {
+                    match self.cfg.aggregator {
+                        Aggregator::Mean => tape.mean_pool_rows(h[l + 1], fanout),
+                        Aggregator::Sum => {
+                            let m = tape.mean_pool_rows(h[l + 1], fanout);
+                            tape.scale(m, fanout as f32)
+                        }
+                        Aggregator::Max => tape.max_pool_rows(h[l + 1], fanout),
+                    }
                 };
                 let m = tape.param(params.m);
                 let transformed = tape.matmul(agg, m);
@@ -301,15 +331,17 @@ impl BipartiteSage {
         item_feats: &Matrix,
         exec: &ParallelExecutor,
     ) -> (Matrix, Matrix) {
-        // Accepts features with or without the null row.
-        let take = |m: &Matrix, n: usize| -> Matrix {
+        // Accepts features with or without the null row. Borrows the
+        // caller's matrix when it already has the right shape — the first
+        // propagation step only reads it, so no copy is needed.
+        fn take(m: &Matrix, n: usize) -> std::borrow::Cow<'_, Matrix> {
             if m.rows() == n + 1 {
-                m.gather_rows(&(0..n).collect::<Vec<_>>())
+                std::borrow::Cow::Owned(m.gather_rows(&(0..n).collect::<Vec<_>>()))
             } else {
                 assert_eq!(m.rows(), n, "embed_all: feature row mismatch");
-                m.clone()
+                std::borrow::Cow::Borrowed(m)
             }
-        };
+        }
         let mut hu = take(user_feats, graph.num_left());
         let mut hi = take(item_feats, graph.num_right());
         for p in 1..=self.num_steps() {
@@ -319,10 +351,10 @@ impl BipartiteSage {
             let ip = &self.item_steps[p - 1];
             let new_hu = dense_step(store, &hu, &agg_u, up, self.cfg.activation, exec);
             let new_hi = dense_step(store, &hi, &agg_i, ip, self.cfg.activation, exec);
-            hu = new_hu;
-            hi = new_hi;
+            hu = std::borrow::Cow::Owned(new_hu);
+            hi = std::borrow::Cow::Owned(new_hi);
         }
-        (hu, hi)
+        (hu.into_owned(), hi.into_owned())
     }
 }
 
@@ -361,21 +393,20 @@ fn dense_step(
     let m = store.get(params.m);
     let w = store.get(params.w);
     let b = store.get(params.b);
-    let activate = |lin: Matrix| -> Matrix {
-        match act {
-            Activation::LeakyRelu => lin.map(|v| if v > 0.0 { v } else { 0.01 * v }),
-            Activation::Relu => lin.map(|v| v.max(0.0)),
-            Activation::Tanh => lin.map(f32::tanh),
-            Activation::Identity => lin,
-        }
-    };
+    // Each chunk slices its rows in place (no gather copies), uses the
+    // fused concat-matmul kernel (no `[h | agg M]` materialization), and
+    // applies bias + activation in place on the output block.
     let chunks = exec.map_chunks(h_self.rows(), ROW_CHUNK, |_, range| {
-        let idx: Vec<usize> = range.collect();
-        let hs = h_self.gather_rows(&idx);
-        let ha = h_agg.gather_rows(&idx);
-        let transformed = ha.matmul(m);
-        let cat = Matrix::concat_cols(&[&hs, &transformed]);
-        activate(cat.matmul(w).add_row_broadcast(b))
+        let transformed = h_agg.matmul_rows_range(range.clone(), m);
+        let mut lin = Matrix::concat2_matmul_rows_range(h_self, range, &transformed, w);
+        lin.add_row_broadcast_assign(b);
+        match act {
+            Activation::LeakyRelu => lin.map_assign(|v| if v > 0.0 { v } else { 0.01 * v }),
+            Activation::Relu => lin.map_assign(|v| v.max(0.0)),
+            Activation::Tanh => lin.map_assign(f32::tanh),
+            Activation::Identity => {}
+        }
+        lin
     });
     concat_chunks(&chunks, w.cols())
 }

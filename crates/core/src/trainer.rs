@@ -37,9 +37,10 @@ use hignn_graph::{BipartiteGraph, NegativeSampler, Side};
 use hignn_tensor::nn::{Activation, Mlp};
 use hignn_tensor::optim::{Adam, Optimizer};
 use hignn_tensor::parallel::{reduce_gradients, ParallelExecutor};
-use hignn_tensor::{Gradients, Matrix, ParamStore, Tape};
+use hignn_tensor::{Gradients, Matrix, ParamStore, Tape, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 /// Hyper-parameters for unsupervised GraphSAGE training.
 #[derive(Clone, Debug)]
@@ -268,8 +269,10 @@ struct ShardCtx<'a> {
 /// Returns the shard's loss and gradients, both already scaled by
 /// `weight` (= shard rows / batch rows), so the caller just sums losses
 /// and tree-reduces gradients in shard order.
+#[allow(clippy::too_many_arguments)]
 fn shard_pass(
     ctx: &ShardCtx<'_>,
+    ws: &Workspace,
     users: &[usize],
     items: &[usize],
     weights: &[f32],
@@ -283,7 +286,7 @@ fn shard_pass(
     let neg_users: Vec<usize> = ctx.neg_user_sampler.sample_many(pool, rng);
     let neg_items: Vec<usize> = ctx.neg_item_sampler.sample_many(pool, rng);
 
-    let mut tape = Tape::new(ctx.store);
+    let mut tape = Tape::with_workspace(ctx.store, ws);
     let zu = ctx.sage.embed_batch_src(
         &mut tape, ctx.graph, Side::Left, users, ctx.user_src, ctx.item_src, rng,
     );
@@ -345,6 +348,9 @@ fn shard_pass(
 
     let loss_val = tape.scalar(loss);
     let mut grads = tape.backward(loss);
+    // Hand every node buffer back to the shard's workspace so the next
+    // minibatch's tape allocates nothing after warmup.
+    tape.recycle();
     grads.scale(weight);
     (loss_val * weight, grads)
 }
@@ -401,6 +407,15 @@ pub fn train_unsupervised_checked(
     let mut order: Vec<usize> = (0..edges.len()).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
+    // One buffer pool per logical shard, reused across every minibatch of
+    // the run. Shard `s` always leases from `workspaces[s]`, so after the
+    // first batch warms the pools the tape hot path stops allocating.
+    // The Mutex exists only to make the pools shareable across worker
+    // threads; shard indices are distinct per dispatch, so locks are
+    // uncontended.
+    let workspaces: Vec<Mutex<Workspace>> =
+        (0..cfg.grad_shards.max(1)).map(|_| Mutex::new(Workspace::new())).collect();
+
     for epoch in 0..cfg.epochs {
         // Shuffle edge order.
         for i in (1..order.len()).rev() {
@@ -445,8 +460,10 @@ pub fn train_unsupervised_checked(
                     batch_idx as u64,
                     s as u64,
                 ));
+                let ws = workspaces[s].lock().expect("workspace mutex poisoned");
                 shard_pass(
                     &ctx,
+                    &ws,
                     &users[lo..hi],
                     &items[lo..hi],
                     &weights[lo..hi],

@@ -63,8 +63,10 @@ pub mod parallel;
 pub mod param;
 pub mod serialize;
 pub mod tape;
+pub mod workspace;
 
 pub use matrix::Matrix;
 pub use parallel::ParallelExecutor;
 pub use param::{Gradients, ParamId, ParamStore};
 pub use tape::{stable_sigmoid, Tape, Var};
+pub use workspace::Workspace;

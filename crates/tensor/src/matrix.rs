@@ -2,12 +2,32 @@
 //!
 //! [`Matrix`] is the single storage type used throughout the workspace:
 //! node-feature tables, weight matrices, minibatch activations and
-//! gradients are all 2-D. The implementation favours simple, cache-friendly
-//! loops (`ikj` matmul ordering, fused transpose products) over exotic
-//! optimisations; at the embedding sizes used by HiGNN (d = 32..256) these
-//! are within a small factor of BLAS and keep the crate dependency-free.
+//! gradients are all 2-D. The matrix products are **register-tiled**:
+//! the output is processed in fixed-width blocks of rows and columns
+//! whose accumulators live in registers, so LLVM autovectorizes the
+//! inner loop and the output is written once instead of once per `k`.
+//!
+//! ## The accumulation-order contract
+//!
+//! Tiling reorders only the *independent* output dimensions (`i`, `j`).
+//! For every output element the contraction index `k` runs strictly
+//! ascending from a `+0.0` accumulator — exactly the naive triple loop
+//! of `hignn-oracle` — so the tiled kernels are **bitwise identical**
+//! to the reference implementation (f32 addition is not associative;
+//! per-element `k` order is the spec, see DESIGN.md "Performance &
+//! determinism contract"). The fused variants
+//! ([`Matrix::gather_mean_pool_rows`], [`Matrix::concat2_matmul`])
+//! preserve the same per-element order as the ops they fuse.
 
 use std::fmt;
+
+/// Output-row block height of the register-tiled matmul micro-kernels.
+const MR: usize = 4;
+/// Output-column block width of the register-tiled matmul micro-kernels.
+const NR: usize = 8;
+/// Column block width for `matmul_nt` (both operands are contraction-
+/// major there, so the win is independent accumulator chains, not SIMD).
+const NR_NT: usize = 4;
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -60,9 +80,19 @@ impl Matrix {
         Matrix { rows: 1, cols: values.len(), data: values.to_vec() }
     }
 
+    /// Creates a 1 x n row matrix taking ownership of `values` (no copy).
+    pub fn row_from_vec(values: Vec<f32>) -> Self {
+        Matrix { rows: 1, cols: values.len(), data: values }
+    }
+
     /// Creates an n x 1 column matrix from a slice.
     pub fn column_vector(values: &[f32]) -> Self {
         Matrix { rows: values.len(), cols: 1, data: values.to_vec() }
+    }
+
+    /// Creates an n x 1 column matrix taking ownership of `values` (no copy).
+    pub fn column_from_vec(values: Vec<f32>) -> Self {
+        Matrix { rows: values.len(), cols: 1, data: values }
     }
 
     /// The identity matrix of size `n`.
@@ -160,77 +190,103 @@ impl Matrix {
         self.row_mut(i).copy_from_slice(src);
     }
 
-    /// Matrix product `self * rhs`.
-    ///
-    /// Uses the `ikj` loop ordering so the inner loop streams over
-    /// contiguous rows of both the accumulator and `rhs`.
+    /// Matrix product `self * rhs` (register-tiled, bitwise identical to
+    /// the naive `ijk` triple loop: per output element, `k` ascends from
+    /// a `+0.0` accumulator).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a caller-provided output matrix
+    /// (overwrites every entry; `out` need not be zeroed).
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into: bad output shape");
+        mm_nn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+    }
+
+    /// Product of a contiguous row range of `self` with `rhs`
+    /// (`self[range] * rhs`), bitwise identical to gathering the rows
+    /// first.
+    pub fn matmul_rows_range(&self, range: std::ops::Range<usize>, rhs: &Matrix) -> Matrix {
+        assert!(range.end <= self.rows, "matmul_rows_range: range out of bounds");
+        assert_eq!(self.cols, rhs.rows, "matmul_rows_range: inner dimension mismatch");
+        let m = range.len();
+        let mut out = Matrix::zeros(m, rhs.cols);
+        let a = &self.data[range.start * self.cols..range.end * self.cols];
+        mm_nn(a, m, self.cols, &rhs.data, rhs.cols, &mut out.data);
         out
     }
 
     /// Matrix product `self * rhs^T` without materialising the transpose.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a caller-provided output matrix
+    /// (overwrites every entry; `out` need not be zeroed).
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
-        out
+        assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_nt_into: bad output shape");
+        mm_nt(&self.data, self.rows, self.cols, &rhs.data, rhs.rows, &mut out.data);
     }
 
     /// Matrix product `self^T * rhs` without materialising the transpose.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a caller-provided output matrix
+    /// (overwrites every entry; `out` need not be zeroed).
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for t in 0..self.rows {
-            let a_row = self.row(t);
-            let b_row = rhs.row(t);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_into: bad output shape");
+        mm_tn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+    }
+
+    /// Fused `[a | b] * w` without materialising the concatenation.
+    ///
+    /// Bitwise identical to `Matrix::concat_cols(&[&a, &b]).matmul(&w)`:
+    /// for every output element the contraction runs over `a`'s columns
+    /// then `b`'s columns in ascending order — the same per-element
+    /// order the concatenated product uses.
+    pub fn concat2_matmul(a: &Matrix, b: &Matrix, w: &Matrix) -> Matrix {
+        Self::concat2_matmul_rows_range(a, 0..a.rows, b, w)
+    }
+
+    /// [`Matrix::concat2_matmul`] over a contiguous row range of `a`
+    /// (`[a[range] | b] * w`); `b` must already have `range.len()` rows.
+    pub fn concat2_matmul_rows_range(
+        a: &Matrix,
+        range: std::ops::Range<usize>,
+        b: &Matrix,
+        w: &Matrix,
+    ) -> Matrix {
+        assert!(range.end <= a.rows, "concat2_matmul: range out of bounds");
+        let m = range.len();
+        assert_eq!(b.rows, m, "concat2_matmul: row mismatch");
+        assert_eq!(a.cols + b.cols, w.rows, "concat2_matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(m, w.cols);
+        let a1 = &a.data[range.start * a.cols..range.end * a.cols];
+        mm_cat2(a1, a.cols, &b.data, b.cols, m, &w.data, w.cols, &mut out.data);
         out
     }
 
@@ -297,21 +353,35 @@ impl Matrix {
 
     /// Adds a `1 x cols` row vector to every row.
     pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        let mut out = self.clone();
+        out.add_row_broadcast_assign(bias);
+        out
+    }
+
+    /// In-place variant of [`Matrix::add_row_broadcast`].
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
         assert_eq!(bias.rows, 1, "add_row_broadcast: bias must have one row");
         assert_eq!(bias.cols, self.cols, "add_row_broadcast: column mismatch");
-        let mut out = self.clone();
-        for i in 0..out.rows {
-            for (o, &b) in out.row_mut(i).iter_mut().zip(bias.data.iter()) {
+        for i in 0..self.rows {
+            let start = i * self.cols;
+            for (o, &b) in self.data[start..start + self.cols].iter_mut().zip(bias.data.iter()) {
                 *o += b;
             }
         }
-        out
     }
 
     /// Applies `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         let data = self.data.iter().map(|&a| f(a)).collect();
         Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every entry in place (same values as [`Matrix::map`]
+    /// without the allocation).
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
     }
 
     /// Concatenates matrices horizontally (same row count).
@@ -363,11 +433,24 @@ impl Matrix {
     pub fn mean_pool_rows(&self, group: usize) -> Matrix {
         assert!(group > 0, "mean_pool_rows: group must be positive");
         assert_eq!(self.rows % group, 0, "mean_pool_rows: {} rows not divisible by {}", self.rows, group);
-        let out_rows = self.rows / group;
-        let mut out = Matrix::zeros(out_rows, self.cols);
+        let mut out = Matrix::zeros(self.rows / group, self.cols);
+        self.mean_pool_rows_into(group, &mut out);
+        out
+    }
+
+    /// [`Matrix::mean_pool_rows`] writing into a caller-provided output
+    /// matrix (overwrites every entry; `out` need not be zeroed).
+    pub fn mean_pool_rows_into(&self, group: usize, out: &mut Matrix) {
+        assert!(group > 0 && self.rows.is_multiple_of(group), "mean_pool_rows_into: bad grouping");
+        assert_eq!(
+            out.shape(),
+            (self.rows / group, self.cols),
+            "mean_pool_rows_into: bad output shape"
+        );
         let inv = 1.0 / group as f32;
-        for g in 0..out_rows {
-            let out_row = out.row_mut(g);
+        for g in 0..self.rows / group {
+            let out_row = &mut out.data[g * self.cols..(g + 1) * self.cols];
+            out_row.fill(0.0);
             for r in 0..group {
                 let src = &self.data[(g * group + r) * self.cols..(g * group + r + 1) * self.cols];
                 for (o, &s) in out_row.iter_mut().zip(src) {
@@ -378,7 +461,55 @@ impl Matrix {
                 *o *= inv;
             }
         }
+    }
+
+    /// Fused `self.gather_rows(idx).mean_pool_rows(group)` that never
+    /// materialises the gathered intermediate.
+    ///
+    /// Bitwise identical to the two-op composition: output row `g`
+    /// accumulates source rows `idx[g*group..(g+1)*group]` in ascending
+    /// position order, then multiplies by `1/group` — exactly what
+    /// [`Matrix::mean_pool_rows`] does to the gathered copy.
+    pub fn gather_mean_pool_rows(&self, idx: &[usize], group: usize) -> Matrix {
+        assert!(group > 0, "gather_mean_pool_rows: group must be positive");
+        assert_eq!(
+            idx.len() % group,
+            0,
+            "gather_mean_pool_rows: {} indices not divisible by {}",
+            idx.len(),
+            group
+        );
+        let mut out = Matrix::zeros(idx.len() / group, self.cols);
+        self.gather_mean_pool_rows_into(idx, group, &mut out);
         out
+    }
+
+    /// [`Matrix::gather_mean_pool_rows`] writing into a caller-provided
+    /// output matrix (overwrites every entry; `out` need not be zeroed).
+    pub fn gather_mean_pool_rows_into(&self, idx: &[usize], group: usize, out: &mut Matrix) {
+        assert!(
+            group > 0 && idx.len().is_multiple_of(group),
+            "gather_mean_pool_rows_into: bad grouping"
+        );
+        assert_eq!(
+            out.shape(),
+            (idx.len() / group, self.cols),
+            "gather_mean_pool_rows_into: bad output shape"
+        );
+        let inv = 1.0 / group as f32;
+        for (g, group_idx) in idx.chunks_exact(group).enumerate() {
+            let out_row = out.row_mut(g);
+            out_row.fill(0.0);
+            for &i in group_idx {
+                let src = self.row(i);
+                for (o, &s) in out_row.iter_mut().zip(src) {
+                    *o += s;
+                }
+            }
+            for o in out_row.iter_mut() {
+                *o *= inv;
+            }
+        }
     }
 
     /// Sum of all entries.
@@ -456,6 +587,219 @@ impl Matrix {
             .zip(&other.data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max)
+    }
+}
+
+// ---- register-tiled matmul micro-kernels ------------------------------
+//
+// All three layouts share the same structure: the output is covered by
+// MR x NR register blocks; inside a block the contraction index `t`
+// ascends once while MR*NR accumulators stay in registers. Remainder
+// edges fall back to a scalar per-element loop with the identical
+// ascending-`t` accumulation, so every output element — tiled or not —
+// is bitwise the oracle's naive triple loop.
+
+/// `out = a * b` where `a` is `m x kk` and `b` is `kk x n` (row-major).
+fn mm_nn(a: &[f32], m: usize, kk: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR.min(n - j);
+            if ib == MR && jb == NR {
+                let ar: [&[f32]; MR] =
+                    std::array::from_fn(|ii| &a[(i + ii) * kk..(i + ii + 1) * kk]);
+                let mut acc = [[0.0f32; NR]; MR];
+                for t in 0..kk {
+                    let bv: &[f32; NR] =
+                        b[t * n + j..t * n + j + NR].try_into().expect("NR window");
+                    for ii in 0..MR {
+                        let av = ar[ii][t];
+                        for jj in 0..NR {
+                            acc[ii][jj] += av * bv[jj];
+                        }
+                    }
+                }
+                for ii in 0..MR {
+                    out[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(&acc[ii]);
+                }
+            } else {
+                for ii in 0..ib {
+                    let arow = &a[(i + ii) * kk..(i + ii + 1) * kk];
+                    for jj in 0..jb {
+                        let mut acc = 0.0f32;
+                        for (t, &av) in arow.iter().enumerate() {
+                            acc += av * b[t * n + j + jj];
+                        }
+                        out[(i + ii) * n + j + jj] = acc;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// `out = a * b^T` where `a` is `m x kk` and `b` is `n x kk` (row-major).
+/// Both operands are contraction-major, so the micro-kernel's win is
+/// MR*NR_NT independent scalar accumulator chains (ILP), not SIMD.
+fn mm_nt(a: &[f32], m: usize, kk: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR_NT.min(n - j);
+            if ib == MR && jb == NR_NT {
+                let ar: [&[f32]; MR] =
+                    std::array::from_fn(|ii| &a[(i + ii) * kk..(i + ii + 1) * kk]);
+                let br: [&[f32]; NR_NT] =
+                    std::array::from_fn(|jj| &b[(j + jj) * kk..(j + jj + 1) * kk]);
+                let mut acc = [[0.0f32; NR_NT]; MR];
+                for t in 0..kk {
+                    let avs: [f32; MR] = std::array::from_fn(|ii| ar[ii][t]);
+                    let bvs: [f32; NR_NT] = std::array::from_fn(|jj| br[jj][t]);
+                    for ii in 0..MR {
+                        for jj in 0..NR_NT {
+                            acc[ii][jj] += avs[ii] * bvs[jj];
+                        }
+                    }
+                }
+                for ii in 0..MR {
+                    out[(i + ii) * n + j..(i + ii) * n + j + NR_NT].copy_from_slice(&acc[ii]);
+                }
+            } else {
+                for ii in 0..ib {
+                    let arow = &a[(i + ii) * kk..(i + ii + 1) * kk];
+                    for jj in 0..jb {
+                        let brow = &b[(j + jj) * kk..(j + jj + 1) * kk];
+                        let mut acc = 0.0f32;
+                        for (&av, &bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        out[(i + ii) * n + j + jj] = acc;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// `out = a^T * b` where `a` is `kk x m` and `b` is `kk x n` (row-major).
+fn mm_tn(a: &[f32], kk: usize, m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR.min(n - j);
+            if ib == MR && jb == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for t in 0..kk {
+                    let arow = &a[t * m + i..t * m + i + MR];
+                    let bv: &[f32; NR] =
+                        b[t * n + j..t * n + j + NR].try_into().expect("NR window");
+                    for ii in 0..MR {
+                        let av = arow[ii];
+                        for jj in 0..NR {
+                            acc[ii][jj] += av * bv[jj];
+                        }
+                    }
+                }
+                for ii in 0..MR {
+                    out[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(&acc[ii]);
+                }
+            } else {
+                for ii in 0..ib {
+                    for jj in 0..jb {
+                        let mut acc = 0.0f32;
+                        for t in 0..kk {
+                            acc += a[t * m + i + ii] * b[t * n + j + jj];
+                        }
+                        out[(i + ii) * n + j + jj] = acc;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
+    }
+}
+
+/// `out = [a1 | a2] * w` where `a1` is `m x c1`, `a2` is `m x c2` and `w`
+/// is `(c1 + c2) x n` — the concatenation is never materialised. Each
+/// output element accumulates `a1`'s columns then `a2`'s columns in
+/// ascending order, matching the concatenated product bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn mm_cat2(
+    a1: &[f32],
+    c1: usize,
+    a2: &[f32],
+    c2: usize,
+    m: usize,
+    w: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut i = 0;
+    while i < m {
+        let ib = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let jb = NR.min(n - j);
+            if ib == MR && jb == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                let a1r: [&[f32]; MR] =
+                    std::array::from_fn(|ii| &a1[(i + ii) * c1..(i + ii + 1) * c1]);
+                for t in 0..c1 {
+                    let bv: &[f32; NR] =
+                        w[t * n + j..t * n + j + NR].try_into().expect("NR window");
+                    for ii in 0..MR {
+                        let av = a1r[ii][t];
+                        for jj in 0..NR {
+                            acc[ii][jj] += av * bv[jj];
+                        }
+                    }
+                }
+                let a2r: [&[f32]; MR] =
+                    std::array::from_fn(|ii| &a2[(i + ii) * c2..(i + ii + 1) * c2]);
+                // `t` also computes the W row offset, so a plain range
+                // loop stays clearer than zipping four slices.
+                #[allow(clippy::needless_range_loop)]
+                for t in 0..c2 {
+                    let wrow = (c1 + t) * n + j;
+                    let bv: &[f32; NR] = w[wrow..wrow + NR].try_into().expect("NR window");
+                    for ii in 0..MR {
+                        let av = a2r[ii][t];
+                        for jj in 0..NR {
+                            acc[ii][jj] += av * bv[jj];
+                        }
+                    }
+                }
+                for ii in 0..MR {
+                    out[(i + ii) * n + j..(i + ii) * n + j + NR].copy_from_slice(&acc[ii]);
+                }
+            } else {
+                for ii in 0..ib {
+                    for jj in 0..jb {
+                        let mut acc = 0.0f32;
+                        for t in 0..c1 {
+                            acc += a1[(i + ii) * c1 + t] * w[t * n + j + jj];
+                        }
+                        for t in 0..c2 {
+                            acc += a2[(i + ii) * c2 + t] * w[(c1 + t) * n + j + jj];
+                        }
+                        out[(i + ii) * n + j + jj] = acc;
+                    }
+                }
+            }
+            j += jb;
+        }
+        i += ib;
     }
 }
 
@@ -638,5 +982,112 @@ mod tests {
     fn sq_dist() {
         let a = m(1, 2, &[0.0, 0.0]);
         assert_eq!(a.row_sq_dist(0, &[3.0, 4.0]), 25.0);
+    }
+
+    /// Naive `ijk` reference: one `+0.0` accumulator per output element,
+    /// contraction index ascending — the bitwise spec for every kernel.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0f32;
+                for t in 0..a.cols() {
+                    acc += a.get(i, t) * b.get(t, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn pseudo(rows: usize, cols: usize, seed: u32) -> Matrix {
+        // Deterministic, sign-mixed, irregular values (LCG).
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((s >> 8) as f32 / (1 << 23) as f32) - 1.0
+        })
+    }
+
+    fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tiled_matmul_bitwise_matches_naive_across_tile_edges() {
+        // Cover interior tiles, row/col remainders and tiny shapes.
+        for &(m_, k_, n_) in
+            &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 9, 11), (8, 16, 8), (13, 6, 17), (16, 32, 9)]
+        {
+            let a = pseudo(m_, k_, (m_ * 100 + k_) as u32);
+            let b = pseudo(k_, n_, (k_ * 100 + n_) as u32);
+            assert_bits_eq(&a.matmul(&b), &naive_matmul(&a, &b), "nn");
+            let bt = pseudo(n_, k_, (n_ * 37 + k_) as u32);
+            assert_bits_eq(&a.matmul_nt(&bt), &naive_matmul(&a, &bt.transpose()), "nt");
+            let at = pseudo(k_, m_, (k_ * 53 + m_) as u32);
+            let b2 = pseudo(k_, n_, (k_ * 71 + n_) as u32);
+            assert_bits_eq(&at.matmul_tn(&b2), &naive_matmul(&at.transpose(), &b2), "tn");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_range_matches_gather() {
+        let a = pseudo(20, 6, 1);
+        let b = pseudo(6, 10, 2);
+        let idx: Vec<usize> = (5..17).collect();
+        assert_bits_eq(
+            &a.matmul_rows_range(5..17, &b),
+            &a.gather_rows(&idx).matmul(&b),
+            "rows_range",
+        );
+    }
+
+    #[test]
+    fn concat2_matmul_matches_concat_then_matmul() {
+        for &(m_, c1, c2, n_) in &[(1, 1, 1, 1), (4, 8, 8, 8), (7, 5, 3, 11), (12, 32, 32, 9)] {
+            let a = pseudo(m_, c1, 11);
+            let b = pseudo(m_, c2, 22);
+            let w = pseudo(c1 + c2, n_, 33);
+            assert_bits_eq(
+                &Matrix::concat2_matmul(&a, &b, &w),
+                &Matrix::concat_cols(&[&a, &b]).matmul(&w),
+                "cat2",
+            );
+        }
+    }
+
+    #[test]
+    fn gather_mean_pool_matches_composition() {
+        let src = pseudo(9, 5, 44);
+        let idx = vec![0usize, 8, 3, 3, 1, 7, 2, 6, 5, 0, 4, 8];
+        for group in [1usize, 2, 3, 4, 6, 12] {
+            assert_bits_eq(
+                &src.gather_mean_pool_rows(&idx, group),
+                &src.gather_rows(&idx).mean_pool_rows(group),
+                "gather_mean_pool",
+            );
+        }
+    }
+
+    #[test]
+    fn owned_constructors_match_slice_constructors() {
+        let v = vec![1.0f32, -2.0, 3.5];
+        assert_eq!(Matrix::row_from_vec(v.clone()), Matrix::row_vector(&v));
+        assert_eq!(Matrix::column_from_vec(v.clone()), Matrix::column_vector(&v));
+    }
+
+    #[test]
+    fn in_place_variants_match_allocating_ones() {
+        let a = pseudo(5, 4, 55);
+        let bias = pseudo(1, 4, 66);
+        let mut b = a.clone();
+        b.add_row_broadcast_assign(&bias);
+        assert_bits_eq(&b, &a.add_row_broadcast(&bias), "bias");
+        let mut c = a.clone();
+        c.map_assign(|v| if v > 0.0 { v } else { 0.01 * v });
+        assert_bits_eq(&c, &a.map(|v| if v > 0.0 { v } else { 0.01 * v }), "map");
     }
 }

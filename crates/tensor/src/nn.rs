@@ -152,18 +152,16 @@ impl Mlp {
 
     /// Tape-free inference producing logits.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut h = x.clone();
-        let last = self.layers.len() - 1;
-        for (l, layer) in self.layers.iter().enumerate() {
-            h = layer.infer(store, &h);
-            if l != last {
-                h = match self.activation {
-                    Activation::LeakyRelu => h.map(|v| if v > 0.0 { v } else { 0.01 * v }),
-                    Activation::Relu => h.map(|v| v.max(0.0)),
-                    Activation::Tanh => h.map(f32::tanh),
-                    Activation::Identity => h,
-                };
+        let mut h = self.layers[0].infer(store, x);
+        for layer in &self.layers[1..] {
+            // The previous layer was a hidden one: activate in place.
+            match self.activation {
+                Activation::LeakyRelu => h.map_assign(|v| if v > 0.0 { v } else { 0.01 * v }),
+                Activation::Relu => h.map_assign(|v| v.max(0.0)),
+                Activation::Tanh => h.map_assign(f32::tanh),
+                Activation::Identity => {}
             }
+            h = layer.infer(store, &h);
         }
         h
     }

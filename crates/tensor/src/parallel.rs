@@ -75,6 +75,23 @@ impl ParallelExecutor {
         self.workers
     }
 
+    /// Returns this executor, or a single-worker one when `work` (an
+    /// element count, e.g. rows × dim) is below [`MIN_PARALLEL_WORK`].
+    ///
+    /// Spawn + scheduling overhead is a few tens of microseconds per
+    /// `map` call; below the threshold the serial path is strictly
+    /// faster (BENCH_parallel.json measured 0.64–0.91× *slowdowns* for
+    /// threaded K-means on small inputs). Determinism is unaffected:
+    /// chunk decomposition is identical at any worker count, so the
+    /// serial fallback is bit-identical by the existing 1-vs-N contract.
+    pub fn throttle(&self, work: usize) -> ParallelExecutor {
+        if work < MIN_PARALLEL_WORK {
+            ParallelExecutor::single()
+        } else {
+            self.clone()
+        }
+    }
+
     /// Runs `f(0), f(1), ..., f(n-1)` across the worker pool and
     /// returns the results **in index order**.
     ///
@@ -149,6 +166,14 @@ impl ParallelExecutor {
 /// noise and fine enough to load-balance the row counts HiGNN sees.
 pub const ROW_CHUNK: usize = 256;
 
+/// Minimum per-call work (in elements, e.g. rows × feature dim) below
+/// which [`ParallelExecutor::throttle`] falls back to the serial path.
+///
+/// Chosen so the ~10–50µs of scoped-thread spawn/teardown per `map`
+/// call stays well under 10% of the kernel time it parallelises: at
+/// ~1ns per fused multiply-add, 256k elements ≈ 0.5–1ms of work.
+pub const MIN_PARALLEL_WORK: usize = 1 << 18;
+
 /// Reduces per-shard gradients by a fixed pairwise tree over shard
 /// indices: round one merges shard 1 into 0, 3 into 2, …; rounds repeat
 /// until one set remains. Returns an empty [`Gradients`] for no shards.
@@ -168,8 +193,8 @@ pub fn reduce_gradients(mut shards: Vec<Gradients>) -> Gradients {
         let half = active.div_ceil(2);
         for i in 0..active / 2 {
             // merge shard 2i+1 into 2i, compacting into slot i.
-            let hi = shards[2 * i + 1].clone();
-            shards[2 * i].merge(&hi);
+            let hi = std::mem::take(&mut shards[2 * i + 1]);
+            shards[2 * i].merge_owned(hi);
             shards.swap(i, 2 * i);
         }
         if active % 2 == 1 {
@@ -204,6 +229,14 @@ mod tests {
         assert_eq!(chunks, vec![(0, 0, 4), (1, 4, 8), (2, 8, 10)]);
         // Empty input -> no chunks.
         assert!(exec.map_chunks(0, 4, |c, _| c).is_empty());
+    }
+
+    #[test]
+    fn throttle_serializes_small_work_only() {
+        let exec = ParallelExecutor::new(8);
+        assert_eq!(exec.throttle(MIN_PARALLEL_WORK - 1).workers(), 1);
+        assert_eq!(exec.throttle(MIN_PARALLEL_WORK).workers(), 8);
+        assert_eq!(exec.throttle(0).workers(), 1);
     }
 
     #[test]

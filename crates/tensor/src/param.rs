@@ -128,6 +128,26 @@ impl Gradients {
         }
     }
 
+    /// Adds an owned gradient buffer into the slot for `id` without
+    /// copying: the first contribution is moved into the slot; later
+    /// contributions are summed and the (now dead) buffer is handed back
+    /// so the caller can recycle it.
+    pub fn accumulate_owned(&mut self, id: ParamId, g: Matrix) -> Option<Matrix> {
+        if id.0 >= self.grads.len() {
+            self.grads.resize(id.0 + 1, None);
+        }
+        match &mut self.grads[id.0] {
+            Some(existing) => {
+                existing.add_assign(&g);
+                Some(g)
+            }
+            slot @ None => {
+                *slot = Some(g);
+                None
+            }
+        }
+    }
+
     /// Borrows the gradient for `id`, if any was produced.
     pub fn get(&self, id: ParamId) -> Option<&Matrix> {
         self.grads.get(id.0).and_then(Option::as_ref)
@@ -145,6 +165,32 @@ impl Gradients {
                     slot @ None => *slot = Some(g.clone()),
                 }
             }
+        }
+    }
+
+    /// Move-based [`Gradients::merge`]: consumes `other`, summing
+    /// overlapping entries (same order as `merge`, so results are
+    /// bitwise identical) and **moving** entries that only exist in
+    /// `other` instead of cloning them.
+    pub fn merge_owned(&mut self, other: Gradients) {
+        if other.grads.len() > self.grads.len() {
+            self.grads.resize(other.grads.len(), None);
+        }
+        for (i, g) in other.grads.into_iter().enumerate() {
+            if let Some(g) = g {
+                match &mut self.grads[i] {
+                    Some(existing) => existing.add_assign(&g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+    }
+
+    /// Consumes the gradient set, returning every buffer to `ws` for
+    /// reuse by the next minibatch's tape.
+    pub fn recycle_into(self, ws: &crate::workspace::Workspace) {
+        for g in self.grads.into_iter().flatten() {
+            ws.reclaim(g.into_data());
         }
     }
 

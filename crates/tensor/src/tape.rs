@@ -9,13 +9,28 @@
 //! matrix sizes HiGNN uses.
 //!
 //! The op set is exactly what the paper's architectures need: linear
-//! algebra, concatenation, row gathering (embedding lookup), fixed-fanout
-//! and variable-segment mean aggregation (GraphSAGE), the activations the
-//! paper names (leaky ReLU, sigmoid), and a numerically stable
-//! binary-cross-entropy-with-logits reduction (Eqs. 5, 7, 12).
+//! algebra, concatenation, row gathering (embedding lookup), a fused
+//! gather + mean-pool (embedding lookup and fixed-fanout aggregation in
+//! one pass, never materializing the gathered intermediate),
+//! fixed-fanout and variable-segment mean aggregation (GraphSAGE), the
+//! activations the paper names (leaky ReLU, sigmoid), and a numerically
+//! stable binary-cross-entropy-with-logits reduction (Eqs. 5, 7, 12).
+//!
+//! ## Memory
+//!
+//! Parameter leaves are recorded **by reference** ([`ParamId`]) — reading
+//! a parameter never copies it. Intermediate buffers are heap-allocated
+//! per op by default ([`Tape::new`]); a tape built with
+//! [`Tape::with_workspace`] instead leases every forward and backward
+//! buffer from a [`Workspace`] pool and returns them on drop, so a
+//! steady-state training loop performs no per-minibatch allocation in
+//! the tape step. Pooling is bitwise-invisible: leased buffers are
+//! zero-filled or fully overwritten before use, so both modes produce
+//! identical bits (see DESIGN.md, "Performance & determinism contract").
 
 use crate::matrix::Matrix;
 use crate::param::{Gradients, ParamId, ParamStore};
+use crate::workspace::Workspace;
 
 /// Handle to a value on the tape. Cheap to copy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +77,9 @@ enum Op {
     ConcatCols(Vec<usize>),
     /// Row gather: `out.row(k) = src.row(idx[k])`.
     GatherRows { src: usize, idx: Vec<usize> },
+    /// Fused row gather + mean over consecutive groups of `group`
+    /// gathered rows: `out.row(g) = mean_r src.row(idx[g*group + r])`.
+    GatherMeanPoolRows { src: usize, idx: Vec<usize>, group: usize },
     /// Mean over consecutive groups of `group` rows.
     MeanPoolRows { src: usize, group: usize },
     /// Mean over variable-length row segments given by `offsets`
@@ -89,8 +107,15 @@ enum Op {
     BceWithLogits { logits: usize, targets: Vec<f32>, weights: Option<Vec<f32>> },
 }
 
+/// Where a node's forward value lives: owned by the tape, or borrowed
+/// from the [`ParamStore`] (parameter leaves are never copied).
+enum Stored {
+    Owned(Matrix),
+    Param(ParamId),
+}
+
 struct Node {
-    value: Matrix,
+    value: Stored,
     op: Op,
 }
 
@@ -98,30 +123,63 @@ struct Node {
 pub struct Tape<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node>,
+    ws: Option<&'s Workspace>,
 }
 
 impl<'s> Tape<'s> {
-    /// Creates an empty tape bound to a parameter store.
+    /// Creates an empty tape bound to a parameter store. Intermediate
+    /// buffers are heap-allocated per op.
     pub fn new(store: &'s ParamStore) -> Self {
-        Tape { store, nodes: Vec::new() }
+        Tape { store, nodes: Vec::new(), ws: None }
     }
 
-    fn push(&mut self, value: Matrix, op: Op) -> Var {
-        let (rows, cols) = value.shape();
+    /// Creates an empty tape whose forward and backward buffers are
+    /// leased from `ws`. Produces bitwise-identical values and gradients
+    /// to [`Tape::new`]. Call [`Tape::recycle`] once the pass is done to
+    /// return the buffers for the next minibatch (a tape that simply
+    /// drops frees them instead — correct, but the pool goes cold).
+    pub fn with_workspace(store: &'s ParamStore, ws: &'s Workspace) -> Self {
+        Tape { store, nodes: Vec::new(), ws: Some(ws) }
+    }
+
+    /// Consumes the tape, returning every pooled node buffer to the
+    /// attached workspace. No-op (plain drop) without a workspace.
+    pub fn recycle(mut self) {
+        if let Some(ws) = self.ws {
+            for node in self.nodes.drain(..) {
+                if let Stored::Owned(m) = node.value {
+                    ws.reclaim(m.into_data());
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, value: Stored, op: Op) -> Var {
+        let (rows, cols) = match &value {
+            Stored::Owned(m) => m.shape(),
+            Stored::Param(p) => self.store.get(*p).shape(),
+        };
         let id = self.nodes.len();
         self.nodes.push(Node { value, op });
         Var { id, rows, cols }
     }
 
+    fn nval(&self, id: usize) -> &Matrix {
+        match &self.nodes[id].value {
+            Stored::Owned(m) => m,
+            Stored::Param(p) => self.store.get(*p),
+        }
+    }
+
     /// Borrows the computed value of a variable.
     pub fn value(&self, v: Var) -> &Matrix {
-        &self.nodes[v.id].value
+        self.nval(v.id)
     }
 
     /// The scalar value of a `1 x 1` variable.
     pub fn scalar(&self, v: Var) -> f32 {
         assert_eq!((v.rows, v.cols), (1, 1), "scalar() on non-scalar var");
-        self.nodes[v.id].value.get(0, 0)
+        self.nval(v.id).get(0, 0)
     }
 
     /// Number of recorded nodes.
@@ -134,49 +192,119 @@ impl<'s> Tape<'s> {
         self.nodes.is_empty()
     }
 
+    // ---- buffer management --------------------------------------------
+
+    /// An all-zeros matrix, pool-leased when a workspace is attached.
+    fn mat_zeroed(&self, rows: usize, cols: usize) -> Matrix {
+        match self.ws {
+            Some(ws) => Matrix::from_vec(rows, cols, ws.lease_zeroed(rows * cols)),
+            None => Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// A constant-filled matrix.
+    fn mat_full(&self, rows: usize, cols: usize, v: f32) -> Matrix {
+        match self.ws {
+            Some(ws) => {
+                let mut buf = ws.lease_empty(rows * cols);
+                buf.resize(rows * cols, v);
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => Matrix::full(rows, cols, v),
+        }
+    }
+
+    /// A copy of `src` (pool-backed clone).
+    fn mat_copy(&self, src: &Matrix) -> Matrix {
+        match self.ws {
+            Some(ws) => {
+                let mut buf = ws.lease_empty(src.len());
+                buf.extend_from_slice(src.data());
+                let (rows, cols) = src.shape();
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => src.clone(),
+        }
+    }
+
+    /// Elementwise map of `src` into a fresh (possibly pooled) matrix.
+    fn mat_map(&self, src: &Matrix, f: impl Fn(f32) -> f32) -> Matrix {
+        match self.ws {
+            Some(ws) => {
+                let mut buf = ws.lease_empty(src.len());
+                buf.extend(src.data().iter().map(|&a| f(a)));
+                let (rows, cols) = src.shape();
+                Matrix::from_vec(rows, cols, buf)
+            }
+            None => src.map(f),
+        }
+    }
+
+    /// Elementwise zip of two same-shape matrices.
+    fn mat_zip(&self, a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(a.shape(), b.shape(), "elementwise op: shape mismatch");
+        let mut out = match self.ws {
+            Some(ws) => ws.lease_empty(a.len()),
+            None => Vec::with_capacity(a.len()),
+        };
+        out.extend(a.data().iter().zip(b.data()).map(|(&x, &y)| f(x, y)));
+        let (rows, cols) = a.shape();
+        Matrix::from_vec(rows, cols, out)
+    }
+
+    /// Returns a dead intermediate's buffer to the pool (no-op without a
+    /// workspace — the matrix just drops).
+    fn reclaim_mat(&self, m: Matrix) {
+        if let Some(ws) = self.ws {
+            ws.reclaim(m.into_data());
+        }
+    }
+
     // ---- leaves -------------------------------------------------------
 
     /// Records a constant input (no gradient).
     pub fn input(&mut self, value: Matrix) -> Var {
-        self.push(value, Op::Input)
+        self.push(Stored::Owned(value), Op::Input)
     }
 
-    /// Records a trainable parameter leaf.
+    /// Records a trainable parameter leaf. The value is read from the
+    /// store by reference — no copy is made.
     pub fn param(&mut self, id: ParamId) -> Var {
-        let value = self.store.get(id).clone();
-        self.push(value, Op::Param(id))
+        self.push(Stored::Param(id), Op::Param(id))
     }
 
     // ---- ops ----------------------------------------------------------
 
     /// `a * b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
-        self.push(value, Op::MatMul(a.id, b.id))
+        let mut out = self.mat_zeroed(a.rows, b.cols);
+        self.value(a).matmul_into(self.value(b), &mut out);
+        self.push(Stored::Owned(out), Op::MatMul(a.id, b.id))
     }
 
     /// Elementwise `a + b`.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).add(self.value(b));
-        self.push(value, Op::Add(a.id, b.id))
+        let value = self.mat_zip(self.value(a), self.value(b), |x, y| x + y);
+        self.push(Stored::Owned(value), Op::Add(a.id, b.id))
     }
 
     /// `x + bias`, broadcasting the `1 x cols` bias over rows.
     pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
-        let value = self.value(x).add_row_broadcast(self.value(bias));
-        self.push(value, Op::AddBias(x.id, bias.id))
+        let mut value = self.mat_copy(self.value(x));
+        value.add_row_broadcast_assign(self.value(bias));
+        self.push(Stored::Owned(value), Op::AddBias(x.id, bias.id))
     }
 
     /// Elementwise `a - b`.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).sub(self.value(b));
-        self.push(value, Op::Sub(a.id, b.id))
+        let value = self.mat_zip(self.value(a), self.value(b), |x, y| x - y);
+        self.push(Stored::Owned(value), Op::Sub(a.id, b.id))
     }
 
     /// Elementwise `a * b`.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).hadamard(self.value(b));
-        self.push(value, Op::Mul(a.id, b.id))
+        let value = self.mat_zip(self.value(a), self.value(b), |x, y| x * y);
+        self.push(Stored::Owned(value), Op::Mul(a.id, b.id))
     }
 
     /// Scales each row of `x` by the matching entry of the `n x 1`
@@ -185,58 +313,105 @@ impl<'s> Tape<'s> {
         let (xm, cm) = (self.value(x), self.value(col));
         assert_eq!(cm.cols(), 1, "mul_col_broadcast: col must be n x 1");
         assert_eq!(xm.rows(), cm.rows(), "mul_col_broadcast: row mismatch");
-        let mut out = xm.clone();
+        let mut out = self.mat_copy(xm);
+        let cm = self.value(col);
         for i in 0..out.rows() {
             let c = cm.get(i, 0);
             for v in out.row_mut(i) {
                 *v *= c;
             }
         }
-        self.push(out, Op::MulColBroadcast(x.id, col.id))
+        self.push(Stored::Owned(out), Op::MulColBroadcast(x.id, col.id))
     }
 
     /// `alpha * a`.
     pub fn scale(&mut self, a: Var, alpha: f32) -> Var {
-        let value = self.value(a).scale(alpha);
-        self.push(value, Op::Scale(a.id, alpha))
+        let value = self.mat_map(self.value(a), |v| v * alpha);
+        self.push(Stored::Owned(value), Op::Scale(a.id, alpha))
     }
 
     /// Horizontal concatenation of `parts`.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        let values: Vec<&Matrix> = parts.iter().map(|p| self.value(*p)).collect();
-        let value = Matrix::concat_cols(&values);
-        self.push(value, Op::ConcatCols(parts.iter().map(|p| p.id).collect()))
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let rows = parts[0].rows;
+        let total: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = self.mat_zeroed(rows, total);
+        let mut offset = 0;
+        for p in parts {
+            let pm = self.nval(p.id);
+            assert_eq!(pm.rows(), rows, "concat_cols: row count mismatch");
+            for i in 0..rows {
+                out.row_mut(i)[offset..offset + p.cols].copy_from_slice(pm.row(i));
+            }
+            offset += p.cols;
+        }
+        self.push(Stored::Owned(out), Op::ConcatCols(parts.iter().map(|p| p.id).collect()))
     }
 
     /// Row gather (embedding lookup): `out.row(k) = src.row(idx[k])`.
     pub fn gather_rows(&mut self, src: Var, idx: &[usize]) -> Var {
-        let value = self.value(src).gather_rows(idx);
-        self.push(value, Op::GatherRows { src: src.id, idx: idx.to_vec() })
+        let mut out = self.mat_zeroed(idx.len(), src.cols);
+        let src_m = self.value(src);
+        for (k, &i) in idx.iter().enumerate() {
+            out.set_row(k, src_m.row(i));
+        }
+        self.push(Stored::Owned(out), Op::GatherRows { src: src.id, idx: idx.to_vec() })
+    }
+
+    /// Fused row gather + fixed-fanout mean aggregation:
+    /// `out.row(g) = mean_r src.row(idx[g*group + r])`, computed in one
+    /// pass without materializing the gathered `idx.len() x d`
+    /// intermediate. Bitwise identical to `gather_rows` followed by
+    /// `mean_pool_rows` (same `r`-ascending accumulation order).
+    pub fn gather_mean_pool_rows(&mut self, src: Var, idx: &[usize], group: usize) -> Var {
+        assert!(group > 0, "gather_mean_pool_rows: group must be positive");
+        assert_eq!(
+            idx.len() % group,
+            0,
+            "gather_mean_pool_rows: {} indices not divisible by {}",
+            idx.len(),
+            group
+        );
+        let mut out = self.mat_zeroed(idx.len() / group, src.cols);
+        self.value(src).gather_mean_pool_rows_into(idx, group, &mut out);
+        self.push(
+            Stored::Owned(out),
+            Op::GatherMeanPoolRows { src: src.id, idx: idx.to_vec(), group },
+        )
     }
 
     /// Mean over consecutive groups of `group` rows (fixed-fanout
     /// neighbour aggregation).
     pub fn mean_pool_rows(&mut self, src: Var, group: usize) -> Var {
-        let value = self.value(src).mean_pool_rows(group);
-        self.push(value, Op::MeanPoolRows { src: src.id, group })
+        assert!(group > 0, "mean_pool_rows: group must be positive");
+        assert_eq!(
+            src.rows % group,
+            0,
+            "mean_pool_rows: {} rows not divisible by {}",
+            src.rows,
+            group
+        );
+        let mut out = self.mat_zeroed(src.rows / group, src.cols);
+        self.value(src).mean_pool_rows_into(group, &mut out);
+        self.push(Stored::Owned(out), Op::MeanPoolRows { src: src.id, group })
     }
 
     /// Max over consecutive groups of `group` rows (max-pooling
     /// aggregation). Gradient flows only to each column's winning row.
     pub fn max_pool_rows(&mut self, src: Var, group: usize) -> Var {
         assert!(group > 0, "max_pool_rows: group must be positive");
-        let src_m = self.value(src);
         assert_eq!(
-            src_m.rows() % group,
+            src.rows % group,
             0,
             "max_pool_rows: {} rows not divisible by {}",
-            src_m.rows(),
+            src.rows,
             group
         );
-        let out_rows = src_m.rows() / group;
-        let cols = src_m.cols();
-        let mut out = Matrix::zeros(out_rows, cols);
+        let out_rows = src.rows / group;
+        let cols = src.cols;
+        let mut out = self.mat_zeroed(out_rows, cols);
         let mut argmax = vec![0u32; out_rows * cols];
+        let src_m = self.value(src);
         for g in 0..out_rows {
             for c in 0..cols {
                 let mut best = f32::MIN;
@@ -252,7 +427,7 @@ impl<'s> Tape<'s> {
                 argmax[g * cols + c] = best_row as u32;
             }
         }
-        self.push(out, Op::MaxPoolRows { src: src.id, argmax })
+        self.push(Stored::Owned(out), Op::MaxPoolRows { src: src.id, argmax })
     }
 
     /// Mean over variable-length row segments (full-neighbourhood
@@ -263,12 +438,12 @@ impl<'s> Tape<'s> {
         assert_eq!(offsets[0], 0, "segment_mean: offsets must start at 0");
         assert_eq!(
             *offsets.last().unwrap(),
-            self.value(src).rows(),
+            src.rows,
             "segment_mean: offsets must end at src row count"
         );
-        let src_m = self.value(src);
         let segs = offsets.len() - 1;
-        let mut out = Matrix::zeros(segs, src_m.cols());
+        let mut out = self.mat_zeroed(segs, src.cols);
+        let src_m = self.value(src);
         for s in 0..segs {
             let (lo, hi) = (offsets[s], offsets[s + 1]);
             assert!(lo <= hi, "segment_mean: offsets must be non-decreasing");
@@ -284,13 +459,13 @@ impl<'s> Tape<'s> {
                 }
             }
         }
-        self.push(out, Op::SegmentMean { src: src.id, offsets: offsets.to_vec() })
+        self.push(Stored::Owned(out), Op::SegmentMean { src: src.id, offsets: offsets.to_vec() })
     }
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let value = self.value(x).map(|v| if v > 0.0 { v } else { alpha * v });
-        self.push(value, Op::LeakyRelu { src: x.id, alpha })
+        let value = self.mat_map(self.value(x), |v| if v > 0.0 { v } else { alpha * v });
+        self.push(Stored::Owned(value), Op::LeakyRelu { src: x.id, alpha })
     }
 
     /// Standard ReLU (leaky ReLU with zero slope).
@@ -300,44 +475,44 @@ impl<'s> Tape<'s> {
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(stable_sigmoid);
-        self.push(value, Op::Sigmoid(x.id))
+        let value = self.mat_map(self.value(x), stable_sigmoid);
+        self.push(Stored::Owned(value), Op::Sigmoid(x.id))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(f32::tanh);
-        self.push(value, Op::Tanh(x.id))
+        let value = self.mat_map(self.value(x), f32::tanh);
+        self.push(Stored::Owned(value), Op::Tanh(x.id))
     }
 
     /// Mean of all entries (scalar).
     pub fn mean_all(&mut self, x: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).mean()]);
-        self.push(value, Op::MeanAll(x.id))
+        let value = self.mat_full(1, 1, self.value(x).mean());
+        self.push(Stored::Owned(value), Op::MeanAll(x.id))
     }
 
     /// Sum of all entries (scalar).
     pub fn sum_all(&mut self, x: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum()]);
-        self.push(value, Op::SumAll(x.id))
+        let value = self.mat_full(1, 1, self.value(x).sum());
+        self.push(Stored::Owned(value), Op::SumAll(x.id))
     }
 
     /// Sum of squared entries (scalar, L2 penalty).
     pub fn sum_squares(&mut self, x: Var) -> Var {
-        let value = Matrix::from_vec(1, 1, vec![self.value(x).sum_squares()]);
-        self.push(value, Op::SumSquares(x.id))
+        let value = self.mat_full(1, 1, self.value(x).sum_squares());
+        self.push(Stored::Owned(value), Op::SumSquares(x.id))
     }
 
     /// Per-row dot product of two `n x d` matrices → `n x 1`.
     pub fn dot_rows(&mut self, a: Var, b: Var) -> Var {
+        let mut out = self.mat_zeroed(a.rows, 1);
         let (am, bm) = (self.value(a), self.value(b));
         assert_eq!(am.shape(), bm.shape(), "dot_rows: shape mismatch");
-        let mut out = Matrix::zeros(am.rows(), 1);
         for i in 0..am.rows() {
             let d: f32 = am.row(i).iter().zip(bm.row(i)).map(|(x, y)| x * y).sum();
             out.set(i, 0, d);
         }
-        self.push(out, Op::DotRows(a.id, b.id))
+        self.push(Stored::Owned(out), Op::DotRows(a.id, b.id))
     }
 
     /// Mean binary cross entropy with logits (scalar).
@@ -371,9 +546,9 @@ impl<'s> Tape<'s> {
             let w = weights.map_or(1.0, |w| w[i]);
             total += (loss * w) as f64;
         }
-        let value = Matrix::from_vec(1, 1, vec![(total / n as f64) as f32]);
+        let value = self.mat_full(1, 1, (total / n as f64) as f32);
         self.push(
-            value,
+            Stored::Owned(value),
             Op::BceWithLogits {
                 logits: logits.id,
                 targets: targets.to_vec(),
@@ -389,50 +564,64 @@ impl<'s> Tape<'s> {
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!((loss.rows, loss.cols), (1, 1), "backward: loss must be scalar");
         let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.id] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        grads[loss.id] = Some(self.mat_full(1, 1, 1.0));
         let mut out = Gradients::new(self.store);
 
         for id in (0..=loss.id).rev() {
             let Some(g) = grads[id].take() else { continue };
             match &self.nodes[id].op {
-                Op::Input => {}
-                Op::Param(pid) => out.accumulate(*pid, &g),
+                Op::Input => self.reclaim_mat(g),
+                Op::Param(pid) => {
+                    if let Some(merged) = out.accumulate_owned(*pid, g) {
+                        self.reclaim_mat(merged);
+                    }
+                }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_nt(&self.nodes[*b].value);
-                    let gb = self.nodes[*a].value.matmul_tn(&g);
-                    accum(&mut grads, *a, ga);
-                    accum(&mut grads, *b, gb);
+                    let (av, bv) = (self.nval(*a), self.nval(*b));
+                    let mut ga = self.mat_zeroed(g.rows(), bv.rows());
+                    g.matmul_nt_into(bv, &mut ga);
+                    let mut gb = self.mat_zeroed(av.cols(), g.cols());
+                    av.matmul_tn_into(&g, &mut gb);
+                    accum(&mut grads, *a, ga, self.ws);
+                    accum(&mut grads, *b, gb, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::Add(a, b) => {
-                    accum(&mut grads, *a, g.clone());
-                    accum(&mut grads, *b, g);
+                    let ga = self.mat_copy(&g);
+                    accum(&mut grads, *a, ga, self.ws);
+                    accum(&mut grads, *b, g, self.ws);
                 }
                 Op::AddBias(x, bias) => {
                     // Bias gradient is the column-wise sum of g.
-                    let mut gb = Matrix::zeros(1, g.cols());
+                    let mut gb = self.mat_zeroed(1, g.cols());
                     for i in 0..g.rows() {
                         let row = g.row(i);
                         for (o, &v) in gb.row_mut(0).iter_mut().zip(row) {
                             *o += v;
                         }
                     }
-                    accum(&mut grads, *x, g);
-                    accum(&mut grads, *bias, gb);
+                    accum(&mut grads, *x, g, self.ws);
+                    accum(&mut grads, *bias, gb, self.ws);
                 }
                 Op::Sub(a, b) => {
-                    accum(&mut grads, *a, g.clone());
-                    accum(&mut grads, *b, g.scale(-1.0));
+                    let ga = self.mat_copy(&g);
+                    accum(&mut grads, *a, ga, self.ws);
+                    let mut gb = g;
+                    gb.scale_assign(-1.0);
+                    accum(&mut grads, *b, gb, self.ws);
                 }
                 Op::Mul(a, b) => {
-                    let ga = g.hadamard(&self.nodes[*b].value);
-                    let gb = g.hadamard(&self.nodes[*a].value);
-                    accum(&mut grads, *a, ga);
-                    accum(&mut grads, *b, gb);
+                    let (av, bv) = (self.nval(*a), self.nval(*b));
+                    let ga = self.mat_zip(&g, bv, |x, y| x * y);
+                    let gb = self.mat_zip(&g, av, |x, y| x * y);
+                    accum(&mut grads, *a, ga, self.ws);
+                    accum(&mut grads, *b, gb, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::MulColBroadcast(x, col) => {
-                    let (xm, cm) = (&self.nodes[*x].value, &self.nodes[*col].value);
-                    let mut gx = g.clone();
-                    let mut gc = Matrix::zeros(cm.rows(), 1);
+                    let (xm, cm) = (self.nval(*x), self.nval(*col));
+                    let mut gx = self.mat_copy(&g);
+                    let mut gc = self.mat_zeroed(cm.rows(), 1);
                     for i in 0..xm.rows() {
                         let c = cm.get(i, 0);
                         let mut dot = 0f32;
@@ -442,48 +631,73 @@ impl<'s> Tape<'s> {
                         }
                         gc.set(i, 0, dot);
                     }
-                    accum(&mut grads, *x, gx);
-                    accum(&mut grads, *col, gc);
+                    accum(&mut grads, *x, gx, self.ws);
+                    accum(&mut grads, *col, gc, self.ws);
+                    self.reclaim_mat(g);
                 }
-                Op::Scale(a, alpha) => accum(&mut grads, *a, g.scale(*alpha)),
+                Op::Scale(a, alpha) => {
+                    let mut ga = g;
+                    ga.scale_assign(*alpha);
+                    accum(&mut grads, *a, ga, self.ws);
+                }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
                     for &p in parts {
-                        let pc = self.nodes[p].value.cols();
-                        let mut gp = Matrix::zeros(g.rows(), pc);
+                        let pc = self.nval(p).cols();
+                        let mut gp = self.mat_zeroed(g.rows(), pc);
                         for i in 0..g.rows() {
                             gp.row_mut(i).copy_from_slice(&g.row(i)[offset..offset + pc]);
                         }
                         offset += pc;
-                        accum(&mut grads, p, gp);
+                        accum(&mut grads, p, gp, self.ws);
                     }
+                    self.reclaim_mat(g);
                 }
                 Op::GatherRows { src, idx } => {
-                    let src_m = &self.nodes[*src].value;
-                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    let src_m = self.nval(*src);
+                    let mut gs = self.mat_zeroed(src_m.rows(), src_m.cols());
                     for (k, &i) in idx.iter().enumerate() {
                         let grow = g.row(k);
                         for (o, &v) in gs.row_mut(i).iter_mut().zip(grow) {
                             *o += v;
                         }
                     }
-                    accum(&mut grads, *src, gs);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
+                }
+                Op::GatherMeanPoolRows { src, idx, group } => {
+                    // Same accumulation order as MeanPoolRows backward
+                    // (`v * inv` per entry) followed by the GatherRows
+                    // scatter-add in ascending `k`: bitwise identical to
+                    // the unfused pair.
+                    let src_m = self.nval(*src);
+                    let inv = 1.0 / *group as f32;
+                    let mut gs = self.mat_zeroed(src_m.rows(), src_m.cols());
+                    for (k, &i) in idx.iter().enumerate() {
+                        let grow = g.row(k / group);
+                        for (o, &v) in gs.row_mut(i).iter_mut().zip(grow) {
+                            *o += v * inv;
+                        }
+                    }
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::MeanPoolRows { src, group } => {
-                    let src_m = &self.nodes[*src].value;
+                    let src_m = self.nval(*src);
                     let inv = 1.0 / *group as f32;
-                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    let mut gs = self.mat_zeroed(src_m.rows(), src_m.cols());
                     for r in 0..src_m.rows() {
                         let grow = g.row(r / group);
                         for (o, &v) in gs.row_mut(r).iter_mut().zip(grow) {
                             *o = v * inv;
                         }
                     }
-                    accum(&mut grads, *src, gs);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::SegmentMean { src, offsets } => {
-                    let src_m = &self.nodes[*src].value;
-                    let mut gs = Matrix::zeros(src_m.rows(), src_m.cols());
+                    let src_m = self.nval(*src);
+                    let mut gs = self.mat_zeroed(src_m.rows(), src_m.cols());
                     for s in 0..offsets.len() - 1 {
                         let (lo, hi) = (offsets[s], offsets[s + 1]);
                         if lo == hi {
@@ -497,12 +711,13 @@ impl<'s> Tape<'s> {
                             }
                         }
                     }
-                    accum(&mut grads, *src, gs);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::MaxPoolRows { src, argmax } => {
-                    let src_m = &self.nodes[*src].value;
+                    let src_m = self.nval(*src);
                     let cols = src_m.cols();
-                    let mut gs = Matrix::zeros(src_m.rows(), cols);
+                    let mut gs = self.mat_zeroed(src_m.rows(), cols);
                     for gr in 0..g.rows() {
                         for c in 0..cols {
                             let winner = argmax[gr * cols + c] as usize;
@@ -510,78 +725,84 @@ impl<'s> Tape<'s> {
                             gs.set(winner, c, cur + g.get(gr, c));
                         }
                     }
-                    accum(&mut grads, *src, gs);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::LeakyRelu { src, alpha } => {
-                    let x = &self.nodes[*src].value;
+                    let x = self.nval(*src);
                     let mut gx = g;
                     for (gv, &xv) in gx.data_mut().iter_mut().zip(x.data()) {
                         if xv <= 0.0 {
                             *gv *= alpha;
                         }
                     }
-                    accum(&mut grads, *src, gx);
+                    accum(&mut grads, *src, gx, self.ws);
                 }
                 Op::Sigmoid(src) => {
-                    let y = &self.nodes[id].value;
+                    let y = self.nval(id);
                     let mut gx = g;
                     for (gv, &yv) in gx.data_mut().iter_mut().zip(y.data()) {
                         *gv *= yv * (1.0 - yv);
                     }
-                    accum(&mut grads, *src, gx);
+                    accum(&mut grads, *src, gx, self.ws);
                 }
                 Op::Tanh(src) => {
-                    let y = &self.nodes[id].value;
+                    let y = self.nval(id);
                     let mut gx = g;
                     for (gv, &yv) in gx.data_mut().iter_mut().zip(y.data()) {
                         *gv *= 1.0 - yv * yv;
                     }
-                    accum(&mut grads, *src, gx);
+                    accum(&mut grads, *src, gx, self.ws);
                 }
                 Op::MeanAll(src) => {
-                    let src_m = &self.nodes[*src].value;
+                    let src_m = self.nval(*src);
                     let gv = g.get(0, 0) / src_m.len().max(1) as f32;
-                    accum(&mut grads, *src, Matrix::full(src_m.rows(), src_m.cols(), gv));
+                    let gs = self.mat_full(src_m.rows(), src_m.cols(), gv);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::SumAll(src) => {
-                    let src_m = &self.nodes[*src].value;
-                    accum(&mut grads, *src, Matrix::full(src_m.rows(), src_m.cols(), g.get(0, 0)));
+                    let src_m = self.nval(*src);
+                    let gs = self.mat_full(src_m.rows(), src_m.cols(), g.get(0, 0));
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::SumSquares(src) => {
-                    let src_m = &self.nodes[*src].value;
+                    let src_m = self.nval(*src);
                     let gv = 2.0 * g.get(0, 0);
-                    accum(&mut grads, *src, src_m.scale(gv));
+                    let gs = self.mat_map(src_m, |v| v * gv);
+                    accum(&mut grads, *src, gs, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::DotRows(a, b) => {
-                    let (am, bm) = (&self.nodes[*a].value, &self.nodes[*b].value);
-                    let mut ga = Matrix::zeros(am.rows(), am.cols());
-                    let mut gb = Matrix::zeros(bm.rows(), bm.cols());
+                    let (am, bm) = (self.nval(*a), self.nval(*b));
+                    let mut ga = self.mat_zeroed(am.rows(), am.cols());
+                    let mut gb = self.mat_zeroed(bm.rows(), bm.cols());
                     for i in 0..am.rows() {
                         let gi = g.get(i, 0);
-                        for ((o, &bv), &av) in
-                            ga.row_mut(i).iter_mut().zip(bm.row(i)).zip(am.row(i))
-                        {
+                        for (o, &bv) in ga.row_mut(i).iter_mut().zip(bm.row(i)) {
                             *o = gi * bv;
-                            let _ = av;
                         }
                         for (o, &av) in gb.row_mut(i).iter_mut().zip(am.row(i)) {
                             *o = gi * av;
                         }
                     }
-                    accum(&mut grads, *a, ga);
-                    accum(&mut grads, *b, gb);
+                    accum(&mut grads, *a, ga, self.ws);
+                    accum(&mut grads, *b, gb, self.ws);
+                    self.reclaim_mat(g);
                 }
                 Op::BceWithLogits { logits, targets, weights } => {
-                    let lm = &self.nodes[*logits].value;
+                    let lm = self.nval(*logits);
                     let n = targets.len().max(1) as f32;
                     let scale = g.get(0, 0) / n;
-                    let mut gl = Matrix::zeros(lm.rows(), 1);
+                    let mut gl = self.mat_zeroed(lm.rows(), 1);
                     for (i, &t) in targets.iter().enumerate() {
                         let y = stable_sigmoid(lm.get(i, 0));
                         let w = weights.as_ref().map_or(1.0, |w| w[i]);
                         gl.set(i, 0, scale * w * (y - t));
                     }
-                    accum(&mut grads, *logits, gl);
+                    accum(&mut grads, *logits, gl, self.ws);
+                    self.reclaim_mat(g);
                 }
             }
         }
@@ -589,9 +810,14 @@ impl<'s> Tape<'s> {
     }
 }
 
-fn accum(grads: &mut [Option<Matrix>], id: usize, g: Matrix) {
+fn accum(grads: &mut [Option<Matrix>], id: usize, g: Matrix, ws: Option<&Workspace>) {
     match &mut grads[id] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            if let Some(ws) = ws {
+                ws.reclaim(g.into_data());
+            }
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -684,6 +910,152 @@ mod tests {
             let sq = t.sum_squares(pooled);
             t.scale(sq, 0.5)
         });
+    }
+
+    #[test]
+    fn fused_gather_mean_pool_gradients_check() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", xavier_uniform(5, 3, &mut rng));
+        let idx = vec![0usize, 2, 2, 4, 1, 3];
+        check_param_grads(&store, &[emb], 1e-2, 2e-2, move |t| {
+            let e = t.param(emb);
+            let pooled = t.gather_mean_pool_rows(e, &idx, 2);
+            let sq = t.sum_squares(pooled);
+            t.scale(sq, 0.5)
+        });
+    }
+
+    #[test]
+    fn fused_gather_mean_pool_is_bitwise_identical_to_composition() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut store = ParamStore::new();
+        let emb = store.add("emb", xavier_uniform(7, 4, &mut rng));
+        let idx = vec![0usize, 6, 2, 4, 1, 3, 5, 5, 2, 0, 6, 1];
+        for group in [1usize, 2, 3, 4, 6] {
+            let (fused_v, fused_g) = {
+                let mut t = Tape::new(&store);
+                let e = t.param(emb);
+                let p = t.gather_mean_pool_rows(e, &idx, group);
+                let loss = t.sum_squares(p);
+                let grads = t.backward(loss);
+                (t.value(p).clone(), grads.get(emb).unwrap().clone())
+            };
+            let (plain_v, plain_g) = {
+                let mut t = Tape::new(&store);
+                let e = t.param(emb);
+                let gth = t.gather_rows(e, &idx);
+                let p = t.mean_pool_rows(gth, group);
+                let loss = t.sum_squares(p);
+                let grads = t.backward(loss);
+                (t.value(p).clone(), grads.get(emb).unwrap().clone())
+            };
+            for (a, b) in fused_v.data().iter().zip(plain_v.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "forward bits differ (group {group})");
+            }
+            for (a, b) in fused_g.data().iter().zip(plain_g.data()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "gradient bits differ (group {group})");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_tape_is_bitwise_identical_to_fresh() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", xavier_uniform(4, 6, &mut rng));
+        let b1 = store.add("b1", xavier_uniform(1, 6, &mut rng));
+        let w2 = store.add("w2", xavier_uniform(6, 1, &mut rng));
+        let x = xavier_uniform(7, 4, &mut rng);
+        let targets = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        let run = |ws: Option<&Workspace>| {
+            let mut t = match ws {
+                Some(ws) => Tape::with_workspace(&store, ws),
+                None => Tape::new(&store),
+            };
+            let xv = t.input(x.clone());
+            let w1v = t.param(w1);
+            let b1v = t.param(b1);
+            let w2v = t.param(w2);
+            let h = t.matmul(xv, w1v);
+            let h = t.add_bias(h, b1v);
+            let h = t.leaky_relu(h, 0.1);
+            let logits = t.matmul(h, w2v);
+            let loss = t.bce_with_logits(logits, &targets);
+            let grads = t.backward(loss);
+            let loss_v = t.scalar(loss);
+            let grad_v = [w1, b1, w2].map(|p| grads.get(p).unwrap().clone());
+            t.recycle();
+            (loss_v, grad_v)
+        };
+        let (loss_fresh, grads_fresh) = run(None);
+        let ws = Workspace::new();
+        // Two pooled runs: the second reuses warm buffers.
+        let (loss_p1, grads_p1) = run(Some(&ws));
+        let (loss_p2, grads_p2) = run(Some(&ws));
+        assert_eq!(loss_fresh.to_bits(), loss_p1.to_bits());
+        assert_eq!(loss_fresh.to_bits(), loss_p2.to_bits());
+        for pooled in [&grads_p1, &grads_p2] {
+            for (f, p) in grads_fresh.iter().zip(pooled.iter()) {
+                assert_eq!(f.shape(), p.shape());
+                for (a, b) in f.data().iter().zip(p.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "pooled gradient bits differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_tape_step_allocates_nothing_after_warmup() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", xavier_uniform(4, 6, &mut rng));
+        let b1 = store.add("b1", Matrix::zeros(1, 6));
+        let w2 = store.add("w2", xavier_uniform(6, 1, &mut rng));
+        let x = xavier_uniform(7, 4, &mut rng);
+        let targets = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0];
+        let ws = Workspace::new();
+        let step = |ws: &Workspace| {
+            let mut t = Tape::with_workspace(&store, ws);
+            let xv = t.input(x.clone());
+            let w1v = t.param(w1);
+            let b1v = t.param(b1);
+            let w2v = t.param(w2);
+            let h = t.matmul(xv, w1v);
+            let h = t.add_bias(h, b1v);
+            let h = t.leaky_relu(h, 0.1);
+            let logits = t.matmul(h, w2v);
+            let loss = t.bce_with_logits(logits, &targets);
+            let grads = t.backward(loss);
+            t.recycle();
+            grads.recycle_into(ws);
+        };
+        // Warmup.
+        step(&ws);
+        step(&ws);
+        let warm = ws.fresh_allocs();
+        for _ in 0..1000 {
+            step(&ws);
+        }
+        assert_eq!(
+            ws.fresh_allocs(),
+            warm,
+            "tape step allocated after warmup ({} fresh allocs over 1000 minibatches)",
+            ws.fresh_allocs() - warm
+        );
+        assert!(ws.retained_buffers() <= crate::workspace::MAX_PER_BUCKET * 8);
+    }
+
+    #[test]
+    fn param_leaves_are_read_by_reference() {
+        let mut store = ParamStore::new();
+        let p = store.add("p", Matrix::full(2, 2, 1.5));
+        let mut t = Tape::new(&store);
+        let v = t.param(p);
+        assert!(
+            std::ptr::eq(t.value(v), store.get(p)),
+            "param leaf copied the stored matrix"
+        );
     }
 
     #[test]

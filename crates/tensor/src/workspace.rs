@@ -1,0 +1,234 @@
+//! Size-bucketed `f32` buffer pool for the training hot path.
+//!
+//! Every op on a [`crate::tape::Tape`] produces a fresh activation or
+//! gradient matrix; without pooling that is one heap allocation per op
+//! per minibatch, and the large deep-layer buffers (hundreds of KiB)
+//! cross malloc's mmap threshold, costing page faults every batch. A
+//! [`Workspace`] keeps recycled buffers in power-of-two capacity
+//! buckets so a tape built with [`crate::tape::Tape::with_workspace`]
+//! reaches a steady state where **no** per-minibatch allocation happens
+//! in the forward/backward step after warmup.
+//!
+//! ## Determinism
+//!
+//! Pooling changes where bytes live, never what they are: leased
+//! buffers are either zero-filled ([`Workspace::lease_zeroed`]) or
+//! completely overwritten by the op that fills them, so a pooled tape
+//! step is bitwise identical to a fresh-allocation tape step (asserted
+//! by the differential-oracle suite).
+//!
+//! ## Lifecycle
+//!
+//! * [`Workspace::lease_zeroed`] / [`Workspace::lease_empty`] hand out a
+//!   buffer (reusing a recycled one when the bucket has stock);
+//! * [`Workspace::recycle`] returns a pool-shaped buffer — it panics on
+//!   buffers that cannot have come from a pool (wrong capacity class),
+//!   catching lease/recycle mismatches early;
+//! * [`Workspace::reclaim`] is the lenient variant used on tape drop,
+//!   where caller-provided input matrices of arbitrary capacity mix
+//!   with pooled ones: pool-shaped buffers are retained, others drop.
+//!
+//! Buckets retain at most [`MAX_PER_BUCKET`] buffers; everything beyond
+//! that is freed, so the pool's footprint is bounded no matter how many
+//! minibatches run through it. A workspace is single-threaded by design
+//! (`RefCell`, `Send` but not `Sync`); data-parallel training gives
+//! each gradient shard its own workspace.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// Smallest bucket capacity handed out (tiny leases round up to this).
+pub const MIN_BUCKET: usize = 8;
+
+/// Maximum buffers retained per capacity bucket.
+pub const MAX_PER_BUCKET: usize = 32;
+
+/// A size-bucketed pool of reusable `Vec<f32>` buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    buckets: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    leases: Cell<u64>,
+    fresh: Cell<u64>,
+}
+
+/// The capacity class a lease of `len` elements is served from.
+#[inline]
+fn bucket_capacity(len: usize) -> usize {
+    len.next_power_of_two().max(MIN_BUCKET)
+}
+
+/// True when `capacity` is a capacity class this pool hands out.
+#[inline]
+fn is_pool_shaped(capacity: usize) -> bool {
+    capacity >= MIN_BUCKET && capacity.is_power_of_two()
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn pop_bucket(&self, cap: usize) -> Option<Vec<f32>> {
+        self.buckets.borrow_mut().get_mut(&cap).and_then(Vec::pop)
+    }
+
+    fn lease_raw(&self, len: usize) -> Vec<f32> {
+        self.leases.set(self.leases.get() + 1);
+        let cap = bucket_capacity(len);
+        match self.pop_bucket(cap) {
+            Some(v) => {
+                debug_assert!(v.is_empty() && v.capacity() == cap);
+                v
+            }
+            None => {
+                self.fresh.set(self.fresh.get() + 1);
+                Vec::with_capacity(cap)
+            }
+        }
+    }
+
+    /// Leases a buffer of exactly `len` zeros.
+    pub fn lease_zeroed(&self, len: usize) -> Vec<f32> {
+        let mut v = self.lease_raw(len);
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Leases an empty buffer with capacity for at least `min_capacity`
+    /// elements (for `extend_from_slice`-style fills that overwrite
+    /// everything anyway — skips the zero fill).
+    pub fn lease_empty(&self, min_capacity: usize) -> Vec<f32> {
+        self.lease_raw(min_capacity)
+    }
+
+    /// Returns a leased buffer to the pool.
+    ///
+    /// # Panics
+    /// Panics when the buffer's capacity is not a pool capacity class —
+    /// a buffer that was never leased from a workspace (or whose
+    /// allocation was clobbered) cannot be recycled; use
+    /// [`Workspace::reclaim`] where foreign buffers are expected.
+    pub fn recycle(&self, v: Vec<f32>) {
+        assert!(
+            is_pool_shaped(v.capacity()),
+            "workspace: recycled buffer capacity {} is not a pool bucket \
+             (power of two >= {MIN_BUCKET}); was this buffer leased from a workspace?",
+            v.capacity(),
+        );
+        self.reclaim(v);
+    }
+
+    /// Lenient recycle: pool-shaped buffers are retained (up to
+    /// [`MAX_PER_BUCKET`] per bucket), anything else is simply dropped.
+    pub fn reclaim(&self, mut v: Vec<f32>) {
+        let cap = v.capacity();
+        if !is_pool_shaped(cap) {
+            return;
+        }
+        let mut buckets = self.buckets.borrow_mut();
+        let bucket = buckets.entry(cap).or_default();
+        if bucket.len() < MAX_PER_BUCKET {
+            v.clear();
+            bucket.push(v);
+        }
+    }
+
+    /// Total leases served so far.
+    pub fn leases(&self) -> u64 {
+        self.leases.get()
+    }
+
+    /// Leases that had to allocate fresh memory (pool misses). Flat
+    /// across minibatches once warmed up = zero steady-state allocation.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh.get()
+    }
+
+    /// Number of buffers currently retained, across all buckets.
+    pub fn retained_buffers(&self) -> usize {
+        self.buckets.borrow().values().map(Vec::len).sum()
+    }
+
+    /// Total capacity (in `f32` elements) currently retained.
+    pub fn retained_elems(&self) -> usize {
+        self.buckets.borrow().values().flatten().map(Vec::capacity).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_recycle_reuses_the_same_allocation() {
+        let ws = Workspace::new();
+        let v = ws.lease_zeroed(100);
+        let ptr = v.as_ptr();
+        ws.recycle(v);
+        let v2 = ws.lease_zeroed(100);
+        assert_eq!(v2.as_ptr(), ptr, "recycled buffer was not reused");
+        assert_eq!(v2.len(), 100);
+        assert!(v2.iter().all(|&x| x == 0.0));
+        assert_eq!(ws.leases(), 2);
+        assert_eq!(ws.fresh_allocs(), 1, "second lease must be a pool hit");
+    }
+
+    #[test]
+    fn different_sizes_share_a_bucket_by_capacity_class() {
+        let ws = Workspace::new();
+        let v = ws.lease_zeroed(100); // bucket 128
+        ws.recycle(v);
+        let v2 = ws.lease_zeroed(120); // same bucket
+        assert_eq!(ws.fresh_allocs(), 1);
+        assert_eq!(v2.len(), 120);
+    }
+
+    #[test]
+    fn pool_is_bounded_over_many_minibatches() {
+        let ws = Workspace::new();
+        for _ in 0..1000 {
+            let a = ws.lease_zeroed(256);
+            let b = ws.lease_empty(64);
+            ws.recycle(a);
+            ws.recycle(b);
+        }
+        assert!(ws.retained_buffers() <= 2, "pool grew: {}", ws.retained_buffers());
+        assert_eq!(ws.fresh_allocs(), 2, "steady state must not allocate");
+    }
+
+    #[test]
+    fn bucket_retention_is_capped() {
+        let ws = Workspace::new();
+        let many: Vec<_> = (0..2 * MAX_PER_BUCKET).map(|_| ws.lease_zeroed(64)).collect();
+        for v in many {
+            ws.recycle(v);
+        }
+        assert_eq!(ws.retained_buffers(), MAX_PER_BUCKET);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a pool bucket")]
+    fn recycling_a_foreign_buffer_panics() {
+        let ws = Workspace::new();
+        // 100-element exact allocation: not a power-of-two capacity class.
+        ws.recycle(vec![0.0f32; 100]);
+    }
+
+    #[test]
+    fn reclaim_tolerates_foreign_buffers() {
+        let ws = Workspace::new();
+        ws.reclaim(vec![0.0f32; 100]); // silently dropped
+        assert_eq!(ws.retained_buffers(), 0);
+        ws.reclaim(Vec::with_capacity(64)); // pool-shaped: retained
+        assert_eq!(ws.retained_buffers(), 1);
+    }
+
+    #[test]
+    fn zero_length_lease_is_served() {
+        let ws = Workspace::new();
+        let v = ws.lease_zeroed(0);
+        assert!(v.is_empty());
+        ws.recycle(v);
+    }
+}

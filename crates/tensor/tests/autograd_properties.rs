@@ -52,10 +52,9 @@ proptest! {
         // finite-difference step.
         let mut store = ParamStore::new();
         let p = store.add("p", Matrix::from_vec(4, 3, vals));
-        let ops2 = ops.clone();
         check_param_grads(&store, &[p], 1e-3, 5e-2, move |t| {
             let mut x = t.param(p);
-            for &op in &ops2 {
+            for &op in &ops {
                 x = apply(op, t, x);
             }
             t.mean_all(x)
@@ -95,10 +94,9 @@ proptest! {
         prop_assume!(idx.len() % 2 == 0);
         let mut store = ParamStore::new();
         let p = store.add("p", Matrix::from_vec(4, 3, vals));
-        let idx2 = idx.clone();
         check_param_grads(&store, &[p], 1e-3, 5e-2, move |t| {
             let x = t.param(p);
-            let g = t.gather_rows(x, &idx2);
+            let g = t.gather_rows(x, &idx);
             let cat = t.concat_cols(&[g, g]);
             let pooled = t.mean_pool_rows(cat, 2);
             t.mean_all(pooled)

@@ -603,7 +603,8 @@ fn tape_eq5_loss(fx: &Eq5Fixture, tape: &mut Tape) -> Var {
     let pos_users: Vec<usize> = fx.positives.iter().map(|&(u, _, _)| u).collect();
     let pos_items: Vec<usize> = fx.positives.iter().map(|&(_, i, _)| i).collect();
     let pos_weights: Vec<f32> = fx.positives.iter().map(|&(_, _, w)| (1.0 + w).ln()).collect();
-    let pos_loss = pair_term(tape, &pos_users, &pos_items, Matrix::column_vector(&pos_weights), 1.0);
+    let pos_loss =
+        pair_term(tape, &pos_users, &pos_items, Matrix::column_from_vec(pos_weights), 1.0);
 
     let negu_users: Vec<usize> = fx.neg_user_pairs.iter().map(|&(u, _)| u).collect();
     let negu_items: Vec<usize> = fx.neg_user_pairs.iter().map(|&(_, i)| i).collect();
@@ -675,6 +676,123 @@ proptest! {
     }
 }
 
+// ---- 8. Tiled kernels, fused gather + pool, pooled tape: bitwise --------
+//
+// The register-tiled matmul kernels process 4x8 (4x4 for `nt`) output
+// blocks with scalar remainder edges; these properties push the shapes
+// well past one tile so interiors, remainders, and their seams are all
+// crossed, and check every output bit against the naive oracle. The
+// fused gather + mean-pool and the workspace-pooled tape are compared
+// against their unfused / fresh-allocation references, which earlier
+// sections already tie to the oracle.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiled_matmul_tile_crossing_shapes_match_oracle_bitwise(
+        (m, k, n) in (1usize..21, 1usize..14, 1usize..27),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = hignn_tensor::init::xavier_uniform(m, k, &mut rng);
+        let b = hignn_tensor::init::xavier_uniform(k, n, &mut rng);
+        let oa = to_rows32(&a);
+        let ob = to_rows32(&b);
+        bitwise_eq(&a.matmul(&b), &oracle::linalg::matmul(&oa, &ob), "tiled matmul nn").unwrap();
+        let bt = hignn_tensor::init::xavier_uniform(n, k, &mut rng);
+        bitwise_eq(
+            &a.matmul_nt(&bt),
+            &oracle::linalg::matmul_nt(&oa, &to_rows32(&bt)),
+            "tiled matmul nt",
+        )
+        .unwrap();
+        let at = hignn_tensor::init::xavier_uniform(k, m, &mut rng);
+        bitwise_eq(
+            &at.matmul_tn(&b),
+            &oracle::linalg::matmul_tn(&to_rows32(&at), &ob),
+            "tiled matmul tn",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn fused_concat_matmul_matches_concat_then_matmul_bitwise(
+        (rows, da, db, n) in (1usize..18, 1usize..9, 1usize..9, 1usize..18),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = hignn_tensor::init::xavier_uniform(rows, da, &mut rng);
+        let b = hignn_tensor::init::xavier_uniform(rows, db, &mut rng);
+        let w = hignn_tensor::init::xavier_uniform(da + db, n, &mut rng);
+        let reference = Matrix::concat_cols(&[&a, &b]).matmul(&w);
+        let fused = Matrix::concat2_matmul(&a, &b, &w);
+        bitwise_eq(&fused, &to_rows32(&reference), "concat2_matmul").unwrap();
+    }
+
+    #[test]
+    fn fused_gather_mean_pool_matches_composition_bitwise(
+        (table_rows, d, groups, group) in (1usize..40, 1usize..9, 0usize..12, 1usize..7),
+        seed in proptest::arbitrary::any::<u64>(),
+    ) {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = hignn_tensor::init::xavier_uniform(table_rows, d, &mut rng);
+        let idx: Vec<usize> = (0..groups * group).map(|_| rng.gen_range(0..table_rows)).collect();
+        let reference = table.gather_rows(&idx).mean_pool_rows(group);
+        let fused = table.gather_mean_pool_rows(&idx, group);
+        bitwise_eq(&fused, &to_rows32(&reference), "gather_mean_pool_rows").unwrap();
+    }
+
+    #[test]
+    fn pooled_tape_step_matches_fresh_tape_bitwise(
+        (n, d, h) in (1usize..12, 1usize..6, 1usize..8),
+        init_seed in proptest::arbitrary::any::<u64>(),
+        x_seed in proptest::arbitrary::any::<u64>(),
+        target_bits in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let mut rng = StdRng::seed_from_u64(init_seed);
+        let mut store = ParamStore::new();
+        let w1 = store.add("w1", hignn_tensor::init::xavier_uniform(d, h, &mut rng));
+        let b1 = store.add("b1", Matrix::zeros(1, h));
+        let w2 = store.add("w2", hignn_tensor::init::xavier_uniform(h, 1, &mut rng));
+        let x = hignn_tensor::init::xavier_uniform(n, d, &mut StdRng::seed_from_u64(x_seed));
+        let targets: Vec<f32> =
+            target_bits[..n].iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+
+        let step = |tape: &mut Tape| -> (f32, Vec<Vec<u32>>) {
+            let xv = tape.input(x.clone());
+            let (w1v, b1v, w2v) = (tape.param(w1), tape.param(b1), tape.param(w2));
+            let h1 = tape.matmul(xv, w1v);
+            let h1 = tape.add_bias(h1, b1v);
+            let h1 = tape.leaky_relu(h1, 0.01);
+            let logits = tape.matmul(h1, w2v);
+            let loss = tape.bce_with_logits(logits, &targets);
+            let loss_val = tape.scalar(loss);
+            let grads = tape.backward(loss);
+            let bits = [w1, b1, w2]
+                .iter()
+                .map(|&p| grads.get(p).unwrap().data().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            (loss_val, bits)
+        };
+
+        let mut fresh = Tape::new(&store);
+        let (fresh_loss, fresh_bits) = step(&mut fresh);
+        let ws = hignn_tensor::Workspace::new();
+        // Two pooled runs: the first leases fresh buffers, the second
+        // reuses recycled (dirtied) ones — both must match bitwise.
+        for round in 0..2 {
+            let mut pooled = Tape::with_workspace(&store, &ws);
+            let (loss, bits) = step(&mut pooled);
+            pooled.recycle();
+            prop_assert_eq!(loss.to_bits(), fresh_loss.to_bits(),
+                "pooled round {} loss {} vs fresh {}", round, loss, fresh_loss);
+            prop_assert_eq!(&bits, &fresh_bits, "pooled round {} gradients diverged", round);
+        }
+    }
+}
+
 // ---- deliberate-break detection -----------------------------------------
 
 mod broken_kernel_detection {
@@ -727,7 +845,7 @@ mod broken_kernel_detection {
 
         // Corrupt a single output entry by one ulp: still "equal" under
         // any epsilon comparison, but the bitwise oracle must catch it.
-        let mut corrupted = product.clone();
+        let mut corrupted = product;
         let v = corrupted.get(1, 1);
         corrupted.set(1, 1, f32::from_bits(v.to_bits() ^ 1));
         assert!(
