@@ -223,15 +223,25 @@ fn main() {
         leaked_allocs
     );
 
-    // Full single-thread epoch, run twice for run-to-run determinism.
+    // Full single-thread epoch: twice with metrics off (run-to-run
+    // determinism + timing base), once with metrics on (observability
+    // inertness + overhead). Loss bits must match across all three.
     let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
     let g = &ds.graph;
     let sage_cfg = BipartiteSageConfig { input_dim: ds.user_features.cols(), ..Default::default() };
     let train_cfg = SageTrainConfig { epochs: 1, ..Default::default() };
     let exec = ParallelExecutor::single();
     let mut epoch_secs = f64::NAN;
+    let mut off_secs = f64::INFINITY;
+    let mut obs_secs = f64::NAN;
+    let mut obs_inert = true;
     let mut loss_bits: Option<Vec<u32>> = None;
-    for run in 0..2 {
+    for run in 0..3 {
+        let observed = run == 2;
+        if observed {
+            hignn_obs::global().reset();
+            hignn_obs::set_enabled(true);
+        }
         let t0 = Instant::now();
         let trained = train_unsupervised_checked(
             g,
@@ -246,6 +256,12 @@ fn main() {
         )
         .expect("no guard, no faults");
         let secs = t0.elapsed().as_secs_f64();
+        if observed {
+            hignn_obs::set_enabled(false);
+            obs_secs = secs;
+        } else {
+            off_secs = off_secs.min(secs);
+        }
         if run == 0 {
             epoch_secs = secs;
         }
@@ -254,12 +270,29 @@ fn main() {
             None => loss_bits = Some(bits),
             Some(expected) => {
                 if *expected != bits {
-                    eprintln!("DETERMINISM VIOLATION: repeated epoch loss diverged");
+                    if observed {
+                        eprintln!(
+                            "DETERMINISM VIOLATION: metrics-on epoch loss diverged from metrics-off"
+                        );
+                        obs_inert = false;
+                    } else {
+                        eprintln!("DETERMINISM VIOLATION: repeated epoch loss diverged");
+                    }
                     deterministic = false;
                 }
             }
         }
     }
+    let batches_recorded = hignn_obs::global().counter_get("train.batches");
+    if batches_recorded == 0 {
+        eprintln!("OBSERVABILITY ERROR: metrics-on epoch recorded no batches");
+        deterministic = false;
+    }
+    let obs_overhead_pct = (obs_secs - off_secs) / off_secs * 100.0;
+    println!(
+        "observability  off {:.3}s  on {:.3}s  ({:+.2}% overhead, {} batches, inert {})",
+        off_secs, obs_secs, obs_overhead_pct, batches_recorded, obs_inert
+    );
     let edges_per_sec = g.num_edges() as f64 / epoch_secs;
     let is_baseline_config = (args.scale - 0.5).abs() < 1e-12 && args.seed == 2020;
     let speedup_vs_baseline =
@@ -293,6 +326,9 @@ fn main() {
          \"tape_step\": {{\"fresh_seconds\": {:.9}, \"pooled_seconds\": {:.9}, \"speedup\": {:.3}, \"fresh_allocs_after_warmup\": {leaked_allocs}}},\n  \
          \"train_epoch\": {{\"threads\": 1, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}, \
          \"baseline_edges_per_sec\": {BASELINE_EDGES_PER_SEC}, \"speedup_vs_baseline\": {}}},\n  \
+         \"observability\": {{\"baseline_seconds\": {off_secs:.6}, \"observed_seconds\": {obs_secs:.6}, \
+         \"overhead_pct\": {obs_overhead_pct:.3}, \"batches_recorded\": {batches_recorded}, \
+         \"inert\": {obs_inert}}},\n  \
          \"deterministic\": {deterministic},\n  \
          \"note\": \"every fused/pooled kernel is asserted bitwise identical to its naive \
          reference in-process; speedup_vs_baseline is only meaningful at scale 0.5, seed 2020 \

@@ -28,6 +28,7 @@ USAGE:
                  [--dim 32] [--epochs 4] [--seed 0] [--no-normalize]
                  [--threads N] [--checkpoint DIR | --resume DIR]
                  [--on-divergence abort|rollback|off] [--lenient]
+                 [--metrics FILE.json] [--log-format plain|json]
   hignn info     --model MODEL
   hignn embed    --model MODEL --side user|item --out FILE.hgmx
   hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
@@ -45,6 +46,16 @@ CRASH RECOVERY:
   last durable level. The resumed model is identical to an
   uninterrupted run. Checkpoints are CRC-checked and fingerprinted
   against the training inputs.
+
+OBSERVABILITY:
+  --metrics FILE.json writes a schema-stable JSON run report
+  (hignn-metrics/v1): counters, gauges, per-level phase span timings,
+  per-epoch loss series, minibatch loss/grad-norm/latency histograms,
+  and workspace buffer-pool stats. --log-format plain|json emits
+  progress heartbeats and per-level events on stderr (stdout stays
+  clean). Both are inert: enabling them never changes a bit of the
+  trained model. Counter totals ride inside checkpoint metadata, so a
+  resumed run continues its counters instead of restarting at zero.
 
 EXIT CODES:
   0 ok | 2 usage/config | 3 I/O | 4 corrupt data | 5 diverged | 6 injected fault
@@ -103,7 +114,7 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
 fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     usage(opts.assert_known(&[
         "edges", "out", "levels", "alpha", "dim", "epochs", "seed", "no-normalize", "threads",
-        "checkpoint", "resume", "on-divergence", "lenient", "fault",
+        "checkpoint", "resume", "on-divergence", "lenient", "fault", "metrics", "log-format",
     ]))?;
     let model_path = usage(opts.require("out"))?.to_string();
     let levels: usize = usage(opts.get_or("levels", 3))?;
@@ -140,6 +151,25 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     // Hidden fault-injection hook for the crash-recovery test harness;
     // deliberately undocumented in USAGE.
     let fault = opts.get("fault").map(FaultPlan::parse).transpose().map_err(HignnError::Config)?;
+
+    // Observability: both knobs validate (and thus can exit 2) before
+    // any filesystem access. Recording is inert — it never changes the
+    // trained model — so flipping these alters no result bytes.
+    let metrics_path = opts.get("metrics").map(str::to_string);
+    match opts.get("log-format") {
+        None => {}
+        Some("plain") => hignn_obs::set_log_format(Some(hignn_obs::LogFormat::Plain)),
+        Some("json") => hignn_obs::set_log_format(Some(hignn_obs::LogFormat::Json)),
+        Some(other) => {
+            return Err(HignnError::Config(format!(
+                "--log-format must be plain or json, got `{other}`"
+            )));
+        }
+    }
+    if metrics_path.is_some() {
+        hignn_obs::set_enabled(true);
+        hignn_obs::global().reset();
+    }
 
     // One validated spec carries every knob (including --threads). Built
     // before any filesystem access, so usage/config errors (exit 2) take
@@ -211,6 +241,20 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     }
     save_hierarchy(&model_path, &hierarchy).map_err(|e| HignnError::io(&model_path, e))?;
     emit(out, format!("saved model to {model_path}"));
+    if let Some(path) = &metrics_path {
+        let report = hignn_obs::report::render(
+            hignn_obs::global(),
+            &[
+                ("command", hignn_obs::report::json_str("train")),
+                ("seed", hignn_obs::report::json_u64(seed)),
+                ("levels", hignn_obs::report::json_u64(levels as u64)),
+                ("threads", hignn_obs::report::json_u64(threads as u64)),
+            ],
+        );
+        hignn_obs::set_enabled(false);
+        std::fs::write(path, report).map_err(|e| HignnError::io(path, e))?;
+        emit(out, format!("wrote metrics report to {path}"));
+    }
     Ok(())
 }
 
@@ -544,5 +588,72 @@ mod tests {
         let (res, _) = run_args(&["stats", "--edges", "/nonexistent/x.tsv"]);
         let err = res.unwrap_err();
         assert_eq!(err.exit_code(), 3, "missing file is an I/O error: {err}");
+    }
+
+    #[test]
+    fn bad_log_format_is_a_usage_error() {
+        let (res, _) = run_args(&[
+            "train", "--edges", "e.tsv", "--out", "m.hgh", "--log-format", "xml",
+        ]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "--log-format xml must exit 2: {err}");
+        assert!(err.to_string().contains("log-format"), "{err}");
+    }
+
+    #[test]
+    fn metrics_report_is_written_and_inert() {
+        let edges = temp_path("met_edges.tsv");
+        let plain = temp_path("met_plain.hgh");
+        let observed = temp_path("met_observed.hgh");
+        let report = temp_path("met_report.json");
+        let edges_s = edges.to_str().unwrap();
+
+        let (res, _) = run_args(&["generate", "--out", edges_s, "--scale", "0.04", "--seed", "2"]);
+        assert!(res.is_ok(), "{res:?}");
+        let base = [
+            "train", "--edges", edges_s, "--levels", "2", "--dim", "8", "--epochs", "2",
+            "--alpha", "6", "--seed", "5",
+        ];
+        // Metrics off.
+        let mut off = base.to_vec();
+        off.extend(["--out", plain.to_str().unwrap()]);
+        let (res, _) = run_args(&off);
+        assert!(res.is_ok(), "{res:?}");
+        // Metrics on.
+        let mut on = base.to_vec();
+        let report_s = report.to_str().unwrap();
+        on.extend(["--out", observed.to_str().unwrap(), "--metrics", report_s]);
+        let (res, text) = run_args(&on);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("wrote metrics report"), "{text}");
+
+        // Inertness: observing the run changed no model bytes.
+        let a = std::fs::read(&plain).unwrap();
+        let b = std::fs::read(&observed).unwrap();
+        assert_eq!(a, b, "metrics-on model differs from metrics-off model");
+
+        // The report carries every promised section.
+        let json = std::fs::read_to_string(&report).unwrap();
+        assert!(json.contains("\"schema\":\"hignn-metrics/v1\""), "{json}");
+        assert!(json.contains("\"command\":\"train\""));
+        assert!(json.contains("\"seed\":5"));
+        for key in [
+            "train.batches",
+            "train.epochs",
+            "stack.levels_built",
+            "workspace.leases",
+            "train.batch_loss",
+            "train.epoch_loss",
+            "level1.train",
+            "level1.cluster",
+            "level2.embed",
+            "io.save_hierarchy",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "report missing {key}: {json}");
+        }
+
+        for p in [edges, plain, observed, report] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 }

@@ -87,6 +87,7 @@ pub fn select_k_by_ch(
     candidates: &[usize],
     rng: &mut impl Rng,
 ) -> (usize, Vec<u32>, f64) {
+    let _span = hignn_obs::span("cluster.ch_select");
     assert!(!candidates.is_empty(), "select_k_by_ch: no candidates");
     let mut best: Option<(usize, Vec<u32>, f64)> = None;
     for &k in candidates {

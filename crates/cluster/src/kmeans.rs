@@ -81,6 +81,7 @@ pub fn kmeans_with(
     rng: &mut impl Rng,
     exec: &ParallelExecutor,
 ) -> KMeansResult {
+    let _span = hignn_obs::span("cluster.kmeans");
     assert!(data.rows() > 0, "kmeans: empty data");
     assert!(cfg.k > 0, "kmeans: k must be positive");
     let k = cfg.k.min(data.rows());
@@ -154,6 +155,12 @@ pub fn kmeans_with(
 
     // Final assignment against the last centroid update.
     let (assignment, final_inertia) = assign_all(&centroids, data, exec);
+    if hignn_obs::enabled() {
+        hignn_obs::counter_add("cluster.kmeans_runs", 1);
+        hignn_obs::counter_add("cluster.kmeans_iterations", iterations as u64);
+        hignn_obs::counter_add("cluster.kmeans_points", data.rows() as u64);
+        hignn_obs::gauge_set("cluster.last_inertia", final_inertia);
+    }
     KMeansResult { centroids, assignment, inertia: final_inertia, iterations }
 }
 

@@ -83,6 +83,8 @@ pub fn single_pass_kmeans_with(
     rng: &mut impl Rng,
     exec: &ParallelExecutor,
 ) -> (Matrix, Vec<u32>) {
+    let _span = hignn_obs::span("cluster.single_pass_kmeans");
+    hignn_obs::counter_add("cluster.single_pass_points", data.rows() as u64);
     assert!(data.rows() > 0, "single_pass_kmeans: empty data");
     let sample_rows = seed_sample_size.clamp(k.min(data.rows()), data.rows());
     let sample_idx: Vec<usize> = (0..sample_rows).collect();

@@ -5,11 +5,12 @@
 //! record per completed hierarchy level:
 //!
 //! ```text
-//! <dir>/meta.hgck      := "HGCK" u32(version=2) section(meta)
+//! <dir>/meta.hgck      := "HGCK" u32(version=3) section(meta)
 //! meta                 := u64(fingerprint) u64(seed)
 //!                         u64(levels_total) u64(levels_done)
-//!                         u64(threads)            -- v2; v1 lacks it
-//! <dir>/level_NN.hgcl  := "HGCL" u32(version=2) section(level)
+//!                         u64(threads)            -- v2+; v1 lacks it
+//!                         metrics_snapshot        -- v3+; see below
+//! <dir>/level_NN.hgcl  := "HGCL" u32(version=3) section(level)
 //! section              := u64(payload_len) payload u32(crc32)
 //! ```
 //!
@@ -17,6 +18,14 @@
 //! back as 0 (= unrecorded). The thread count is provenance only — it
 //! never participates in the fingerprint, because a checkpoint written
 //! at N threads must resume byte-identically at any thread count.
+//!
+//! Version-3 records append a [`hignn_obs::MetricsSnapshot`] (the
+//! observability counters at checkpoint time, possibly empty) after the
+//! fixed words, so a resumed run continues its counters instead of
+//! restarting them at zero. The snapshot is provenance/diagnostics like
+//! `threads`: it never participates in the fingerprint and has no
+//! effect on the resumed model bytes (inertness, DESIGN.md §10).
+//! v1/v2 records still load, reading back an absent snapshot.
 //!
 //! Every write is atomic (temp file + fsync + rename), and the meta
 //! record is only advanced *after* its level record is durably on disk,
@@ -34,6 +43,7 @@ use crate::error::HignnError;
 use crate::io::{atomic_write, decode_level, encode_level, read_section, write_section};
 use crate::stack::{HignnConfig, Level};
 use hignn_graph::BipartiteGraph;
+use hignn_obs::MetricsSnapshot;
 use hignn_tensor::Matrix;
 use std::fs;
 use std::io::Read;
@@ -41,7 +51,7 @@ use std::path::{Path, PathBuf};
 
 const META_MAGIC: &[u8; 4] = b"HGCK";
 const LEVEL_MAGIC: &[u8; 4] = b"HGCL";
-const CKPT_VERSION: u32 = 2;
+const CKPT_VERSION: u32 = 3;
 /// Oldest checkpoint version this build still reads.
 const CKPT_MIN_VERSION: u32 = 1;
 
@@ -98,14 +108,32 @@ impl CheckpointStore {
         self.meta_path().exists()
     }
 
-    /// Atomically writes the meta record.
+    /// Atomically writes the meta record, embedding the current
+    /// observability counters (empty when metrics are disabled) so a
+    /// resumed run continues them.
     pub fn write_meta(&self, meta: &CheckpointMeta) -> Result<(), HignnError> {
-        let mut payload = Vec::with_capacity(40);
+        let snapshot = if hignn_obs::enabled() {
+            hignn_obs::global().snapshot()
+        } else {
+            MetricsSnapshot::default()
+        };
+        self.write_meta_with_metrics(meta, &snapshot)
+    }
+
+    /// Atomically writes the meta record with an explicit metrics
+    /// snapshot (the non-global-state core of [`Self::write_meta`]).
+    pub fn write_meta_with_metrics(
+        &self,
+        meta: &CheckpointMeta,
+        snapshot: &MetricsSnapshot,
+    ) -> Result<(), HignnError> {
+        let mut payload = Vec::with_capacity(44);
         payload.extend_from_slice(&meta.fingerprint.to_le_bytes());
         payload.extend_from_slice(&meta.seed.to_le_bytes());
         payload.extend_from_slice(&meta.levels_total.to_le_bytes());
         payload.extend_from_slice(&meta.levels_done.to_le_bytes());
         payload.extend_from_slice(&meta.threads.to_le_bytes());
+        payload.extend_from_slice(&snapshot.encode());
         let mut buf = Vec::new();
         buf.extend_from_slice(META_MAGIC);
         buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
@@ -114,12 +142,21 @@ impl CheckpointStore {
         atomic_write(&path, &buf).map_err(|e| HignnError::io_path(&path, e))
     }
 
-    /// Reads and validates the meta record.
+    /// Reads and validates the meta record, discarding any embedded
+    /// metrics snapshot. See [`Self::read_meta_with_metrics`].
+    pub fn read_meta(&self) -> Result<CheckpointMeta, HignnError> {
+        self.read_meta_with_metrics().map(|(meta, _)| meta)
+    }
+
+    /// Reads and validates the meta record, returning the embedded
+    /// metrics snapshot when present (v3+; `None` for v1/v2 records).
     ///
     /// The file's bytes are read in full first, so every parse failure
     /// after that — truncation included — is classified as
     /// [`HignnError::Corrupt`] (exit 4), not generic I/O.
-    pub fn read_meta(&self) -> Result<CheckpointMeta, HignnError> {
+    pub fn read_meta_with_metrics(
+        &self,
+    ) -> Result<(CheckpointMeta, Option<MetricsSnapshot>), HignnError> {
         let path = self.meta_path();
         let bytes = fs::read(&path).map_err(|e| HignnError::io_path(&path, e))?;
         let mut r = bytes.as_slice();
@@ -139,13 +176,20 @@ impl CheckpointStore {
         }
         let payload = read_section(&mut r, "checkpoint meta")
             .map_err(|e| HignnError::corrupt(&ctx, e.to_string()))?;
-        let expected_len = if version == 1 { 32 } else { 40 };
-        if payload.len() != expected_len {
+        let fixed_len = if version == 1 { 32 } else { 40 };
+        let len_ok = if version >= 3 {
+            // v3 appends a variable-length metrics snapshot.
+            payload.len() >= fixed_len + 4
+        } else {
+            payload.len() == fixed_len
+        };
+        if !len_ok {
             return Err(HignnError::corrupt(
                 &ctx,
                 format!(
-                    "meta payload is {} bytes, expected {expected_len} for version {version}",
-                    payload.len()
+                    "meta payload is {} bytes, expected {}{fixed_len} for version {version}",
+                    payload.len(),
+                    if version >= 3 { ">= 4 + " } else { "" },
                 ),
             ));
         }
@@ -165,7 +209,14 @@ impl CheckpointStore {
                 format!("levels_done {} > levels_total {}", meta.levels_done, meta.levels_total),
             ));
         }
-        Ok(meta)
+        let snapshot = if version >= 3 {
+            Some(MetricsSnapshot::decode(&payload[fixed_len..]).map_err(|e| {
+                HignnError::corrupt(&ctx, format!("bad metrics snapshot: {e}"))
+            })?)
+        } else {
+            None
+        };
+        Ok((meta, snapshot))
     }
 
     /// Atomically writes the record for 1-based level `idx`.
@@ -208,12 +259,17 @@ impl CheckpointStore {
     /// Loads the resumable state for a run with the given inputs:
     /// validates the meta record against `expected_fingerprint` and
     /// `levels_total`, then loads every completed level.
+    ///
+    /// When metrics are enabled and the meta record carries a snapshot
+    /// (v3+), the snapshot's counters are added into the global
+    /// registry so the resumed run's report continues from the original
+    /// run's totals instead of restarting at zero.
     pub fn load_state(
         &self,
         expected_fingerprint: u64,
         levels_total: usize,
     ) -> Result<(CheckpointMeta, Vec<Level>), HignnError> {
-        let meta = self.read_meta()?;
+        let (meta, snapshot) = self.read_meta_with_metrics()?;
         if meta.fingerprint != expected_fingerprint {
             return Err(HignnError::Config(format!(
                 "checkpoint in {} was written for different inputs \
@@ -234,6 +290,11 @@ impl CheckpointStore {
         let mut levels = Vec::with_capacity(meta.levels_done as usize);
         for idx in 1..=meta.levels_done as usize {
             levels.push(self.load_level(idx)?);
+        }
+        if hignn_obs::enabled() {
+            if let Some(snapshot) = snapshot {
+                hignn_obs::global().restore(&snapshot);
+            }
         }
         Ok((meta, levels))
     }
@@ -435,6 +496,72 @@ mod tests {
         let meta = store.read_meta().unwrap();
         assert_eq!(meta.fingerprint, 0xFEED);
         assert_eq!(meta.threads, 0, "v1 records read back threads = 0");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_through_meta() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_snap_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let meta = CheckpointMeta {
+            fingerprint: 0xABCD,
+            seed: 3,
+            levels_total: 2,
+            levels_done: 2,
+            threads: 1,
+        };
+        let snap = MetricsSnapshot {
+            counters: vec![("train.batches".into(), 120), ("train.epochs".into(), 6)],
+        };
+        store.write_meta_with_metrics(&meta, &snap).unwrap();
+        let (got_meta, got_snap) = store.read_meta_with_metrics().unwrap();
+        assert_eq!(got_meta, meta);
+        assert_eq!(got_snap, Some(snap));
+        // The plain accessor still works and simply drops the snapshot.
+        assert_eq!(store.read_meta().unwrap(), meta);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version2_meta_without_snapshot_still_loads() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_v2_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Hand-build a v2 record: 40-byte payload, version word 2.
+        let mut payload = Vec::with_capacity(40);
+        for w in [0xBEEFu64, 11, 3, 1, 8] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        write_section(&mut buf, &payload).unwrap();
+        std::fs::write(dir.join("meta.hgck"), &buf).unwrap();
+        let (meta, snap) = store.read_meta_with_metrics().unwrap();
+        assert_eq!(meta.fingerprint, 0xBEEF);
+        assert_eq!(meta.threads, 8);
+        assert_eq!(snap, None, "v2 records carry no snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v3_meta_with_undecodable_snapshot_is_corrupt() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_badsnap_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Fixed words plus snapshot bytes that claim one entry but stop
+        // short — CRC is valid, so only snapshot decoding can object.
+        let mut payload = Vec::with_capacity(48);
+        for w in [1u64, 2, 3, 1, 4] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload.extend_from_slice(&1u32.to_le_bytes()); // entry_count = 1
+        payload.extend_from_slice(&4u32.to_le_bytes()); // name_len = 4, then nothing
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        write_section(&mut buf, &payload).unwrap();
+        std::fs::write(dir.join("meta.hgck"), &buf).unwrap();
+        let err = store.read_meta().unwrap_err();
+        assert_eq!(err.exit_code(), 4, "expected corruption, got: {err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -304,13 +304,24 @@ fn read_hierarchy_v1<R: Read>(r: &mut R) -> io::Result<Hierarchy> {
 /// a sibling temp file, fsynced, then renamed over the target, so a
 /// crash mid-save can never leave a half-written model at `path`.
 pub fn save_hierarchy(path: impl AsRef<Path>, h: &Hierarchy) -> io::Result<()> {
+    let _span = hignn_obs::span("io.save_hierarchy");
     let mut bytes = Vec::new();
     write_hierarchy(&mut bytes, h)?;
+    if hignn_obs::enabled() {
+        hignn_obs::counter_add("io.hierarchy_bytes_written", bytes.len() as u64);
+    }
     atomic_write(path.as_ref(), &bytes)
 }
 
 /// Loads a hierarchy from a file (either format version).
 pub fn load_hierarchy(path: impl AsRef<Path>) -> io::Result<Hierarchy> {
+    let _span = hignn_obs::span("io.load_hierarchy");
+    let path = path.as_ref();
+    if hignn_obs::enabled() {
+        if let Ok(meta) = std::fs::metadata(path) {
+            hignn_obs::counter_add("io.hierarchy_bytes_read", meta.len());
+        }
+    }
     let mut r = BufReader::new(File::open(path)?);
     read_hierarchy(&mut r)
 }

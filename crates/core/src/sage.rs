@@ -210,6 +210,11 @@ impl BipartiteSage {
         item_feats: FeatureSource<'_>,
         rng: &mut impl Rng,
     ) -> Var {
+        // Counters only on the sampled-training path: it runs inside
+        // parallel shard workers, where a span's clock read per call
+        // would be the costliest part of the instrumentation.
+        hignn_obs::counter_add("sage.embed_batch_calls", 1);
+        hignn_obs::counter_add("sage.embed_batch_rows", batch.len() as u64);
         let p_max = self.num_steps();
         // Build the sampled layer tree: layers[0] = batch, layers[l+1] =
         // fanout-sampled neighbours of layers[l].
@@ -331,6 +336,11 @@ impl BipartiteSage {
         item_feats: &Matrix,
         exec: &ParallelExecutor,
     ) -> (Matrix, Matrix) {
+        let _span = hignn_obs::span("sage.embed_all");
+        hignn_obs::counter_add(
+            "sage.embed_all_rows",
+            (graph.num_left() + graph.num_right()) as u64,
+        );
         // Accepts features with or without the null row. Borrows the
         // caller's matrix when it already has the right shape — the first
         // propagation step only reads it, so no copy is needed.

@@ -455,14 +455,21 @@ fn build_one_level(
         .seed
         .wrapping_add(level as u64)
         .wrapping_add(retry.wrapping_mul(0xA24B_AED4_963E_E407));
-    let trained = train_unsupervised_checked(
-        g, xu, xi, sage_cfg, &train_cfg, train_seed, exec, guard, crash_after_epoch,
-    )
-    .map_err(|e| match e {
-        TrainError::NonFinite { epoch, detail } => LevelFailure::NonFinite { epoch, detail },
-        TrainError::Injected { description, .. } => LevelFailure::Injected { description },
-    })?;
-    let (mut zu, mut zi) = trained.embed_all_with(g, xu, xi, exec);
+    // Algorithm-1 phase spans: `level{l}.{train,embed,cluster,coarsen}`.
+    let trained = {
+        let _span = hignn_obs::span_owned(format!("level{level}.train"));
+        train_unsupervised_checked(
+            g, xu, xi, sage_cfg, &train_cfg, train_seed, exec, guard, crash_after_epoch,
+        )
+        .map_err(|e| match e {
+            TrainError::NonFinite { epoch, detail } => LevelFailure::NonFinite { epoch, detail },
+            TrainError::Injected { description, .. } => LevelFailure::Injected { description },
+        })
+    }?;
+    let (mut zu, mut zi) = {
+        let _span = hignn_obs::span_owned(format!("level{level}.embed"));
+        trained.embed_all_with(g, xu, xi, exec)
+    };
     if cfg.normalize {
         zu.l2_normalize_rows();
         zi.l2_normalize_rows();
@@ -475,27 +482,37 @@ fn build_one_level(
     }
 
     // C_u^l, C_i^l <- K_u(Z_u^l), K_i(Z_i^l)
-    let ((ku, au_pre), (ki, ai_pre)) = pick_counts(&cfg.cluster_counts, level, &zu, &zi, &mut rng);
-    let cluster = |z: &Matrix, k: usize, pre: Option<Vec<u32>>, rng: &mut StdRng| -> Vec<u32> {
-        if let Some(a) = pre {
-            return a;
-        }
-        match cfg.kmeans {
-            KMeansAlgo::Lloyd => kmeans_with(z, &KMeansConfig::new(k), rng, exec).assignment,
-            KMeansAlgo::SinglePass => single_pass_kmeans_with(z, k, 4 * k, rng, exec).1,
-        }
+    let (au, ai) = {
+        let _span = hignn_obs::span_owned(format!("level{level}.cluster"));
+        let ((ku, au_pre), (ki, ai_pre)) =
+            pick_counts(&cfg.cluster_counts, level, &zu, &zi, &mut rng);
+        let cluster = |z: &Matrix, k: usize, pre: Option<Vec<u32>>, rng: &mut StdRng| -> Vec<u32> {
+            if let Some(a) = pre {
+                return a;
+            }
+            match cfg.kmeans {
+                KMeansAlgo::Lloyd => kmeans_with(z, &KMeansConfig::new(k), rng, exec).assignment,
+                KMeansAlgo::SinglePass => single_pass_kmeans_with(z, k, 4 * k, rng, exec).1,
+            }
+        };
+        let au_raw = cluster(&zu, ku, au_pre, &mut rng);
+        let ai_raw = cluster(&zi, ki, ai_pre, &mut rng);
+        let num_ku =
+            au_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ku.min(zu.rows()));
+        let num_ki =
+            ai_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ki.min(zi.rows()));
+        (Assignment::new(au_raw, num_ku), Assignment::new(ai_raw, num_ki))
     };
-    let au_raw = cluster(&zu, ku, au_pre, &mut rng);
-    let ai_raw = cluster(&zi, ki, ai_pre, &mut rng);
-    let num_ku = au_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ku.min(zu.rows()));
-    let num_ki = ai_raw.iter().map(|&c| c as usize + 1).max().unwrap_or(1).max(ki.min(zi.rows()));
-    let au = Assignment::new(au_raw, num_ku);
-    let ai = Assignment::new(ai_raw, num_ki);
 
     // (G^l, X_u^l, X_i^l) <- F(C_u^l, C_i^l, G^{l-1})
-    let coarsened = coarsen(g, &au, &ai);
-    let new_xu = mean_by_cluster(&zu, au.as_slice(), au.num_clusters());
-    let new_xi = mean_by_cluster(&zi, ai.as_slice(), ai.num_clusters());
+    let (coarsened, new_xu, new_xi) = {
+        let _span = hignn_obs::span_owned(format!("level{level}.coarsen"));
+        (
+            coarsen(g, &au, &ai),
+            mean_by_cluster(&zu, au.as_slice(), au.num_clusters()),
+            mean_by_cluster(&zi, ai.as_slice(), ai.num_clusters()),
+        )
+    };
 
     Ok((
         Level {
@@ -556,6 +573,12 @@ pub fn build_hierarchy_with(
         if opts.resume {
             let (_meta, loaded) = store.load_state(fingerprint, cfg.levels)?;
             levels = loaded;
+            if hignn_obs::log_enabled() {
+                hignn_obs::log_event(
+                    "resume",
+                    &[("levels_done", hignn_obs::LogValue::Uint(levels.len() as u64))],
+                );
+            }
         } else {
             // Fresh run: (re)initialise the meta record.
             store.write_meta(&CheckpointMeta {
@@ -621,6 +644,11 @@ pub fn build_hierarchy_with(
                 }
             };
 
+            // Count the level before the meta commit point so the
+            // checkpointed counter snapshot includes it.
+            if hignn_obs::enabled() {
+                hignn_obs::counter_add("stack.levels_built", 1);
+            }
             if let Some(store) = opts.checkpoint {
                 // Level record first, then the meta commit point: a
                 // crash in between leaves an orphan level file that a
@@ -665,6 +693,18 @@ pub fn build_hierarchy_with(
                 _ => {}
             }
 
+            if hignn_obs::log_enabled() {
+                use hignn_obs::LogValue;
+                hignn_obs::log_event(
+                    "level_done",
+                    &[
+                        ("level", LogValue::Uint(level as u64)),
+                        ("user_clusters", LogValue::Uint(built.user_assignment.num_clusters() as u64)),
+                        ("item_clusters", LogValue::Uint(built.item_assignment.num_clusters() as u64)),
+                        ("coarse_edges", LogValue::Uint(built.coarsened.num_edges() as u64)),
+                    ],
+                );
+            }
             let done = coarse_exhausted(&built.coarsened);
             g = built.coarsened.clone();
             levels.push(built);

@@ -34,6 +34,7 @@
 
 use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig, FeatureSource};
 use hignn_graph::{BipartiteGraph, NegativeSampler, Side};
+use hignn_obs as obs;
 use hignn_tensor::nn::{Activation, Mlp};
 use hignn_tensor::optim::{Adam, Optimizer};
 use hignn_tensor::parallel::{reduce_gradients, ParallelExecutor};
@@ -98,6 +99,20 @@ impl Default for SageTrainConfig {
             grad_shards: 8,
         }
     }
+}
+
+/// L2 norm of all gradient entries, accumulated in an f64 owned by the
+/// instrumentation — the training-side f32 state is only read, so the
+/// inertness contract (DESIGN.md §10) holds by construction. Called only
+/// when metrics are enabled.
+fn grad_l2_norm(grads: &Gradients) -> f64 {
+    let mut sum_sq = 0f64;
+    for (_, m) in grads.iter() {
+        for &v in m.data() {
+            sum_sq += (v as f64) * (v as f64);
+        }
+    }
+    sum_sq.sqrt()
 }
 
 /// Derives the RNG seed for one gradient shard from the run seed and the
@@ -417,6 +432,7 @@ pub fn train_unsupervised_checked(
         (0..cfg.grad_shards.max(1)).map(|_| Mutex::new(Workspace::new())).collect();
 
     for epoch in 0..cfg.epochs {
+        let _epoch_span = obs::span("train.epoch");
         // Shuffle edge order.
         for i in (1..order.len()).rev() {
             order.swap(i, rng.gen_range(0..=i));
@@ -424,6 +440,7 @@ pub fn train_unsupervised_checked(
         let mut epoch_loss = 0f64;
         let mut batches = 0usize;
         for (batch_idx, chunk) in order.chunks(cfg.batch_edges).enumerate() {
+            let batch_start = obs::enabled().then(std::time::Instant::now);
             let batch: Vec<(u32, u32, f32)> = chunk.iter().map(|&k| edges[k]).collect();
             let users: Vec<usize> = batch.iter().map(|&(u, _, _)| u as usize).collect();
             let items: Vec<usize> = batch.iter().map(|&(_, i, _)| i as usize).collect();
@@ -486,9 +503,44 @@ pub fn train_unsupervised_checked(
             epoch_loss += batch_loss;
             batches += 1;
             opt.step(&mut store, &grads);
+
+            // Per-minibatch instrumentation: reads of already-computed
+            // values only (plus the clock), gated so a metrics-off run
+            // does none of this work.
+            if obs::enabled() {
+                obs::counter_add("train.batches", 1);
+                obs::counter_add("train.edges", n as u64);
+                obs::histogram_record("train.batch_loss", batch_loss);
+                obs::histogram_record("train.grad_norm", grad_l2_norm(&grads));
+                if let Some(t0) = batch_start {
+                    obs::histogram_record("train.batch_seconds", t0.elapsed().as_secs_f64());
+                }
+            }
+            if obs::log_enabled() {
+                obs::maybe_heartbeat(|| {
+                    vec![
+                        ("epoch", obs::LogValue::Uint(epoch as u64)),
+                        ("batch", obs::LogValue::Uint(batch_idx as u64)),
+                        ("batch_loss", obs::LogValue::Float(batch_loss)),
+                    ]
+                });
+            }
         }
         let mean_loss = (epoch_loss / batches.max(1) as f64) as f32;
         epoch_losses.push(mean_loss);
+
+        if obs::enabled() {
+            obs::counter_add("train.epochs", 1);
+            obs::series_push("train.epoch_loss", mean_loss as f64);
+            obs::gauge_set("train.last_epoch_loss", mean_loss as f64);
+        }
+        if obs::log_enabled() {
+            obs::heartbeat(&[
+                ("epoch", obs::LogValue::Uint(epoch as u64)),
+                ("epoch_loss", obs::LogValue::Float(mean_loss as f64)),
+                ("batches", obs::LogValue::Uint(batches as u64)),
+            ]);
+        }
 
         if guard.enabled {
             if !mean_loss.is_finite() {
@@ -510,6 +562,21 @@ pub fn train_unsupervised_checked(
                 description: format!("simulated crash after epoch {epoch}"),
             });
         }
+    }
+
+    // Surface the per-shard buffer-pool counters (leases served, pool
+    // misses, retained capacity) aggregated across shards. Counters
+    // accumulate across levels of a hierarchical run; the retained-*
+    // figures are point-in-time, hence gauges.
+    if obs::enabled() {
+        let total = workspaces.iter().fold(
+            hignn_tensor::WorkspaceStats::default(),
+            |acc, ws| acc.merge(&ws.lock().expect("workspace mutex poisoned").stats()),
+        );
+        obs::counter_add("workspace.leases", total.leases);
+        obs::counter_add("workspace.fresh_allocs", total.fresh_allocs);
+        obs::gauge_set("workspace.retained_buffers", total.retained_buffers as f64);
+        obs::gauge_set("workspace.retained_elems", total.retained_elems as f64);
     }
 
     Ok(TrainedSage { sage, scorer, store, feature_params, epoch_losses })

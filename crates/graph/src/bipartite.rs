@@ -118,11 +118,35 @@ impl BipartiteGraph {
         num_right: usize,
         raw_edges: impl IntoIterator<Item = (u32, u32, f32)>,
     ) -> Self {
+        Self::build(num_left, num_right, raw_edges, true)
+    }
+
+    /// Test-only constructor that skips the positive-weight check, so
+    /// degenerate states the public constructors reject (e.g. a vertex
+    /// whose incident edges all have weight 0) can still be exercised
+    /// against defensive code paths such as weight-biased sampling.
+    #[cfg(test)]
+    pub(crate) fn from_edges_unchecked(
+        num_left: usize,
+        num_right: usize,
+        raw_edges: impl IntoIterator<Item = (u32, u32, f32)>,
+    ) -> Self {
+        Self::build(num_left, num_right, raw_edges, false)
+    }
+
+    fn build(
+        num_left: usize,
+        num_right: usize,
+        raw_edges: impl IntoIterator<Item = (u32, u32, f32)>,
+        check_weights: bool,
+    ) -> Self {
         let mut merged: HashMap<(u32, u32), f32> = HashMap::new();
         for (l, r, w) in raw_edges {
             assert!((l as usize) < num_left, "left vertex {l} out of range ({num_left})");
             assert!((r as usize) < num_right, "right vertex {r} out of range ({num_right})");
-            assert!(w > 0.0, "edge weight must be positive, got {w}");
+            if check_weights {
+                assert!(w > 0.0, "edge weight must be positive, got {w}");
+            }
             *merged.entry((l, r)).or_insert(0.0) += w;
         }
         let mut edges: Vec<(u32, u32, f32)> =

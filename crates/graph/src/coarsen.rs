@@ -105,6 +105,11 @@ pub fn coarsen(
     left: &Assignment,
     right: &Assignment,
 ) -> BipartiteGraph {
+    let _span = hignn_obs::span("graph.coarsen");
+    if hignn_obs::enabled() {
+        hignn_obs::counter_add("graph.coarsen_calls", 1);
+        hignn_obs::counter_add("graph.coarsen_edges_in", graph.num_edges() as u64);
+    }
     assert_eq!(left.len(), graph.num_left(), "left assignment size mismatch");
     assert_eq!(right.len(), graph.num_right(), "right assignment size mismatch");
     let mut merged: HashMap<(u32, u32), f32> = HashMap::with_capacity(graph.num_edges() / 2);

@@ -58,11 +58,24 @@ pub fn sample_neighbors(
             }
             SamplingMode::WeightBiased => {
                 let total = *cum.last().unwrap();
-                for _ in 0..fanout {
-                    let x = rng.gen_range(0.0..total);
-                    // First slot whose cumulative weight exceeds x.
-                    let k = cum.partition_point(|&c| c <= x).min(nbrs.len() - 1);
-                    out.push(nbrs[k] as usize);
+                if total > 0.0 {
+                    for _ in 0..fanout {
+                        let x = rng.gen_range(0.0..total);
+                        // First slot whose cumulative weight exceeds x.
+                        let k = cum.partition_point(|&c| c <= x).min(nbrs.len() - 1);
+                        out.push(nbrs[k] as usize);
+                    }
+                } else {
+                    // All incident weights are 0 (or the total is NaN):
+                    // `gen_range(0.0..0.0)` would panic on an empty range,
+                    // and there is no weight signal to bias by — fall back
+                    // to uniform. Both branches consume exactly one RNG
+                    // draw per sample (the vendored rand pulls a single
+                    // u64 for float and bounded-int ranges alike), so the
+                    // stream stays aligned for every other vertex.
+                    for _ in 0..fanout {
+                        out.push(nbrs[rng.gen_range(0..nbrs.len())] as usize);
+                    }
                 }
             }
         }
@@ -211,6 +224,51 @@ mod tests {
             sample_neighbors(&g, Side::Left, &[0], 10_000, SamplingMode::WeightBiased, &mut rng);
         let heavy = s.iter().filter(|&&x| x == 1).count() as f64 / s.len() as f64;
         assert!((heavy - 0.9).abs() < 0.02, "heavy fraction {heavy}");
+    }
+
+    #[test]
+    fn weight_bias_zero_total_falls_back_to_uniform() {
+        // All edges incident to user 0 have weight 0. Pre-fix this hit
+        // `gen_range(0.0..0.0)` — an empty range — and panicked.
+        let g = BipartiteGraph::from_edges_unchecked(
+            2,
+            2,
+            vec![(0, 0, 0.0), (0, 1, 0.0), (1, 1, 3.0)],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sample_neighbors(
+            &g,
+            Side::Left,
+            &[0, 1],
+            10_000,
+            SamplingMode::WeightBiased,
+            &mut rng,
+        );
+        assert_eq!(s.len(), 20_000);
+        // Zero-total vertex: uniform over its two neighbours.
+        let first = s[..10_000].iter().filter(|&&x| x == 0).count() as f64 / 10_000.0;
+        assert!((first - 0.5).abs() < 0.02, "first fraction {first}");
+        // The positive-weight vertex still samples weight-biased.
+        assert!(s[10_000..].iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn zero_total_fallback_keeps_rng_stream_aligned() {
+        // The fallback must consume exactly one draw per sample, so the
+        // samples for vertices *after* a zero-total vertex are identical
+        // to what they'd be if the zero-total vertex were uniform-mode.
+        let g = BipartiteGraph::from_edges_unchecked(
+            2,
+            2,
+            vec![(0, 0, 0.0), (0, 1, 0.0), (1, 0, 1.0), (1, 1, 3.0)],
+        );
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let a = sample_neighbors(&g, Side::Left, &[0, 1], 8, SamplingMode::WeightBiased, &mut rng_a);
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let b0 = sample_neighbors(&g, Side::Left, &[0], 8, SamplingMode::Uniform, &mut rng_b);
+        let b1 = sample_neighbors(&g, Side::Left, &[1], 8, SamplingMode::WeightBiased, &mut rng_b);
+        assert_eq!(&a[..8], &b0[..]);
+        assert_eq!(&a[8..], &b1[..]);
     }
 
     #[test]

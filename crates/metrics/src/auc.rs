@@ -10,6 +10,13 @@
 ///
 /// Returns 0.5 when either class is absent (no ranking information).
 ///
+/// NaN scores do not panic: ranks are assigned with [`f32::total_cmp`],
+/// under which positive NaN orders above `+inf` (and negative NaN below
+/// `-inf`). A diverged model that emits NaN therefore still gets a
+/// deterministic, finite AUC report — typically a poor one, since its
+/// NaN-scored items rank at the extremes — instead of crashing the
+/// evaluation pipeline.
+///
 /// ```
 /// use hignn_metrics::auc;
 /// let perfect = auc(&[0.1, 0.9], &[false, true]);
@@ -25,9 +32,12 @@ pub fn auc(scores: &[f32], labels: &[bool]) -> f64 {
     if pos == 0 || neg == 0 {
         return 0.5;
     }
-    // Sort indices by score ascending.
+    // Sort indices by score ascending. `total_cmp` gives a total order
+    // over all f32 bit patterns (see the NaN policy in the doc comment);
+    // for finite scores it agrees with `partial_cmp`, so non-degenerate
+    // inputs rank exactly as before.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     // Average ranks over tie groups; ranks are 1-based.
     let mut rank_sum_pos = 0f64;
     let mut i = 0;
@@ -95,6 +105,21 @@ mod tests {
         let scores = [0.5, 0.5];
         let labels = [true, false];
         assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic() {
+        // Pre-fix, the rank sort used partial_cmp().unwrap() and panicked
+        // on the first NaN comparison. Policy: total_cmp ranks positive
+        // NaN above +inf, so here the NaN-scored negative outranks the
+        // positive and AUC is 0 — deterministic and finite.
+        let scores = [0.9, f32::NAN];
+        let labels = [true, false];
+        let v = auc(&scores, &labels);
+        assert!(v.is_finite());
+        assert_eq!(v, 0.0);
+        // All-NaN scores: one tie group per NaN, still finite.
+        assert!(auc(&[f32::NAN, f32::NAN], &[true, false]).is_finite());
     }
 
     #[test]

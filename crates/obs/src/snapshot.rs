@@ -1,0 +1,107 @@
+//! Durable counter snapshots, carried inside checkpoint metadata so a
+//! resumed run continues its counters (DESIGN.md §10).
+//!
+//! Wire format (all little-endian, matching the checkpoint encoding):
+//!
+//! ```text
+//! u32 entry_count
+//! repeat entry_count times:
+//!   u32 name_len | name bytes (UTF-8) | u64 value
+//! ```
+//!
+//! Entries are written in sorted name order (the registry iterates a
+//! `BTreeMap`), so encoding is deterministic for a given counter state.
+
+/// Counter values captured from a [`crate::Registry`] at a point in time.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` pairs in sorted name order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// True when no counters were captured.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Serialize to the wire format above.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.counters.len() * 24);
+        out.extend_from_slice(&(self.counters.len() as u32).to_le_bytes());
+        for (name, value) in &self.counters {
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse the wire format; the buffer must contain exactly one
+    /// snapshot (trailing bytes are an error, so corruption in the
+    /// surrounding record cannot be silently absorbed).
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+            if bytes.len() < n {
+                return Err(format!(
+                    "metrics snapshot truncated: wanted {n} bytes, had {}",
+                    bytes.len()
+                ));
+            }
+            let (head, tail) = bytes.split_at(n);
+            *bytes = tail;
+            Ok(head)
+        }
+        let mut rest = bytes;
+        let count = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+        let mut counters = Vec::with_capacity(count.min(1024));
+        for _ in 0..count {
+            let name_len = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+            let name = std::str::from_utf8(take(&mut rest, name_len)?)
+                .map_err(|e| format!("metrics snapshot name not UTF-8: {e}"))?
+                .to_owned();
+            let value = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
+            counters.push((name, value));
+        }
+        if !rest.is_empty() {
+            return Err(format!(
+                "metrics snapshot has {} trailing bytes",
+                rest.len()
+            ));
+        }
+        Ok(Self { counters })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let snap = MetricsSnapshot {
+            counters: vec![("a.b".into(), 7), ("train.batches".into(), u64::MAX)],
+        };
+        let bytes = snap.encode();
+        assert_eq!(MetricsSnapshot::decode(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let snap = MetricsSnapshot::default();
+        assert_eq!(snap.encode(), vec![0, 0, 0, 0]);
+        assert!(MetricsSnapshot::decode(&snap.encode()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let snap = MetricsSnapshot {
+            counters: vec![("x".into(), 1)],
+        };
+        let bytes = snap.encode();
+        assert!(MetricsSnapshot::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes;
+        padded.push(0);
+        assert!(MetricsSnapshot::decode(&padded).is_err());
+    }
+}

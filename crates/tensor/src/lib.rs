@@ -69,4 +69,4 @@ pub use matrix::Matrix;
 pub use parallel::ParallelExecutor;
 pub use param::{Gradients, ParamId, ParamStore};
 pub use tape::{stable_sigmoid, Tape, Var};
-pub use workspace::Workspace;
+pub use workspace::{Workspace, WorkspaceStats};

@@ -154,6 +154,43 @@ impl Workspace {
     pub fn retained_elems(&self) -> usize {
         self.buckets.borrow().values().flatten().map(Vec::capacity).sum()
     }
+
+    /// Point-in-time snapshot of the pool's usage counters, for
+    /// observability surfacing (one struct instead of four getter
+    /// calls, so callers can aggregate across per-shard pools).
+    pub fn stats(&self) -> WorkspaceStats {
+        WorkspaceStats {
+            leases: self.leases(),
+            fresh_allocs: self.fresh_allocs(),
+            retained_buffers: self.retained_buffers(),
+            retained_elems: self.retained_elems(),
+        }
+    }
+}
+
+/// Usage counters captured from a [`Workspace`] by [`Workspace::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Total leases served.
+    pub leases: u64,
+    /// Leases that allocated fresh memory (pool misses).
+    pub fresh_allocs: u64,
+    /// Buffers currently retained across all buckets.
+    pub retained_buffers: usize,
+    /// Total retained capacity in `f32` elements.
+    pub retained_elems: usize,
+}
+
+impl WorkspaceStats {
+    /// Element-wise sum, for aggregating per-shard pools.
+    pub fn merge(&self, other: &WorkspaceStats) -> WorkspaceStats {
+        WorkspaceStats {
+            leases: self.leases + other.leases,
+            fresh_allocs: self.fresh_allocs + other.fresh_allocs,
+            retained_buffers: self.retained_buffers + other.retained_buffers,
+            retained_elems: self.retained_elems + other.retained_elems,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +209,21 @@ mod tests {
         assert!(v2.iter().all(|&x| x == 0.0));
         assert_eq!(ws.leases(), 2);
         assert_eq!(ws.fresh_allocs(), 1, "second lease must be a pool hit");
+    }
+
+    #[test]
+    fn stats_snapshot_matches_getters_and_merges() {
+        let ws = Workspace::new();
+        let v = ws.lease_zeroed(100);
+        ws.recycle(v);
+        let s = ws.stats();
+        assert_eq!(s.leases, ws.leases());
+        assert_eq!(s.fresh_allocs, ws.fresh_allocs());
+        assert_eq!(s.retained_buffers, ws.retained_buffers());
+        assert_eq!(s.retained_elems, ws.retained_elems());
+        let doubled = s.merge(&s);
+        assert_eq!(doubled.leases, 2 * s.leases);
+        assert_eq!(doubled.retained_elems, 2 * s.retained_elems);
     }
 
     #[test]

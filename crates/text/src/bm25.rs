@@ -84,10 +84,16 @@ impl Bm25Index {
 
     /// The document with the highest score for `query` (`None` when the
     /// index is empty).
+    ///
+    /// Scores are compared with [`f64::total_cmp`], so a NaN score
+    /// (reachable only with pathological `k1`/`b` parameters) cannot
+    /// panic the comparison: positive NaN orders above every finite
+    /// score and is selected deterministically. Exact ties keep the
+    /// later (highest-id) document, unchanged from before.
     pub fn best_doc(&self, query: &[u32]) -> Option<(usize, f64)> {
         (0..self.num_docs())
             .map(|d| (d, self.score(query, d)))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 }
 
@@ -143,6 +149,41 @@ mod tests {
         let idx = Bm25Index::new(&[]);
         assert_eq!(idx.num_docs(), 0);
         assert!(idx.best_doc(&[1]).is_none());
+    }
+
+    #[test]
+    fn degenerate_queries_never_panic() {
+        let idx = Bm25Index::new(&docs());
+        // Empty query: every document scores 0.0; ties resolve to the
+        // last document, exactly as with the old comparator.
+        assert_eq!(idx.best_doc(&[]), Some((2, 0.0)));
+        // Query of only unseen (zero-tf) terms behaves the same.
+        assert_eq!(idx.best_doc(&[99, 100]), Some((2, 0.0)));
+        // Index over empty documents, empty query.
+        let empty_docs = Bm25Index::new(&[vec![], vec![]]);
+        assert_eq!(empty_docs.best_doc(&[]), Some((1, 0.0)));
+    }
+
+    #[test]
+    fn nan_scores_resolve_deterministically() {
+        // k1 = -1 makes `(k1 + 1) / (tf + norm)` a 0/0 for a tf=1 term in
+        // a doc where tf + norm == 0 — a real NaN through the public API.
+        // Pre-fix, best_doc's partial_cmp().unwrap() panicked on it.
+        let d = vec![vec![7], vec![8]];
+        let idx = Bm25Index::with_params(&d, -1.0, 0.0);
+        let nan = idx.score(&[7], 0);
+        assert!(nan.is_nan());
+        // The NaN's sign bit (and hence its total_cmp rank) is
+        // platform-defined for 0/0, so derive the expectation from the
+        // same total order best_doc uses.
+        let (best, score) = idx.best_doc(&[7]).unwrap();
+        if nan.total_cmp(&0.0).is_gt() {
+            assert_eq!(best, 0);
+            assert!(score.is_nan());
+        } else {
+            assert_eq!(best, 1);
+            assert_eq!(score, 0.0);
+        }
     }
 
     #[test]

@@ -98,6 +98,28 @@ fn four_threads_produce_the_identical_hghi_file() {
     assert_eq!(build_at(4), baseline, "4-thread build diverged from 1-thread build");
 }
 
+// ---------------------------------------------------------------------
+// Observability inertness: metrics recording may not change a bit of
+// the built hierarchy, at any thread count (DESIGN.md §10).
+
+#[test]
+fn metrics_recording_is_bitwise_inert_at_1_and_4_threads() {
+    let baseline = build_at(1);
+    hignn_obs::global().reset();
+    hignn_obs::set_enabled(true);
+    let observed_1 = build_at(1);
+    let observed_4 = build_at(4);
+    hignn_obs::set_enabled(false);
+    assert_eq!(observed_1, baseline, "metrics-on 1-thread build diverged from metrics-off");
+    assert_eq!(observed_4, baseline, "metrics-on 4-thread build diverged from metrics-off");
+    // The run was actually observed, not silently disabled.
+    assert!(
+        hignn_obs::global().counter_get("train.batches") > 0,
+        "metrics-on build recorded no batches"
+    );
+    hignn_obs::global().reset();
+}
+
 #[test]
 fn hierarchy_fields_match_across_thread_counts() {
     // Field-level comparison (not just the serialised file) so a failure

@@ -1,0 +1,183 @@
+//! End-to-end observability integration tests (DESIGN.md §10).
+//!
+//! * Counter continuation: a run that crashes mid-hierarchy and resumes
+//!   from its checkpoint ends with exactly the counter totals of an
+//!   uninterrupted run — the metrics snapshot rides inside checkpoint
+//!   metadata and is restored on resume.
+//! * Structured logging: a logged build emits heartbeat and per-level
+//!   events; in JSON mode every line is a well-formed object.
+//!
+//! The obs registry and toggles are process-global, so every test here
+//! serialises on one mutex (this file is its own test binary, so no
+//! other workspace test shares the process).
+
+use hignn::checkpoint::{CheckpointStore, FaultPlan};
+use hignn::prelude::*;
+use hignn_graph::{BipartiteGraph, SamplingMode};
+use hignn_obs::{LogFormat, MetricsSnapshot};
+use hignn_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn small_setup() -> (BipartiteGraph, Matrix, Matrix, HignnConfig) {
+    let mut rng = StdRng::seed_from_u64(31);
+    let (blocks, per) = (4usize, 10usize);
+    let n = blocks * per;
+    let mut edges = Vec::new();
+    for u in 0..n as u32 {
+        let b = u as usize / per;
+        for _ in 0..5 {
+            let i = (b * per + rng.gen_range(0..per)) as u32;
+            edges.push((u, i, 1.0));
+        }
+    }
+    let g = BipartiteGraph::from_edges(n, n, edges);
+    let uf = init::xavier_uniform(n, 8, &mut rng);
+    let if_ = init::xavier_uniform(n, 8, &mut rng);
+    let cfg = HignnConfig {
+        levels: 2,
+        sage: BipartiteSageConfig {
+            input_dim: 8,
+            dim: 8,
+            fanouts: vec![4, 3],
+            sampling: SamplingMode::Uniform,
+            ..Default::default()
+        },
+        train: SageTrainConfig { epochs: 2, batch_edges: 32, neg_pool: 16, ..Default::default() },
+        cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
+        kmeans: KMeansAlgo::Lloyd,
+        normalize: true,
+        seed: 37,
+    };
+    (g, uf, if_, cfg)
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hignn_obs_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Current global counters as a snapshot (sorted, comparable).
+fn counters_now() -> MetricsSnapshot {
+    hignn_obs::global().snapshot()
+}
+
+#[test]
+fn resumed_run_continues_counters_to_clean_run_totals() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (g, uf, if_, cfg) = small_setup();
+
+    // Uninterrupted, checkpointed run: the counter ground truth.
+    let clean_dir = scratch("clean");
+    let clean_store = CheckpointStore::create(&clean_dir).unwrap();
+    hignn_obs::global().reset();
+    hignn_obs::set_enabled(true);
+    build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { checkpoint: Some(&clean_store), ..Default::default() },
+    )
+    .unwrap();
+    let clean_totals = counters_now();
+    hignn_obs::set_enabled(false);
+    assert!(!clean_totals.is_empty(), "clean run recorded nothing");
+
+    // Crash after level 1's checkpoint, in a "process" of its own
+    // (simulated by resetting the registry afterwards).
+    let dir = scratch("crash");
+    let store = CheckpointStore::create(&dir).unwrap();
+    hignn_obs::global().reset();
+    hignn_obs::set_enabled(true);
+    let err = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions {
+            checkpoint: Some(&store),
+            fault: Some(FaultPlan::CrashAfterLevel(1)),
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 6, "expected injected fault: {err}");
+    hignn_obs::set_enabled(false);
+
+    // The durable meta carries the counters recorded up to the crash.
+    let (_meta, snap) = store.read_meta_with_metrics().unwrap();
+    let snap = snap.expect("v3 meta must embed a snapshot");
+    assert!(
+        snap.counters.iter().any(|(k, v)| k == "stack.levels_built" && *v == 1),
+        "snapshot should record 1 built level: {snap:?}"
+    );
+
+    // Fresh process: registry starts empty, resume restores the
+    // snapshot and finishes the build.
+    hignn_obs::global().reset();
+    hignn_obs::set_enabled(true);
+    build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { checkpoint: Some(&store), resume: true, ..Default::default() },
+    )
+    .unwrap();
+    let resumed_totals = counters_now();
+    hignn_obs::set_enabled(false);
+    hignn_obs::global().reset();
+
+    assert_eq!(
+        resumed_totals, clean_totals,
+        "crash+resume counter totals must equal the uninterrupted run's"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_disabled_build_records_nothing() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (g, uf, if_, cfg) = small_setup();
+    hignn_obs::global().reset();
+    hignn_obs::set_enabled(false);
+    build_hierarchy(&g, &uf, &if_, &cfg);
+    assert!(
+        counters_now().is_empty(),
+        "metrics-off build must not touch the registry"
+    );
+}
+
+#[test]
+fn logged_build_emits_json_heartbeats_and_level_events() {
+    let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (g, uf, if_, cfg) = small_setup();
+    let lines = Arc::new(Mutex::new(Vec::new()));
+    hignn_obs::log::set_test_sink(Some(lines.clone()));
+    hignn_obs::set_log_format(Some(LogFormat::Json));
+    build_hierarchy(&g, &uf, &if_, &cfg);
+    hignn_obs::set_log_format(None);
+    hignn_obs::log::set_test_sink(None);
+    let lines = lines.lock().unwrap().clone();
+
+    assert!(
+        lines.iter().any(|l| l.contains("\"event\":\"heartbeat\"")),
+        "no heartbeat emitted: {lines:?}"
+    );
+    let level_done = lines.iter().filter(|l| l.contains("\"event\":\"level_done\"")).count();
+    assert_eq!(level_done, 2, "expected one level_done per level: {lines:?}");
+    for line in &lines {
+        // Minimal JSON well-formedness: one object per line, quoted
+        // event key first, balanced braces, no raw newlines.
+        assert!(line.starts_with("{\"event\":\"") && line.ends_with('}'), "bad line: {line}");
+        assert!(!line.contains('\n'));
+    }
+}
