@@ -157,18 +157,28 @@ fn bench_tape_step(rng: &mut StdRng, reps: usize) -> (PairTiming, u64) {
         }
     }
 
+    // Interleaved rounds, min per mode: timing each variant once in a
+    // single block let one-sided drift (CPU ramp-up, cache state) mask
+    // itself as a pooled-vs-fresh difference — the recorded 0.833x
+    // "regression" was exactly that artifact.
+    let rounds = 5;
+    let per_round = (reps / rounds).max(1);
     let allocs_before = ws.fresh_allocs();
-    let pooled_secs = time_reps(reps, || {
-        let mut t = Tape::with_workspace(&store, &ws);
-        let (_, grads) = step(&mut t);
-        t.recycle();
-        grads.recycle_into(&ws);
-    });
+    let mut pooled_secs = f64::INFINITY;
+    let mut fresh_secs = f64::INFINITY;
+    for _ in 0..rounds {
+        fresh_secs = fresh_secs.min(time_reps(per_round, || {
+            let mut t = Tape::new(&store);
+            let _ = step(&mut t);
+        }));
+        pooled_secs = pooled_secs.min(time_reps(per_round, || {
+            let mut t = Tape::with_workspace(&store, &ws);
+            let (_, grads) = step(&mut t);
+            t.recycle();
+            grads.recycle_into(&ws);
+        }));
+    }
     let leaked_allocs = ws.fresh_allocs() - allocs_before;
-    let fresh_secs = time_reps(reps, || {
-        let mut t = Tape::new(&store);
-        let _ = step(&mut t);
-    });
     (
         PairTiming { reference_secs: fresh_secs, optimized_secs: pooled_secs, bitwise_equal: true },
         leaked_allocs,
@@ -223,21 +233,24 @@ fn main() {
         leaked_allocs
     );
 
-    // Full single-thread epoch: twice with metrics off (run-to-run
-    // determinism + timing base), once with metrics on (observability
-    // inertness + overhead). Loss bits must match across all three.
+    // Full single-thread epoch. One warmup run (metrics off) doubles as
+    // the cold-start timing the edges/sec figure is based on — the
+    // recorded baseline was a cold run too. The observability overhead
+    // is then estimated from warmed off/on *pairs* with the order
+    // alternating between pairs: each pair yields its own overhead
+    // estimate from two back-to-back runs (so slow host drift hits both
+    // sides of the ratio almost equally, and the alternating order
+    // cancels what intra-pair bias remains), and the reported overhead
+    // is the median of those estimates next to a noise band of half
+    // their spread. An overhead inside the band is indistinguishable
+    // from zero on this host. Loss bits must match across every run, on
+    // or off.
     let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
     let g = &ds.graph;
     let sage_cfg = BipartiteSageConfig { input_dim: ds.user_features.cols(), ..Default::default() };
     let train_cfg = SageTrainConfig { epochs: 1, ..Default::default() };
     let exec = ParallelExecutor::single();
-    let mut epoch_secs = f64::NAN;
-    let mut off_secs = f64::INFINITY;
-    let mut obs_secs = f64::NAN;
-    let mut obs_inert = true;
-    let mut loss_bits: Option<Vec<u32>> = None;
-    for run in 0..3 {
-        let observed = run == 2;
+    let run_epoch = |observed: bool| -> (f64, Vec<u32>) {
         if observed {
             hignn_obs::global().reset();
             hignn_obs::set_enabled(true);
@@ -252,46 +265,71 @@ fn main() {
             args.seed,
             &exec,
             TrainGuard::default(),
-            None,
+            hignn::trainer::EpochHooks::default(),
         )
         .expect("no guard, no faults");
         let secs = t0.elapsed().as_secs_f64();
         if observed {
             hignn_obs::set_enabled(false);
-            obs_secs = secs;
-        } else {
-            off_secs = off_secs.min(secs);
         }
-        if run == 0 {
-            epoch_secs = secs;
-        }
-        let bits: Vec<u32> = trained.epoch_losses.iter().map(|l| l.to_bits()).collect();
-        match &loss_bits {
-            None => loss_bits = Some(bits),
-            Some(expected) => {
-                if *expected != bits {
-                    if observed {
-                        eprintln!(
-                            "DETERMINISM VIOLATION: metrics-on epoch loss diverged from metrics-off"
-                        );
-                        obs_inert = false;
-                    } else {
-                        eprintln!("DETERMINISM VIOLATION: repeated epoch loss diverged");
-                    }
-                    deterministic = false;
+        (secs, trained.epoch_losses.iter().map(|l| l.to_bits()).collect())
+    };
+
+    let (epoch_secs, expected_bits) = run_epoch(false);
+    let pairs = if args.quick { 3 } else { 5 };
+    let mut off_samples = Vec::new();
+    let mut on_samples = Vec::new();
+    let mut pair_overheads = Vec::new();
+    let mut obs_inert = true;
+    for pair in 0..pairs {
+        let mut timed_epoch = |observed: bool| -> f64 {
+            let (secs, bits) = run_epoch(observed);
+            if bits != expected_bits {
+                if observed {
+                    eprintln!(
+                        "DETERMINISM VIOLATION: metrics-on epoch loss diverged from metrics-off"
+                    );
+                    obs_inert = false;
+                } else {
+                    eprintln!("DETERMINISM VIOLATION: repeated epoch loss diverged");
                 }
+                deterministic = false;
             }
-        }
+            secs
+        };
+        let (off, on) = if pair % 2 == 0 {
+            let off = timed_epoch(false);
+            let on = timed_epoch(true);
+            (off, on)
+        } else {
+            let on = timed_epoch(true);
+            let off = timed_epoch(false);
+            (off, on)
+        };
+        off_samples.push(off);
+        on_samples.push(on);
+        pair_overheads.push((on - off) / off * 100.0);
     }
     let batches_recorded = hignn_obs::global().counter_get("train.batches");
     if batches_recorded == 0 {
         eprintln!("OBSERVABILITY ERROR: metrics-on epoch recorded no batches");
         deterministic = false;
     }
-    let obs_overhead_pct = (obs_secs - off_secs) / off_secs * 100.0;
+    let off_secs = off_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let obs_secs = on_samples.iter().copied().fold(f64::INFINITY, f64::min);
+    pair_overheads.sort_by(|a, b| a.total_cmp(b));
+    let obs_overhead_pct = pair_overheads[pair_overheads.len() / 2];
+    let noise_pct = (pair_overheads[pair_overheads.len() - 1] - pair_overheads[0]) / 2.0;
+    let within_noise = obs_overhead_pct.abs() <= noise_pct;
     println!(
-        "observability  off {:.3}s  on {:.3}s  ({:+.2}% overhead, {} batches, inert {})",
-        off_secs, obs_secs, obs_overhead_pct, batches_recorded, obs_inert
+        "observability  off {:.3}s  on {:.3}s  ({:+.2}% overhead, noise band \u{b1}{:.2}%{}, {} batches, inert {})",
+        off_secs,
+        obs_secs,
+        obs_overhead_pct,
+        noise_pct,
+        if within_noise { ", within noise" } else { "" },
+        batches_recorded,
+        obs_inert
     );
     let edges_per_sec = g.num_edges() as f64 / epoch_secs;
     let is_baseline_config = (args.scale - 0.5).abs() < 1e-12 && args.seed == 2020;
@@ -327,12 +365,16 @@ fn main() {
          \"train_epoch\": {{\"threads\": 1, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}, \
          \"baseline_edges_per_sec\": {BASELINE_EDGES_PER_SEC}, \"speedup_vs_baseline\": {}}},\n  \
          \"observability\": {{\"baseline_seconds\": {off_secs:.6}, \"observed_seconds\": {obs_secs:.6}, \
-         \"overhead_pct\": {obs_overhead_pct:.3}, \"batches_recorded\": {batches_recorded}, \
+         \"overhead_pct\": {obs_overhead_pct:.3}, \"noise_pct\": {noise_pct:.3}, \
+         \"within_noise\": {within_noise}, \"batches_recorded\": {batches_recorded}, \
          \"inert\": {obs_inert}}},\n  \
          \"deterministic\": {deterministic},\n  \
          \"note\": \"every fused/pooled kernel is asserted bitwise identical to its naive \
          reference in-process; speedup_vs_baseline is only meaningful at scale 0.5, seed 2020 \
-         (the configuration of the recorded baseline) and is null otherwise.\"\n}}\n",
+         (the configuration of the recorded baseline) and is null otherwise. Observability \
+         overhead_pct is the median of per-pair (on-off)/off estimates over warmed, \
+         order-alternating off/on pairs; noise_pct is half the spread of those estimates, and \
+         an overhead inside that band is indistinguishable from zero.\"\n}}\n",
         args.scale,
         args.seed,
         gather.reference_secs,

@@ -46,9 +46,11 @@
 //! existing call sites migrate mechanically.
 
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::checkpoint::{CheckpointStore, FaultPlan};
 use crate::error::HignnError;
+use crate::retry::RetryPolicy;
 use crate::sage::{Aggregator, BipartiteSageConfig};
 use crate::stack::{
     build_hierarchy_with, BuildOptions, ClusterCounts, GuardPolicy, Hierarchy, HignnConfig,
@@ -71,6 +73,8 @@ pub struct HignnBuilder {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     fault: Option<FaultPlan>,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl Default for HignnBuilder {
@@ -90,6 +94,8 @@ impl HignnBuilder {
             checkpoint_dir: None,
             resume: false,
             fault: None,
+            deadline: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -256,6 +262,29 @@ impl HignnBuilder {
         self
     }
 
+    /// Watchdog deadline over the whole build. On expiry the run
+    /// performs a graceful checkpoint-and-abort with exit code 7
+    /// instead of hanging; `--resume` then continues byte-identically.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Retry budget for transient I/O faults at the durable write
+    /// sites (exponential backoff; see [`RetryPolicy`]). The CLI's
+    /// `--max-retries` flag lands here.
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.retry = RetryPolicy::with_max_retries(max_retries);
+        self
+    }
+
+    /// Full retry policy, for callers that also tune the backoff
+    /// schedule (the test harness drives this with a zero base delay).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     // --- finalisation ----------------------------------------------------
 
     /// Validates every knob at once and freezes the configuration.
@@ -315,6 +344,11 @@ impl HignnBuilder {
         if fault_needs_store && self.checkpoint_dir.is_none() {
             return err("checkpoint faults require a checkpoint directory".into());
         }
+        if let Some(d) = self.deadline {
+            if d.is_zero() {
+                return err("deadline must be positive (zero would abort before any work)".into());
+            }
+        }
         Ok(TrainSpec {
             cfg: self.cfg,
             threads: self.threads,
@@ -322,6 +356,8 @@ impl HignnBuilder {
             checkpoint_dir: self.checkpoint_dir,
             resume: self.resume,
             fault: self.fault,
+            deadline: self.deadline,
+            retry: self.retry,
         })
     }
 }
@@ -337,6 +373,8 @@ pub struct TrainSpec {
     checkpoint_dir: Option<PathBuf>,
     resume: bool,
     fault: Option<FaultPlan>,
+    deadline: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl TrainSpec {
@@ -382,6 +420,9 @@ impl TrainSpec {
             guard: self.guard,
             fault: self.fault,
             threads: self.threads,
+            deadline: self.deadline,
+            retry: self.retry,
+            sleeper: None,
         };
         build_hierarchy_with(graph, user_feats, item_feats, &self.cfg, &opts)
     }

@@ -78,15 +78,19 @@ pub mod io;
 pub mod model;
 pub mod predictor;
 pub mod recommend;
+pub mod retry;
 pub mod sage;
 pub mod stack;
+pub mod supervise;
 pub mod taxonomy;
 pub mod trainer;
 
 /// Convenient re-exports of the main API surface.
 pub mod prelude {
     pub use crate::builder::{HignnBuilder, TrainSpec};
-    pub use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan};
+    pub use crate::checkpoint::{
+        run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan, WriteSite,
+    };
     pub use crate::error::HignnError;
     pub use crate::predictor::{CvrPredictor, FeatureBlocks, PredictorConfig, Sample};
     pub use crate::sage::{Aggregator, BipartiteSage, BipartiteSageConfig};
@@ -97,9 +101,11 @@ pub mod prelude {
     pub use crate::taxonomy::{build_taxonomy, Taxonomy, TaxonomyConfig, Topic};
     pub use crate::model::HignnModel;
     pub use crate::recommend::{evaluate_top_k, recommend_top_k, TopKReport};
+    pub use crate::retry::{with_retry, RecordingSleeper, RetryPolicy, Sleeper, WallSleeper};
+    pub use crate::supervise::{IoFaultArm, PanicOnce, Watchdog};
     pub use crate::trainer::{
-        train_unsupervised, train_unsupervised_checked, SageTrainConfig, TrainError,
-        TrainGuard, TrainedSage,
+        train_unsupervised, train_unsupervised_checked, EpochHooks, SageTrainConfig,
+        TrainError, TrainGuard, TrainedSage,
     };
     pub use hignn_tensor::ParallelExecutor;
 }

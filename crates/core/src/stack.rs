@@ -11,10 +11,14 @@
 //! preference* `z_u^H = CONCAT(z_u^1, ..., z_u^L)` and *hierarchical item
 //! attractiveness* `z_i^H` by chasing each vertex up its cluster chain.
 
-use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan};
+use crate::checkpoint::{run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan, WriteSite};
 use crate::error::HignnError;
+use crate::retry::{with_retry, RetryPolicy, Sleeper, WallSleeper};
 use crate::sage::BipartiteSageConfig;
-use crate::trainer::{train_unsupervised_checked, SageTrainConfig, TrainError, TrainGuard};
+use crate::supervise::{IoFaultArm, PanicOnce, Watchdog};
+use crate::trainer::{
+    train_unsupervised_checked, EpochHooks, SageTrainConfig, TrainError, TrainGuard,
+};
 use hignn_cluster::ch_index::select_k_by_ch;
 use hignn_cluster::kmeans::{kmeans_with, mean_by_cluster, KMeansConfig};
 use hignn_cluster::streaming::single_pass_kmeans_with;
@@ -365,8 +369,9 @@ pub enum GuardPolicy {
 }
 
 /// Options for [`build_hierarchy_with`]: checkpointing, resume,
-/// divergence policy, and fault injection.
-#[derive(Clone, Copy, Debug)]
+/// divergence policy, fault injection, and the supervised execution
+/// runtime's knobs (watchdog deadline, transient-I/O retry policy).
+#[derive(Clone, Copy)]
 pub struct BuildOptions<'a> {
     /// Where to persist per-level checkpoints (`None` = no
     /// checkpointing, the plain [`build_hierarchy`] behaviour).
@@ -385,6 +390,18 @@ pub struct BuildOptions<'a> {
     /// because all work decomposition is derived from the config, never
     /// from this knob.
     pub threads: usize,
+    /// Watchdog deadline over the whole build (real time plus any
+    /// injected virtual delay). When it expires at an epoch or level
+    /// boundary the build performs a graceful checkpoint-and-abort with
+    /// [`HignnError::DeadlineExceeded`] (exit code 7); `None` disables
+    /// the watchdog.
+    pub deadline: Option<std::time::Duration>,
+    /// Retry policy for transient faults at the checkpoint write sites.
+    pub retry: RetryPolicy,
+    /// Injectable waiting between retries. `None` = real
+    /// [`WallSleeper`] sleeping; tests pass a
+    /// [`crate::retry::RecordingSleeper`] so nothing wall-sleeps.
+    pub sleeper: Option<&'a dyn Sleeper>,
 }
 
 impl Default for BuildOptions<'_> {
@@ -395,7 +412,25 @@ impl Default for BuildOptions<'_> {
             guard: GuardPolicy::Off,
             fault: None,
             threads: 1,
+            deadline: None,
+            retry: RetryPolicy::default(),
+            sleeper: None,
         }
+    }
+}
+
+impl std::fmt::Debug for BuildOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BuildOptions")
+            .field("checkpoint", &self.checkpoint.is_some())
+            .field("resume", &self.resume)
+            .field("guard", &self.guard)
+            .field("fault", &self.fault)
+            .field("threads", &self.threads)
+            .field("deadline", &self.deadline)
+            .field("retry", &self.retry)
+            .field("sleeper", &if self.sleeper.is_some() { "injected" } else { "wall" })
+            .finish()
     }
 }
 
@@ -418,6 +453,7 @@ fn level_rng_seed(base: u64, level: usize, retry: u64) -> u64 {
 enum LevelFailure {
     NonFinite { epoch: usize, detail: String },
     Injected { description: String },
+    Deadline,
 }
 
 /// Trains, clusters, and coarsens one level. Returns the level plus the
@@ -433,7 +469,7 @@ fn build_one_level(
     retry: u64,
     exec: &ParallelExecutor,
     guard: TrainGuard,
-    crash_after_epoch: Option<usize>,
+    hooks: EpochHooks<'_>,
 ) -> Result<(Level, Matrix, Matrix), LevelFailure> {
     let mut rng = StdRng::seed_from_u64(level_rng_seed(cfg.seed, level, retry));
     // (Z_u^l, Z_i^l) <- BG(G^{l-1}, X_u^{l-1}, X_i^{l-1})
@@ -459,11 +495,12 @@ fn build_one_level(
     let trained = {
         let _span = hignn_obs::span_owned(format!("level{level}.train"));
         train_unsupervised_checked(
-            g, xu, xi, sage_cfg, &train_cfg, train_seed, exec, guard, crash_after_epoch,
+            g, xu, xi, sage_cfg, &train_cfg, train_seed, exec, guard, hooks,
         )
         .map_err(|e| match e {
             TrainError::NonFinite { epoch, detail } => LevelFailure::NonFinite { epoch, detail },
             TrainError::Injected { description, .. } => LevelFailure::Injected { description },
+            TrainError::DeadlineExceeded { .. } => LevelFailure::Deadline,
         })
     }?;
     let (mut zu, mut zi) = {
@@ -567,6 +604,24 @@ pub fn build_hierarchy_with(
         return Err(HignnError::Config("resume requires a checkpoint directory".into()));
     }
 
+    // Arm the supervised execution runtime: the deadline watchdog, the
+    // injectable transient-I/O fault, and the injectable sleeper for
+    // the retry layer's backoff.
+    let watchdog = opts.deadline.map(Watchdog::new);
+    let io_arm = IoFaultArm::from_plan(opts.fault);
+    let wall = WallSleeper;
+    let sleeper: &dyn Sleeper = opts.sleeper.unwrap_or(&wall);
+    // Retry-wrapped durable write: checks the armed fault first so
+    // injected faults exercise exactly the path a real flaky disk hits.
+    let durable_write = |site: WriteSite, op: &mut dyn FnMut() -> Result<(), HignnError>| {
+        with_retry(&opts.retry, sleeper, site.name(), || {
+            if let Some(arm) = &io_arm {
+                arm.check(site)?;
+            }
+            op()
+        })
+    };
+
     let fingerprint = run_fingerprint(graph, user_feats, item_feats, cfg);
     let mut levels: Vec<Level> = Vec::with_capacity(cfg.levels);
     if let Some(store) = opts.checkpoint {
@@ -581,12 +636,14 @@ pub fn build_hierarchy_with(
             }
         } else {
             // Fresh run: (re)initialise the meta record.
-            store.write_meta(&CheckpointMeta {
-                fingerprint,
-                seed: cfg.seed,
-                levels_total: cfg.levels as u64,
-                levels_done: 0,
-                threads: opts.threads.max(1) as u64,
+            durable_write(WriteSite::WriteMeta, &mut || {
+                store.write_meta(&CheckpointMeta {
+                    fingerprint,
+                    seed: cfg.seed,
+                    levels_total: cfg.levels as u64,
+                    levels_done: 0,
+                    threads: opts.threads.max(1) as u64,
+                })
             })?;
         }
     }
@@ -621,19 +678,51 @@ pub fn build_hierarchy_with(
 
     if !resumed_done {
         for level in start..=cfg.levels {
+            // Level-boundary watchdog check: completed levels are
+            // durable, so expiring here is the cleanest abort point.
+            if let Some(w) = &watchdog {
+                if w.expired() {
+                    return Err(w.abort_error(levels.len()));
+                }
+            }
             let crash_after_epoch = match opts.fault {
                 Some(FaultPlan::CrashAfterEpoch { level: fl, epoch }) if fl == level => Some(epoch),
                 _ => None,
             };
+            let panic_once = match opts.fault {
+                Some(FaultPlan::WorkerPanic { level: fl, epoch, shard }) if fl == level => {
+                    Some(PanicOnce::new(epoch, shard))
+                }
+                _ => None,
+            };
+            let stall_after_epoch = match opts.fault {
+                Some(FaultPlan::StallEpoch { level: fl, epoch, virtual_ms }) if fl == level => {
+                    Some((epoch, virtual_ms))
+                }
+                _ => None,
+            };
+            let hooks = EpochHooks {
+                crash_after_epoch,
+                panic_once: panic_once.as_ref(),
+                stall_after_epoch,
+                watchdog: watchdog.as_ref(),
+            };
             let mut retry: u64 = 0;
             let (built, new_xu, new_xi) = loop {
-                match build_one_level(&g, &xu, &xi, cfg, level, retry, &exec, guard, crash_after_epoch)
-                {
+                match build_one_level(&g, &xu, &xi, cfg, level, retry, &exec, guard, hooks) {
                     Ok(out) => break out,
                     Err(LevelFailure::Injected { description }) => {
                         return Err(HignnError::FaultInjected {
                             description: format!("level {level}: {description}"),
                         });
+                    }
+                    Err(LevelFailure::Deadline) => {
+                        // Mid-level expiry: the partial level is
+                        // discarded (exactly like a crash there) and
+                        // every completed level is already durable —
+                        // graceful checkpoint-and-abort.
+                        let w = watchdog.as_ref().expect("deadline failure requires a watchdog");
+                        return Err(w.abort_error(levels.len()));
                     }
                     Err(LevelFailure::NonFinite { epoch, detail }) => match opts.guard {
                         GuardPolicy::Rollback { max_retries } if (retry as usize) < max_retries => {
@@ -652,14 +741,19 @@ pub fn build_hierarchy_with(
             if let Some(store) = opts.checkpoint {
                 // Level record first, then the meta commit point: a
                 // crash in between leaves an orphan level file that a
-                // resumed run simply overwrites.
-                store.save_level(level, &built)?;
-                store.write_meta(&CheckpointMeta {
-                    fingerprint,
-                    seed: cfg.seed,
-                    levels_total: cfg.levels as u64,
-                    levels_done: level as u64,
-                    threads: opts.threads.max(1) as u64,
+                // resumed run simply overwrites. Both writes ride the
+                // transient-retry layer; the atomic temp+rename
+                // protocol makes a failed attempt invisible, so a
+                // retried write is bitwise identical to a first-try one.
+                durable_write(WriteSite::SaveLevel, &mut || store.save_level(level, &built))?;
+                durable_write(WriteSite::WriteMeta, &mut || {
+                    store.write_meta(&CheckpointMeta {
+                        fingerprint,
+                        seed: cfg.seed,
+                        levels_total: cfg.levels as u64,
+                        levels_done: level as u64,
+                        threads: opts.threads.max(1) as u64,
+                    })
                 })?;
             }
             match opts.fault {

@@ -1,0 +1,209 @@
+//! Run supervision: the watchdog deadline and armed chaos faults.
+//!
+//! This module holds the *mutable* runtime state behind the supervised
+//! execution runtime. [`crate::checkpoint::FaultPlan`] is a declarative,
+//! `Copy` description of one fault; `build_hierarchy_with` arms it into
+//! the stateful forms here (a one-shot panic trigger, a depleting
+//! transient-I/O failure budget) and threads them — together with the
+//! [`Watchdog`] — through the level/epoch loops.
+//!
+//! ## Watchdog semantics
+//!
+//! The watchdog measures one monotonic quantity: real elapsed time
+//! since the build started **plus** any injected virtual delay
+//! ([`FaultPlan::StallEpoch`] advances the virtual component so tests
+//! exercise deadline expiry without wall-sleeping). It is checked at
+//! every epoch boundary and before every level; on expiry the build
+//! performs a graceful checkpoint-and-abort — every completed level is
+//! already durable, so the run exits with
+//! [`crate::error::HignnError::DeadlineExceeded`] (exit code 7) and
+//! `--resume` continues it byte-identically. The deadline can make a
+//! run *stop*, never change what it computes: a resumed run replays
+//! the same per-level RNG streams as an undeadlined one.
+
+use crate::checkpoint::{FaultPlan, WriteSite};
+use crate::error::HignnError;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Deadline watchdog for a hierarchy build: real elapsed time plus an
+/// injectable virtual component, checked at epoch and level boundaries.
+#[derive(Debug)]
+pub struct Watchdog {
+    start: Instant,
+    deadline: Duration,
+    virtual_ms: AtomicU64,
+}
+
+impl Watchdog {
+    /// Starts a watchdog whose deadline is `deadline` from now.
+    pub fn new(deadline: Duration) -> Self {
+        Watchdog { start: Instant::now(), deadline, virtual_ms: AtomicU64::new(0) }
+    }
+
+    /// Advances the virtual clock (injected stalls; testing only).
+    pub fn advance_ms(&self, ms: u64) {
+        self.virtual_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    /// Total observed elapsed time: real + virtual, in milliseconds.
+    pub fn elapsed_ms(&self) -> u64 {
+        (self.start.elapsed().as_millis() as u64)
+            .saturating_add(self.virtual_ms.load(Ordering::Relaxed))
+    }
+
+    /// The configured deadline in milliseconds.
+    pub fn deadline_ms(&self) -> u64 {
+        self.deadline.as_millis() as u64
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.elapsed_ms() >= self.deadline_ms()
+    }
+
+    /// The graceful-abort error for a build that had `levels_done`
+    /// levels durably checkpointed when the deadline fired.
+    pub fn abort_error(&self, levels_done: usize) -> HignnError {
+        HignnError::DeadlineExceeded {
+            elapsed_ms: self.elapsed_ms(),
+            deadline_ms: self.deadline_ms(),
+            levels_done,
+        }
+    }
+}
+
+/// An armed [`FaultPlan::TransientIo`]: a depleting budget of injected
+/// write failures at one named site.
+#[derive(Debug)]
+pub struct IoFaultArm {
+    site: WriteSite,
+    remaining: AtomicU32,
+}
+
+impl IoFaultArm {
+    /// Arms the transient-I/O fault of `plan`, if it carries one.
+    pub fn from_plan(plan: Option<FaultPlan>) -> Option<IoFaultArm> {
+        match plan {
+            Some(FaultPlan::TransientIo { site, failures }) => {
+                Some(IoFaultArm { site, remaining: AtomicU32::new(failures) })
+            }
+            _ => None,
+        }
+    }
+
+    /// Called by a write site before doing real I/O: fails with a
+    /// transient error while this arm still has failure budget for the
+    /// site, succeeds (forever after) once the budget is spent.
+    pub fn check(&self, site: WriteSite) -> Result<(), HignnError> {
+        if site != self.site {
+            return Ok(());
+        }
+        let spent = self
+            .remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok();
+        if spent {
+            Err(HignnError::Io {
+                context: site.name().to_string(),
+                source: io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "injected transient I/O fault",
+                ),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// An armed [`FaultPlan::WorkerPanic`]: panics inside the matching
+/// (epoch, shard) worker dispatch exactly once. The supervised executor
+/// recovers by re-executing the shard — by then the trigger is spent,
+/// so the re-execution succeeds and must be bitwise identical.
+#[derive(Debug)]
+pub struct PanicOnce {
+    epoch: usize,
+    shard: usize,
+    armed: AtomicBool,
+}
+
+impl PanicOnce {
+    /// Arms a one-shot panic for shard `shard` of epoch `epoch`.
+    pub fn new(epoch: usize, shard: usize) -> Self {
+        PanicOnce { epoch, shard, armed: AtomicBool::new(true) }
+    }
+
+    /// Panics if `(epoch, shard)` matches and the trigger is unspent.
+    pub fn fire_if_match(&self, epoch: usize, shard: usize) {
+        if epoch == self.epoch && shard == self.shard && self.armed.swap(false, Ordering::Relaxed)
+        {
+            panic!("injected worker panic: epoch {epoch}, shard {shard}");
+        }
+    }
+
+    /// Whether the trigger already fired.
+    pub fn fired(&self) -> bool {
+        !self.armed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_expires_on_virtual_time_without_sleeping() {
+        let w = Watchdog::new(Duration::from_secs(3600));
+        assert!(!w.expired());
+        w.advance_ms(3_600_000);
+        assert!(w.expired(), "virtual delay alone must trip the deadline");
+        let err = w.abort_error(2);
+        assert_eq!(err.exit_code(), 7);
+        assert!(!err.is_transient());
+        match err {
+            HignnError::DeadlineExceeded { levels_done, deadline_ms, elapsed_ms } => {
+                assert_eq!(levels_done, 2);
+                assert_eq!(deadline_ms, 3_600_000);
+                assert!(elapsed_ms >= deadline_ms);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn io_fault_arm_depletes_then_heals() {
+        let arm =
+            IoFaultArm::from_plan(Some(FaultPlan::TransientIo { site: WriteSite::WriteMeta, failures: 2 }))
+                .unwrap();
+        // Other sites are never affected.
+        assert!(arm.check(WriteSite::SaveLevel).is_ok());
+        let first = arm.check(WriteSite::WriteMeta).unwrap_err();
+        assert!(first.is_transient(), "injected fault must classify as transient");
+        assert_eq!(first.exit_code(), 3);
+        assert!(arm.check(WriteSite::WriteMeta).is_err());
+        assert!(arm.check(WriteSite::WriteMeta).is_ok(), "budget spent: site heals");
+        assert!(arm.check(WriteSite::WriteMeta).is_ok());
+    }
+
+    #[test]
+    fn non_io_plans_do_not_arm() {
+        assert!(IoFaultArm::from_plan(Some(FaultPlan::CrashAfterLevel(1))).is_none());
+        assert!(IoFaultArm::from_plan(None).is_none());
+    }
+
+    #[test]
+    fn panic_once_fires_exactly_once_for_the_matching_shard() {
+        let p = PanicOnce::new(1, 2);
+        p.fire_if_match(0, 2); // wrong epoch: no panic
+        p.fire_if_match(1, 0); // wrong shard: no panic
+        assert!(!p.fired());
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.fire_if_match(1, 2);
+        }));
+        assert!(caught.is_err());
+        assert!(p.fired());
+        p.fire_if_match(1, 2); // spent: no second panic
+    }
+}

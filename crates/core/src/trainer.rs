@@ -33,6 +33,7 @@
 //! worker count — an N-thread run is bit-identical to a 1-thread run.
 
 use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig, FeatureSource};
+use crate::supervise::{PanicOnce, Watchdog};
 use hignn_graph::{BipartiteGraph, NegativeSampler, Side};
 use hignn_obs as obs;
 use hignn_tensor::nn::{Activation, Mlp};
@@ -41,7 +42,7 @@ use hignn_tensor::parallel::{reduce_gradients, ParallelExecutor};
 use hignn_tensor::{Gradients, Matrix, ParamStore, Tape, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Hyper-parameters for unsupervised GraphSAGE training.
 #[derive(Clone, Debug)]
@@ -237,6 +238,38 @@ pub enum TrainError {
         /// Human-readable description of the injected fault.
         description: String,
     },
+    /// The build watchdog's deadline expired at an epoch boundary.
+    DeadlineExceeded {
+        /// 0-based epoch after which the deadline was observed.
+        epoch: usize,
+    },
+}
+
+/// Per-level supervision hooks threaded into
+/// [`train_unsupervised_checked`] by the build loop: fault injection
+/// (simulated crash, one-shot worker panic, virtual stall) and the
+/// watchdog deadline, all checked at deterministic points so none of
+/// them can change the numbers of a surviving run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochHooks<'a> {
+    /// Simulated crash after this 0-based epoch (fault injection).
+    pub crash_after_epoch: Option<usize>,
+    /// One-shot injected worker panic, recovered by the executor's
+    /// deterministic re-execution (fault injection).
+    pub panic_once: Option<&'a PanicOnce>,
+    /// `(epoch, virtual_ms)`: advance the watchdog's virtual clock
+    /// after that epoch completes (fault injection; no real sleep).
+    pub stall_after_epoch: Option<(usize, u64)>,
+    /// Deadline watchdog checked after every epoch; expiry stops
+    /// training with [`TrainError::DeadlineExceeded`].
+    pub watchdog: Option<&'a Watchdog>,
+}
+
+impl<'a> EpochHooks<'a> {
+    /// Hooks with only a simulated crash (the PR 1-era harness shape).
+    pub fn crash_after(epoch: Option<usize>) -> Self {
+        EpochHooks { crash_after_epoch: epoch, ..Default::default() }
+    }
 }
 
 /// Trains one bipartite GraphSAGE level on `graph` with the unsupervised
@@ -260,7 +293,7 @@ pub fn train_unsupervised(
         seed,
         &ParallelExecutor::single(),
         TrainGuard::default(),
-        None,
+        EpochHooks::default(),
     )
     .expect("training cannot fail with the guard disabled and no fault injection")
 }
@@ -371,9 +404,8 @@ fn shard_pass(
 }
 
 /// Like [`train_unsupervised`], but with an explicit executor, per-epoch
-/// numeric-health checks ([`TrainGuard`]) and an optional simulated
-/// crash after epoch `crash_after_epoch` (0-based) for the
-/// fault-injection harness.
+/// numeric-health checks ([`TrainGuard`]) and supervision hooks
+/// ([`EpochHooks`]: fault injection and the watchdog deadline).
 ///
 /// `exec` controls only physical concurrency: any worker count yields
 /// bit-identical parameters (see the module docs for why).
@@ -387,7 +419,7 @@ pub fn train_unsupervised_checked(
     seed: u64,
     exec: &ParallelExecutor,
     guard: TrainGuard,
-    crash_after_epoch: Option<usize>,
+    hooks: EpochHooks<'_>,
 ) -> Result<TrainedSage, TrainError> {
     assert!(graph.num_edges() > 0, "train_unsupervised: graph has no edges");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -469,6 +501,14 @@ pub fn train_unsupervised_checked(
                 cfg,
             };
             let shard_results: Vec<(f32, Gradients)> = exec.map(num_shards, |s| {
+                // Chaos harness: a one-shot injected panic here is
+                // caught by the executor and the shard re-executed —
+                // by then the trigger is spent, and the re-run must be
+                // bitwise identical (all shard state derives from
+                // (seed, epoch, batch, shard), never the schedule).
+                if let Some(p) = hooks.panic_once {
+                    p.fire_if_match(epoch, s);
+                }
                 let lo = s * shard_len;
                 let hi = (lo + shard_len).min(n);
                 let mut shard_rng = StdRng::seed_from_u64(shard_seed(
@@ -477,7 +517,13 @@ pub fn train_unsupervised_checked(
                     batch_idx as u64,
                     s as u64,
                 ));
-                let ws = workspaces[s].lock().expect("workspace mutex poisoned");
+                // Poison recovery, not propagation: a worker panic while
+                // holding this lock leaves the pool structurally intact
+                // (RefCell borrow flags unwind cleanly, buckets hold only
+                // cleared buffers), and pool contents never reach the
+                // numbers — leases are zeroed or fully overwritten — so a
+                // re-executed shard is bitwise identical either way.
+                let ws = workspaces[s].lock().unwrap_or_else(PoisonError::into_inner);
                 shard_pass(
                     &ctx,
                     &ws,
@@ -556,11 +602,23 @@ pub fn train_unsupervised_checked(
                 });
             }
         }
-        if crash_after_epoch == Some(epoch) {
+        if hooks.crash_after_epoch == Some(epoch) {
             return Err(TrainError::Injected {
                 epoch,
                 description: format!("simulated crash after epoch {epoch}"),
             });
+        }
+        // Injected stall first (it models this epoch having been slow),
+        // then the watchdog check that would observe it.
+        if let Some((stall_epoch, virtual_ms)) = hooks.stall_after_epoch {
+            if stall_epoch == epoch {
+                if let Some(w) = hooks.watchdog {
+                    w.advance_ms(virtual_ms);
+                }
+            }
+        }
+        if hooks.watchdog.is_some_and(Watchdog::expired) {
+            return Err(TrainError::DeadlineExceeded { epoch });
         }
     }
 
@@ -571,12 +629,18 @@ pub fn train_unsupervised_checked(
     if obs::enabled() {
         let total = workspaces.iter().fold(
             hignn_tensor::WorkspaceStats::default(),
-            |acc, ws| acc.merge(&ws.lock().expect("workspace mutex poisoned").stats()),
+            |acc, ws| acc.merge(&ws.lock().unwrap_or_else(PoisonError::into_inner).stats()),
         );
         obs::counter_add("workspace.leases", total.leases);
         obs::counter_add("workspace.fresh_allocs", total.fresh_allocs);
         obs::gauge_set("workspace.retained_buffers", total.retained_buffers as f64);
         obs::gauge_set("workspace.retained_elems", total.retained_elems as f64);
+        // Process-wide count of worker panics the executor recovered by
+        // re-execution (a gauge: the counter lives in hignn-tensor).
+        obs::gauge_set(
+            "parallel.recovered_panics",
+            hignn_tensor::parallel::recovered_panics() as f64,
+        );
     }
 
     Ok(TrainedSage { sage, scorer, store, feature_params, epoch_losses })

@@ -35,7 +35,6 @@
 //! each gradient shard its own workspace.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 
 /// Smallest bucket capacity handed out (tiny leases round up to this).
 pub const MIN_BUCKET: usize = 8;
@@ -43,18 +42,44 @@ pub const MIN_BUCKET: usize = 8;
 /// Maximum buffers retained per capacity bucket.
 pub const MAX_PER_BUCKET: usize = 32;
 
+/// One slot per power-of-two capacity class from [`MIN_BUCKET`] up to
+/// the largest allocation representable in a `usize`.
+const BUCKET_SLOTS: usize = (usize::BITS - MIN_BUCKET.trailing_zeros()) as usize;
+
 /// A size-bucketed pool of reusable `Vec<f32>` buffers.
-#[derive(Debug, Default)]
+///
+/// Buckets are a flat array indexed by the capacity class's log2 — the
+/// lease/recycle hot path runs a couple of bit ops per call, never a
+/// hash (a `HashMap<usize, _>` here put SipHash on every tape op).
+#[derive(Debug)]
 pub struct Workspace {
-    buckets: RefCell<HashMap<usize, Vec<Vec<f32>>>>,
+    buckets: RefCell<[Vec<Vec<f32>>; BUCKET_SLOTS]>,
     leases: Cell<u64>,
     fresh: Cell<u64>,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Workspace {
+            buckets: RefCell::new(std::array::from_fn(|_| Vec::new())),
+            leases: Cell::new(0),
+            fresh: Cell::new(0),
+        }
+    }
 }
 
 /// The capacity class a lease of `len` elements is served from.
 #[inline]
 fn bucket_capacity(len: usize) -> usize {
     len.next_power_of_two().max(MIN_BUCKET)
+}
+
+/// The bucket slot serving pool-shaped `capacity` (a power of two
+/// >= [`MIN_BUCKET`]).
+#[inline]
+fn bucket_index(capacity: usize) -> usize {
+    debug_assert!(is_pool_shaped(capacity));
+    (capacity.trailing_zeros() - MIN_BUCKET.trailing_zeros()) as usize
 }
 
 /// True when `capacity` is a capacity class this pool hands out.
@@ -70,7 +95,7 @@ impl Workspace {
     }
 
     fn pop_bucket(&self, cap: usize) -> Option<Vec<f32>> {
-        self.buckets.borrow_mut().get_mut(&cap).and_then(Vec::pop)
+        self.buckets.borrow_mut()[bucket_index(cap)].pop()
     }
 
     fn lease_raw(&self, len: usize) -> Vec<f32> {
@@ -127,7 +152,7 @@ impl Workspace {
             return;
         }
         let mut buckets = self.buckets.borrow_mut();
-        let bucket = buckets.entry(cap).or_default();
+        let bucket = &mut buckets[bucket_index(cap)];
         if bucket.len() < MAX_PER_BUCKET {
             v.clear();
             bucket.push(v);
@@ -147,12 +172,12 @@ impl Workspace {
 
     /// Number of buffers currently retained, across all buckets.
     pub fn retained_buffers(&self) -> usize {
-        self.buckets.borrow().values().map(Vec::len).sum()
+        self.buckets.borrow().iter().map(Vec::len).sum()
     }
 
     /// Total capacity (in `f32` elements) currently retained.
     pub fn retained_elems(&self) -> usize {
-        self.buckets.borrow().values().flatten().map(Vec::capacity).sum()
+        self.buckets.borrow().iter().flatten().map(Vec::capacity).sum()
     }
 
     /// Point-in-time snapshot of the pool's usage counters, for

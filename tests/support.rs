@@ -1,0 +1,29 @@
+//! Shared runtime helpers for the integration tests.
+
+use std::sync::Once;
+
+static QUIET: Once = Once::new();
+
+/// Installs (once per process) a panic hook that suppresses the noise
+/// of *injected* worker panics — the chaos campaign fires hundreds of
+/// them on purpose — while forwarding every other panic to the previous
+/// hook so real failures still print normally.
+///
+/// The hook is never uninstalled: tests run concurrently in one binary,
+/// and a filtering hook is safe to leave in place for all of them.
+pub fn silence_injected_panics() {
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.contains("injected worker panic") {
+                previous(info);
+            }
+        }));
+    });
+}
