@@ -40,16 +40,13 @@
 //! let hierarchy = spec.run(&graph, &user_feats, &item_feats).unwrap();
 //! assert_eq!(hierarchy.hierarchical_users().rows(), 20);
 //! ```
-//!
-//! The old structs still work and convert into a builder through thin
-//! deprecated shims ([`HignnConfig::into_builder`] and friends) so
-//! existing call sites migrate mechanically.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use crate::checkpoint::{CheckpointStore, FaultPlan};
 use crate::error::HignnError;
+use crate::objective::ObjectiveSpec;
 use crate::retry::RetryPolicy;
 use crate::sage::{Aggregator, BipartiteSageConfig};
 use crate::stack::{
@@ -196,6 +193,14 @@ impl HignnBuilder {
         self
     }
 
+    /// Training objective (default: Eq. 5 edge reconstruction). The
+    /// choice is recorded in checkpoint metadata, so a resumed run must
+    /// use the same objective.
+    pub fn objective(mut self, objective: ObjectiveSpec) -> Self {
+        self.cfg.train.objective = objective;
+        self
+    }
+
     /// Replaces the whole training sub-config at once.
     pub fn train_config(mut self, train: SageTrainConfig) -> Self {
         self.cfg.train = train;
@@ -317,6 +322,23 @@ impl HignnBuilder {
         if self.cfg.train.grad_shards == 0 {
             return err("grad_shards must be at least 1".into());
         }
+        match self.cfg.train.objective {
+            ObjectiveSpec::EdgeReconstruction => {}
+            ObjectiveSpec::HierarchicalContrastive { temperature } => {
+                if !(temperature.is_finite() && temperature > 0.0) {
+                    return err(format!(
+                        "contrastive temperature must be finite and positive, got {temperature}"
+                    ));
+                }
+            }
+            ObjectiveSpec::ClusterConstraint { lambda } => {
+                if !(lambda.is_finite() && lambda >= 0.0) {
+                    return err(format!(
+                        "cluster-constraint lambda must be finite and non-negative, got {lambda}"
+                    ));
+                }
+            }
+        }
         match &self.cfg.cluster_counts {
             ClusterCounts::AlphaDecay { alpha } => {
                 if !(alpha.is_finite() && *alpha > 1.0) {
@@ -428,48 +450,6 @@ impl TrainSpec {
     }
 }
 
-// --- migration shims from the pre-builder config structs -----------------
-
-impl HignnConfig {
-    /// Converts a legacy config into the builder.
-    #[deprecated(note = "construct a HignnBuilder directly; this shim exists for migration")]
-    pub fn into_builder(self) -> HignnBuilder {
-        HignnBuilder { cfg: self, ..HignnBuilder::new() }
-    }
-}
-
-impl BipartiteSageConfig {
-    /// Converts a legacy GraphSAGE config into a builder carrying it.
-    #[deprecated(note = "use HignnBuilder's sage setters; this shim exists for migration")]
-    pub fn into_builder(self) -> HignnBuilder {
-        HignnBuilder::new().sage_config(self)
-    }
-}
-
-impl SageTrainConfig {
-    /// Converts a legacy training config into a builder carrying it.
-    #[deprecated(note = "use HignnBuilder's training setters; this shim exists for migration")]
-    pub fn into_builder(self) -> HignnBuilder {
-        HignnBuilder::new().train_config(self)
-    }
-}
-
-impl BuildOptions<'_> {
-    /// Folds legacy build options into a builder. The borrowed
-    /// [`CheckpointStore`] is carried over by its directory path.
-    #[deprecated(note = "use HignnBuilder's execution setters; this shim exists for migration")]
-    pub fn apply_to(&self, mut builder: HignnBuilder) -> HignnBuilder {
-        builder = builder.threads(self.threads).guard(self.guard).resume(self.resume);
-        if let Some(store) = self.checkpoint {
-            builder = builder.checkpoint_dir(store.dir());
-        }
-        if let Some(fault) = self.fault {
-            builder = builder.fault(fault);
-        }
-        builder
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -527,6 +507,15 @@ mod tests {
             (small_builder().learning_rate(f32::NAN), "learning rate"),
             (small_builder().learning_rate(-1.0), "learning rate"),
             (small_builder().grad_shards(0), "grad_shards"),
+            (
+                small_builder()
+                    .objective(ObjectiveSpec::HierarchicalContrastive { temperature: f32::NAN }),
+                "temperature",
+            ),
+            (
+                small_builder().objective(ObjectiveSpec::ClusterConstraint { lambda: -1.0 }),
+                "lambda",
+            ),
             (small_builder().alpha_decay(1.0), "alpha"),
             (small_builder().fixed_counts(vec![]), "cluster counts"),
             (small_builder().ch_select(vec![]), "divisor"),
@@ -557,34 +546,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_configs_convert() {
-        let (g, uf, if_) = toy_inputs();
-        let legacy = HignnConfig {
-            levels: 1,
-            sage: BipartiteSageConfig {
-                input_dim: 8,
-                fanouts: vec![3, 2],
-                sampling: SamplingMode::Uniform,
-                ..Default::default()
-            },
-            train: SageTrainConfig { epochs: 1, batch_edges: 32, ..Default::default() },
-            cluster_counts: ClusterCounts::AlphaDecay { alpha: 4.0 },
-            kmeans: KMeansAlgo::Lloyd,
-            normalize: true,
-            seed: 9,
-        };
-        let direct = build_hierarchy_with(&g, &uf, &if_, &legacy, &BuildOptions::default()).unwrap();
-        let spec = legacy.clone().into_builder().build().unwrap();
-        let via_builder = spec.run(&g, &uf, &if_).unwrap();
+    fn objective_selection_reaches_the_spec() {
+        let spec = small_builder()
+            .objective(ObjectiveSpec::ClusterConstraint { lambda: 0.25 })
+            .build()
+            .unwrap();
         assert_eq!(
-            direct.levels()[0].user_embeddings.data(),
-            via_builder.levels()[0].user_embeddings.data(),
+            spec.config().train.objective,
+            ObjectiveSpec::ClusterConstraint { lambda: 0.25 }
         );
-        // BuildOptions folds its execution knobs in.
-        let opts = BuildOptions { threads: 4, guard: GuardPolicy::Abort, ..Default::default() };
-        let spec2 = opts.apply_to(legacy.into_builder()).build().unwrap();
-        assert_eq!(spec2.threads(), 4);
-        assert_eq!(spec2.guard(), GuardPolicy::Abort);
+        // Default stays edge reconstruction.
+        let spec = small_builder().build().unwrap();
+        assert_eq!(spec.config().train.objective, ObjectiveSpec::EdgeReconstruction);
     }
 }

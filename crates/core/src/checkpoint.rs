@@ -5,12 +5,13 @@
 //! record per completed hierarchy level:
 //!
 //! ```text
-//! <dir>/meta.hgck      := "HGCK" u32(version=3) section(meta)
+//! <dir>/meta.hgck      := "HGCK" u32(version=4) section(meta)
 //! meta                 := u64(fingerprint) u64(seed)
 //!                         u64(levels_total) u64(levels_done)
 //!                         u64(threads)            -- v2+; v1 lacks it
+//!                         u64(objective)          -- v4+; see below
 //!                         metrics_snapshot        -- v3+; see below
-//! <dir>/level_NN.hgcl  := "HGCL" u32(version=3) section(level)
+//! <dir>/level_NN.hgcl  := "HGCL" u32(version=4) section(level)
 //! section              := u64(payload_len) payload u32(crc32)
 //! ```
 //!
@@ -26,6 +27,16 @@
 //! `threads`: it never participates in the fingerprint and has no
 //! effect on the resumed model bytes (inertness, DESIGN.md §10).
 //! v1/v2 records still load, reading back an absent snapshot.
+//!
+//! Version-4 records insert the training objective's stable id
+//! ([`crate::objective::ObjectiveKind::id`]) between `threads` and the
+//! snapshot. Unlike `threads`, the objective is *load-bearing*:
+//! resuming a checkpoint under a different objective would splice two
+//! different losses into one hierarchy, so [`CheckpointStore::load_state`]
+//! refuses a mismatch with a structured config error (checked before
+//! the fingerprint so the message names the objective, not just "your
+//! inputs differ"). v1-v3 records read back objective id 0 — edge
+//! reconstruction, the only objective those builds had.
 //!
 //! Every write is atomic (temp file + fsync + rename), and the meta
 //! record is only advanced *after* its level record is durably on disk,
@@ -51,7 +62,7 @@ use std::path::{Path, PathBuf};
 
 const META_MAGIC: &[u8; 4] = b"HGCK";
 const LEVEL_MAGIC: &[u8; 4] = b"HGCL";
-const CKPT_VERSION: u32 = 3;
+const CKPT_VERSION: u32 = 4;
 /// Oldest checkpoint version this build still reads.
 const CKPT_MIN_VERSION: u32 = 1;
 
@@ -73,6 +84,12 @@ pub struct CheckpointMeta {
     /// and yields identical bytes). 0 = written by a version-1 build
     /// that did not record it.
     pub threads: u64,
+    /// Stable id of the training objective the run used
+    /// ([`crate::objective::ObjectiveKind::id`]). Load-bearing:
+    /// [`CheckpointStore::load_state`] refuses to resume under a
+    /// different objective. v1-v3 records read back 0 (edge
+    /// reconstruction, the only objective those builds had).
+    pub objective: u64,
 }
 
 /// A directory of per-level training checkpoints.
@@ -127,12 +144,13 @@ impl CheckpointStore {
         meta: &CheckpointMeta,
         snapshot: &MetricsSnapshot,
     ) -> Result<(), HignnError> {
-        let mut payload = Vec::with_capacity(44);
+        let mut payload = Vec::with_capacity(52);
         payload.extend_from_slice(&meta.fingerprint.to_le_bytes());
         payload.extend_from_slice(&meta.seed.to_le_bytes());
         payload.extend_from_slice(&meta.levels_total.to_le_bytes());
         payload.extend_from_slice(&meta.levels_done.to_le_bytes());
         payload.extend_from_slice(&meta.threads.to_le_bytes());
+        payload.extend_from_slice(&meta.objective.to_le_bytes());
         payload.extend_from_slice(&snapshot.encode());
         let mut buf = Vec::new();
         buf.extend_from_slice(META_MAGIC);
@@ -176,7 +194,11 @@ impl CheckpointStore {
         }
         let payload = read_section(&mut r, "checkpoint meta")
             .map_err(|e| HignnError::corrupt(&ctx, e.to_string()))?;
-        let fixed_len = if version == 1 { 32 } else { 40 };
+        let fixed_len = match version {
+            1 => 32,
+            2 | 3 => 40,
+            _ => 48,
+        };
         let len_ok = if version >= 3 {
             // v3 appends a variable-length metrics snapshot.
             payload.len() >= fixed_len + 4
@@ -202,6 +224,7 @@ impl CheckpointStore {
             levels_total: word(2),
             levels_done: word(3),
             threads: if version >= 2 { word(4) } else { 0 },
+            objective: if version >= 4 { word(5) } else { 0 },
         };
         if meta.levels_done > meta.levels_total {
             return Err(HignnError::corrupt(
@@ -257,8 +280,15 @@ impl CheckpointStore {
     }
 
     /// Loads the resumable state for a run with the given inputs:
-    /// validates the meta record against `expected_fingerprint` and
-    /// `levels_total`, then loads every completed level.
+    /// validates the meta record against `expected_objective` (the
+    /// current run's [`crate::objective::ObjectiveKind::id`]),
+    /// `expected_fingerprint`, and `levels_total`, then loads every
+    /// completed level.
+    ///
+    /// The objective check runs *first*: a mismatched objective also
+    /// fails the fingerprint (the objective is part of the config), but
+    /// checking it separately yields an error that names the two
+    /// objectives instead of a bare fingerprint diff.
     ///
     /// When metrics are enabled and the meta record carries a snapshot
     /// (v3+), the snapshot's counters are added into the global
@@ -268,8 +298,22 @@ impl CheckpointStore {
         &self,
         expected_fingerprint: u64,
         levels_total: usize,
+        expected_objective: u64,
     ) -> Result<(CheckpointMeta, Vec<Level>), HignnError> {
         let (meta, snapshot) = self.read_meta_with_metrics()?;
+        if meta.objective != expected_objective {
+            let describe = |id: u64| match crate::objective::ObjectiveKind::from_id(id) {
+                Some(kind) => format!("`{}`", kind.name()),
+                None => format!("unknown objective id {id}"),
+            };
+            return Err(HignnError::Config(format!(
+                "checkpoint in {} was trained with objective {} but the current run uses \
+                 objective {}; refusing to resume (a hierarchy must be built under one loss)",
+                self.dir.display(),
+                describe(meta.objective),
+                describe(expected_objective),
+            )));
+        }
         if meta.fingerprint != expected_fingerprint {
             return Err(HignnError::Config(format!(
                 "checkpoint in {} was written for different inputs \
@@ -568,6 +612,7 @@ mod tests {
             levels_total: 3,
             levels_done: 1,
             threads: 4,
+            objective: 2,
         };
         store.write_meta(&meta).unwrap();
         assert!(store.has_meta());
@@ -613,6 +658,7 @@ mod tests {
             levels_total: 2,
             levels_done: 2,
             threads: 1,
+            objective: 1,
         };
         let snap = MetricsSnapshot {
             counters: vec![("train.batches".into(), 120), ("train.epochs".into(), 6)],
@@ -643,7 +689,61 @@ mod tests {
         let (meta, snap) = store.read_meta_with_metrics().unwrap();
         assert_eq!(meta.fingerprint, 0xBEEF);
         assert_eq!(meta.threads, 8);
+        assert_eq!(meta.objective, 0, "v2 records read back objective 0 (edge)");
         assert_eq!(snap, None, "v2 records carry no snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version3_meta_without_objective_still_loads() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_v3_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Hand-build a v3 record: 40 fixed bytes + empty snapshot,
+        // version word 3 — no objective word.
+        let mut payload = Vec::with_capacity(44);
+        for w in [0xF00Du64, 5, 2, 1, 2] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload.extend_from_slice(&MetricsSnapshot::default().encode());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        write_section(&mut buf, &payload).unwrap();
+        std::fs::write(dir.join("meta.hgck"), &buf).unwrap();
+        let meta = store.read_meta().unwrap();
+        assert_eq!(meta.fingerprint, 0xF00D);
+        assert_eq!(meta.threads, 2);
+        assert_eq!(meta.objective, 0, "v3 records read back objective 0 (edge)");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_state_refuses_objective_mismatch_before_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_obj_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let meta = CheckpointMeta {
+            fingerprint: 0x1111,
+            seed: 1,
+            levels_total: 2,
+            levels_done: 0,
+            threads: 1,
+            objective: 0,
+        };
+        store.write_meta(&meta).unwrap();
+        // Wrong objective AND wrong fingerprint: the objective error
+        // must win, naming both losses.
+        let err = store.load_state(0x2222, 2, 1).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "objective mismatch is a config error: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("objective"), "{msg}");
+        assert!(msg.contains("`edge`") && msg.contains("`contrastive`"), "{msg}");
+        // Matching objective falls through to the fingerprint check.
+        let err = store.load_state(0x2222, 2, 0).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        // Everything matching loads (no levels done, so no level files).
+        let (got, levels) = store.load_state(0x1111, 2, 0).unwrap();
+        assert_eq!(got, meta);
+        assert!(levels.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

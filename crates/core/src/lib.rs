@@ -76,6 +76,7 @@ pub mod crc32;
 pub mod error;
 pub mod io;
 pub mod model;
+pub mod objective;
 pub mod predictor;
 pub mod recommend;
 pub mod retry;
@@ -92,6 +93,10 @@ pub mod prelude {
         run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan, WriteSite,
     };
     pub use crate::error::HignnError;
+    pub use crate::objective::{
+        ClusterConstraint, EdgeReconstruction, HierarchicalContrastive, Objective, ObjectiveCtx,
+        ObjectiveKind, ObjectiveSpec, ShardBatch,
+    };
     pub use crate::predictor::{CvrPredictor, FeatureBlocks, PredictorConfig, Sample};
     pub use crate::sage::{Aggregator, BipartiteSage, BipartiteSageConfig};
     pub use crate::stack::{
@@ -104,8 +109,8 @@ pub mod prelude {
     pub use crate::retry::{with_retry, RecordingSleeper, RetryPolicy, Sleeper, WallSleeper};
     pub use crate::supervise::{IoFaultArm, PanicOnce, Watchdog};
     pub use crate::trainer::{
-        train_unsupervised, train_unsupervised_checked, EpochHooks, SageTrainConfig,
-        TrainError, TrainGuard, TrainedSage,
+        train_unsupervised, train_unsupervised_checked, train_with_objective, EpochHooks,
+        SageTrainConfig, TrainError, TrainGuard, TrainedSage,
     };
     pub use hignn_tensor::ParallelExecutor;
 }

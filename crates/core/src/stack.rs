@@ -626,7 +626,8 @@ pub fn build_hierarchy_with(
     let mut levels: Vec<Level> = Vec::with_capacity(cfg.levels);
     if let Some(store) = opts.checkpoint {
         if opts.resume {
-            let (_meta, loaded) = store.load_state(fingerprint, cfg.levels)?;
+            let (_meta, loaded) =
+                store.load_state(fingerprint, cfg.levels, cfg.train.objective.kind().id())?;
             levels = loaded;
             if hignn_obs::log_enabled() {
                 hignn_obs::log_event(
@@ -643,6 +644,7 @@ pub fn build_hierarchy_with(
                     levels_total: cfg.levels as u64,
                     levels_done: 0,
                     threads: opts.threads.max(1) as u64,
+                    objective: cfg.train.objective.kind().id(),
                 })
             })?;
         }
@@ -753,6 +755,7 @@ pub fn build_hierarchy_with(
                         levels_total: cfg.levels as u64,
                         levels_done: level as u64,
                         threads: opts.threads.max(1) as u64,
+                        objective: cfg.train.objective.kind().id(),
                     })
                 })?;
             }

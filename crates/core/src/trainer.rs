@@ -19,6 +19,16 @@
 //! paired with positives by row gathering, which keeps the per-batch cost
 //! at ~2x the positive-only cost instead of `(Q_u + Q_i)`x.
 //!
+//! ## Pluggable objectives
+//!
+//! The loss itself is no longer hard-wired: what happens inside one
+//! shard's tape is delegated to a [`crate::objective::Objective`]
+//! selected by [`SageTrainConfig::objective`] (Eq. 5 edge reconstruction
+//! by default). This module owns the substrate — shuffling, batching,
+//! gradient sharding, RNG streams, workspace pooling, the optimizer and
+//! supervision hooks — and [`train_with_objective`] is the generic entry
+//! point the convenience wrappers delegate to.
+//!
 //! ## Data-parallel execution
 //!
 //! Each minibatch is split into [`SageTrainConfig::grad_shards`] logical
@@ -32,9 +42,10 @@
 //! and every RNG stream depend only on the configuration — never on the
 //! worker count — an N-thread run is bit-identical to a 1-thread run.
 
-use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig, FeatureSource};
+use crate::objective::{Objective, ObjectiveCtx, ObjectiveSpec, ShardBatch};
+use crate::sage::{with_null_row, BipartiteSage, BipartiteSageConfig};
 use crate::supervise::{PanicOnce, Watchdog};
-use hignn_graph::{BipartiteGraph, NegativeSampler, Side};
+use hignn_graph::BipartiteGraph;
 use hignn_obs as obs;
 use hignn_tensor::nn::{Activation, Mlp};
 use hignn_tensor::optim::{Adam, Optimizer};
@@ -82,6 +93,9 @@ pub struct SageTrainConfig {
     /// changes results, while changing the worker count does not. The
     /// executor runs up to this many shards concurrently.
     pub grad_shards: usize,
+    /// Which loss trains the level. [`ObjectiveSpec::EdgeReconstruction`]
+    /// (the paper's Eq. 5) by default; see [`crate::objective`].
+    pub objective: ObjectiveSpec,
 }
 
 impl Default for SageTrainConfig {
@@ -98,6 +112,7 @@ impl Default for SageTrainConfig {
             scorer_hidden: vec![64],
             trainable_features: false,
             grad_shards: 8,
+            objective: ObjectiveSpec::EdgeReconstruction,
         }
     }
 }
@@ -298,102 +313,22 @@ pub fn train_unsupervised(
     .expect("training cannot fail with the guard disabled and no fault injection")
 }
 
-/// Everything one gradient shard needs, bundled so the worker closure
-/// stays readable. All fields are shared immutably across workers.
-struct ShardCtx<'a> {
-    store: &'a ParamStore,
-    sage: &'a BipartiteSage,
-    scorer: &'a Mlp,
-    graph: &'a BipartiteGraph,
-    user_src: FeatureSource<'a>,
-    item_src: FeatureSource<'a>,
-    neg_user_sampler: &'a NegativeSampler,
-    neg_item_sampler: &'a NegativeSampler,
-    cfg: &'a SageTrainConfig,
-}
-
-/// Forward/backward for one shard of a minibatch on a private tape.
+/// Forward/backward for one shard of a minibatch on a private tape,
+/// with the loss composition delegated to `objective`.
 ///
 /// Returns the shard's loss and gradients, both already scaled by
 /// `weight` (= shard rows / batch rows), so the caller just sums losses
 /// and tree-reduces gradients in shard order.
-#[allow(clippy::too_many_arguments)]
 fn shard_pass(
-    ctx: &ShardCtx<'_>,
+    ctx: &ObjectiveCtx<'_>,
+    objective: &dyn Objective,
     ws: &Workspace,
-    users: &[usize],
-    items: &[usize],
-    weights: &[f32],
-    gamma: f32,
+    batch: &ShardBatch<'_>,
     weight: f32,
     rng: &mut StdRng,
 ) -> (f32, Gradients) {
-    let cfg = ctx.cfg;
-    let n = users.len();
-    let pool = cfg.neg_pool.max(cfg.neg_users.max(cfg.neg_items));
-    let neg_users: Vec<usize> = ctx.neg_user_sampler.sample_many(pool, rng);
-    let neg_items: Vec<usize> = ctx.neg_item_sampler.sample_many(pool, rng);
-
     let mut tape = Tape::with_workspace(ctx.store, ws);
-    let zu = ctx.sage.embed_batch_src(
-        &mut tape, ctx.graph, Side::Left, users, ctx.user_src, ctx.item_src, rng,
-    );
-    let zi = ctx.sage.embed_batch_src(
-        &mut tape, ctx.graph, Side::Right, items, ctx.user_src, ctx.item_src, rng,
-    );
-    let zun = ctx.sage.embed_batch_src(
-        &mut tape, ctx.graph, Side::Left, &neg_users, ctx.user_src, ctx.item_src, rng,
-    );
-    let zin = ctx.sage.embed_batch_src(
-        &mut tape, ctx.graph, Side::Right, &neg_items, ctx.user_src, ctx.item_src, rng,
-    );
-
-    // Positive scores.
-    let w_col = tape.input(Matrix::column_vector(weights));
-    let pos_in = tape.concat_cols(&[zu, zi, w_col]);
-    let pos_logits = ctx.scorer.forward(&mut tape, pos_in);
-    let pos_targets = vec![1.0f32; n];
-    let pos_loss = tape.bce_with_logits(pos_logits, &pos_targets);
-
-    // Negative pairs: each positive edge's vertex against Q pool draws.
-    let gather_pairs = |q: usize, rng: &mut StdRng| -> (Vec<usize>, Vec<usize>) {
-        let mut pool_idx = Vec::with_capacity(n * q);
-        let mut pos_idx = Vec::with_capacity(n * q);
-        for k in 0..n {
-            for _ in 0..q {
-                pool_idx.push(rng.gen_range(0..pool));
-                pos_idx.push(k);
-            }
-        }
-        (pool_idx, pos_idx)
-    };
-    let gamma_col =
-        |tape: &mut Tape, rows: usize, gamma: f32| tape.input(Matrix::full(rows, 1, gamma));
-
-    let (pool_idx, pos_idx) = gather_pairs(cfg.neg_users, rng);
-    let zun_g = tape.gather_rows(zun, &pool_idx);
-    let zi_g = tape.gather_rows(zi, &pos_idx);
-    let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
-    let negu_in = tape.concat_cols(&[zun_g, zi_g, g_col]);
-    let negu_logits = ctx.scorer.forward(&mut tape, negu_in);
-    let negu_targets = vec![0.0f32; pool_idx.len()];
-    let negu_loss = tape.bce_with_logits(negu_logits, &negu_targets);
-
-    let (pool_idx, pos_idx) = gather_pairs(cfg.neg_items, rng);
-    let zin_g = tape.gather_rows(zin, &pool_idx);
-    let zu_g = tape.gather_rows(zu, &pos_idx);
-    let g_col = gamma_col(&mut tape, pool_idx.len(), gamma);
-    let negi_in = tape.concat_cols(&[zu_g, zin_g, g_col]);
-    let negi_logits = ctx.scorer.forward(&mut tape, negi_in);
-    let negi_targets = vec![0.0f32; pool_idx.len()];
-    let negi_loss = tape.bce_with_logits(negi_logits, &negi_targets);
-
-    // J = pos + Q_u * E[neg_u] + Q_i * E[neg_i].
-    let negu_scaled = tape.scale(negu_loss, cfg.neg_users as f32);
-    let negi_scaled = tape.scale(negi_loss, cfg.neg_items as f32);
-    let loss = tape.add(pos_loss, negu_scaled);
-    let loss = tape.add(loss, negi_scaled);
-
+    let loss = objective.shard_loss(ctx, &mut tape, batch, rng);
     let loss_val = tape.scalar(loss);
     let mut grads = tape.backward(loss);
     // Hand every node buffer back to the shard's workspace so the next
@@ -405,7 +340,8 @@ fn shard_pass(
 
 /// Like [`train_unsupervised`], but with an explicit executor, per-epoch
 /// numeric-health checks ([`TrainGuard`]) and supervision hooks
-/// ([`EpochHooks`]: fault injection and the watchdog deadline).
+/// ([`EpochHooks`]: fault injection and the watchdog deadline). The loss
+/// is instantiated from [`SageTrainConfig::objective`].
 ///
 /// `exec` controls only physical concurrency: any worker count yields
 /// bit-identical parameters (see the module docs for why).
@@ -422,6 +358,41 @@ pub fn train_unsupervised_checked(
     hooks: EpochHooks<'_>,
 ) -> Result<TrainedSage, TrainError> {
     assert!(graph.num_edges() > 0, "train_unsupervised: graph has no edges");
+    let objective = cfg.objective.instantiate(graph);
+    train_with_objective(
+        graph,
+        user_feats,
+        item_feats,
+        sage_cfg,
+        cfg,
+        objective.as_ref(),
+        seed,
+        exec,
+        guard,
+        hooks,
+    )
+}
+
+/// The generic training substrate: trains one bipartite GraphSAGE level
+/// under an explicit [`Objective`]. [`train_unsupervised`] and
+/// [`train_unsupervised_checked`] delegate here after instantiating the
+/// configured objective; callers with a custom `Objective` impl call
+/// this directly.
+#[allow(clippy::too_many_arguments)]
+pub fn train_with_objective(
+    graph: &BipartiteGraph,
+    user_feats: &Matrix,
+    item_feats: &Matrix,
+    sage_cfg: BipartiteSageConfig,
+    cfg: &SageTrainConfig,
+    objective: &dyn Objective,
+    seed: u64,
+    exec: &ParallelExecutor,
+    guard: TrainGuard,
+    hooks: EpochHooks<'_>,
+) -> Result<TrainedSage, TrainError> {
+    assert!(graph.num_edges() > 0, "train_unsupervised: graph has no edges");
+    let kind = objective.kind();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut store = ParamStore::new();
     let sage = BipartiteSage::new(&mut store, "sage", sage_cfg, &mut rng);
@@ -446,8 +417,6 @@ pub fn train_unsupervised_checked(
         Some((_, i)) => crate::sage::FeatureSource::Trainable(i),
         None => crate::sage::FeatureSource::Fixed(&if_),
     };
-    let neg_user_sampler = NegativeSampler::new(graph, Side::Left, 0.75);
-    let neg_item_sampler = NegativeSampler::new(graph, Side::Right, 0.75);
     let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
 
     let edges = graph.edges();
@@ -489,15 +458,13 @@ pub fn train_unsupervised_checked(
             // configured shard count, never on the worker count.
             let shard_len = n.div_ceil(cfg.grad_shards.max(1));
             let num_shards = n.div_ceil(shard_len);
-            let ctx = ShardCtx {
+            let ctx = ObjectiveCtx {
                 store: &store,
                 sage: &sage,
                 scorer: &scorer,
                 graph,
                 user_src,
                 item_src,
-                neg_user_sampler: &neg_user_sampler,
-                neg_item_sampler: &neg_item_sampler,
                 cfg,
             };
             let shard_results: Vec<(f32, Gradients)> = exec.map(num_shards, |s| {
@@ -524,13 +491,17 @@ pub fn train_unsupervised_checked(
                 // numbers — leases are zeroed or fully overwritten — so a
                 // re-executed shard is bitwise identical either way.
                 let ws = workspaces[s].lock().unwrap_or_else(PoisonError::into_inner);
+                let shard_batch = ShardBatch {
+                    users: &users[lo..hi],
+                    items: &items[lo..hi],
+                    weights: &weights[lo..hi],
+                    gamma,
+                };
                 shard_pass(
                     &ctx,
+                    objective,
                     &ws,
-                    &users[lo..hi],
-                    &items[lo..hi],
-                    &weights[lo..hi],
-                    gamma,
+                    &shard_batch,
                     (hi - lo) as f32 / n as f32,
                     &mut shard_rng,
                 )
@@ -554,10 +525,17 @@ pub fn train_unsupervised_checked(
             // values only (plus the clock), gated so a metrics-off run
             // does none of this work.
             if obs::enabled() {
+                let grad_norm = grad_l2_norm(&grads);
                 obs::counter_add("train.batches", 1);
                 obs::counter_add("train.edges", n as u64);
                 obs::histogram_record("train.batch_loss", batch_loss);
-                obs::histogram_record("train.grad_norm", grad_l2_norm(&grads));
+                obs::histogram_record("train.grad_norm", grad_norm);
+                // Objective-namespaced mirrors: which loss produced the
+                // numbers, so runs with different objectives separate
+                // cleanly in the report.
+                obs::counter_add(kind.obs_batches(), 1);
+                obs::histogram_record(kind.obs_batch_loss(), batch_loss);
+                obs::histogram_record(kind.obs_grad_norm(), grad_norm);
                 if let Some(t0) = batch_start {
                     obs::histogram_record("train.batch_seconds", t0.elapsed().as_secs_f64());
                 }
@@ -578,6 +556,7 @@ pub fn train_unsupervised_checked(
         if obs::enabled() {
             obs::counter_add("train.epochs", 1);
             obs::series_push("train.epoch_loss", mean_loss as f64);
+            obs::series_push(kind.obs_epoch_loss(), mean_loss as f64);
             obs::gauge_set("train.last_epoch_loss", mean_loss as f64);
         }
         if obs::log_enabled() {

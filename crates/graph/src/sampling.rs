@@ -172,6 +172,15 @@ impl NegativeSampler {
         NegativeSampler { table: AliasTable::new(&weights) }
     }
 
+    /// Side-generic constructor with the conventional `deg^0.75` unigram
+    /// smoothing — the `P_n` every shipped training objective draws
+    /// negatives from. Objective implementations build their samplers
+    /// through this (one call per side) instead of hard-coding the power
+    /// at each trainer call site.
+    pub fn degree_biased(graph: &BipartiteGraph, side: Side) -> Self {
+        Self::new(graph, side, 0.75)
+    }
+
     /// Draws one negative vertex id.
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         self.table.sample(rng)
@@ -180,6 +189,16 @@ impl NegativeSampler {
     /// Draws `n` negative vertex ids.
     pub fn sample_many(&self, n: usize, rng: &mut impl Rng) -> Vec<usize> {
         (0..n).map(|_| self.table.sample(rng)).collect()
+    }
+
+    /// Draws `n` negative vertex ids from a private stream derived from
+    /// `seed`. For callers that need sampler determinism without an RNG
+    /// of their own (shard workers derive `seed` from their logical
+    /// coordinates); identical `(n, seed)` always yields identical draws.
+    pub fn sample_many_seeded(&self, n: usize, seed: u64) -> Vec<usize> {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.sample_many(n, &mut rng)
     }
 }
 
@@ -322,6 +341,56 @@ mod tests {
         let popular = draws.iter().filter(|&&v| v == 0).count() as f64 / draws.len() as f64;
         // deg 3 vs deg 1 with 0.75 power: 3^0.75 / (3^0.75 + 1) ≈ 0.695.
         assert!((popular - 0.695).abs() < 0.02, "popular fraction {popular}");
+    }
+
+    #[test]
+    fn degree_biased_matches_explicit_power() {
+        let g = toy();
+        let a = NegativeSampler::degree_biased(&g, Side::Right);
+        let b = NegativeSampler::new(&g, Side::Right, 0.75);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        assert_eq!(a.sample_many(1000, &mut ra), b.sample_many(1000, &mut rb));
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic_and_seed_sensitive() {
+        let g = toy();
+        let s = NegativeSampler::degree_biased(&g, Side::Left);
+        assert_eq!(s.sample_many_seeded(64, 7), s.sample_many_seeded(64, 7));
+        assert_ne!(s.sample_many_seeded(64, 7), s.sample_many_seeded(64, 8));
+        // Matches an external StdRng with the same seed.
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(s.sample_many_seeded(64, 7), s.sample_many(64, &mut rng));
+    }
+
+    #[test]
+    fn objective_constructor_path_keeps_zero_weight_fallback() {
+        // Regression at the objective-facing call site: training
+        // objectives build their samplers with `degree_biased` and embed
+        // through weight-biased neighbour sampling. On a graph whose
+        // incident weights are all zero, both must stay panic-free (PR 5
+        // uniform fallback) and deterministic.
+        let g = BipartiteGraph::from_edges_unchecked(
+            3,
+            3,
+            vec![(0, 0, 0.0), (0, 1, 0.0), (1, 1, 0.0), (2, 2, 0.0)],
+        );
+        let users = NegativeSampler::degree_biased(&g, Side::Left);
+        let items = NegativeSampler::degree_biased(&g, Side::Right);
+        assert_eq!(users.sample_many_seeded(32, 5), users.sample_many_seeded(32, 5));
+        assert_eq!(items.sample_many_seeded(32, 5), items.sample_many_seeded(32, 5));
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = sample_neighbors(
+            &g,
+            Side::Left,
+            &[0, 1, 2],
+            16,
+            SamplingMode::WeightBiased,
+            &mut rng,
+        );
+        assert_eq!(s.len(), 48);
+        assert!(s.iter().all(|&x| x <= 2), "fallback must stay within real neighbours");
     }
 
     #[test]

@@ -105,6 +105,10 @@ enum Op {
     /// Mean binary cross entropy with logits against fixed targets;
     /// produces a `1 x 1` scalar. `weights` optionally reweights samples.
     BceWithLogits { logits: usize, targets: Vec<f32>, weights: Option<Vec<f32>> },
+    /// Grouped InfoNCE: softmax cross-entropy of one positive logit
+    /// against `group` negative logits per anchor (logits pre-scaled by
+    /// `inv_temp`), averaged over anchors into a `1 x 1` scalar.
+    InfoNce { pos: usize, neg: usize, group: usize, inv_temp: f32 },
 }
 
 /// Where a node's forward value lives: owned by the tape, or borrowed
@@ -557,6 +561,51 @@ impl<'s> Tape<'s> {
         )
     }
 
+    /// Grouped InfoNCE loss (scalar).
+    ///
+    /// `pos` is `n x 1` (one positive similarity per anchor) and `neg` is
+    /// `(n * group) x 1`, anchor `i`'s negatives occupying rows
+    /// `i*group .. (i+1)*group`. Each anchor contributes the softmax
+    /// cross-entropy of its positive against its negatives with logits
+    /// divided by `temperature`:
+    ///
+    /// ```text
+    /// loss_i = logsumexp([p_i, n_i1, .., n_ik] / τ) - p_i / τ
+    /// ```
+    ///
+    /// and the result is the mean over anchors. Uses the max-shifted
+    /// log-sum-exp, so arbitrarily large similarities stay finite.
+    pub fn info_nce(&mut self, pos: Var, neg: Var, group: usize, temperature: f32) -> Var {
+        assert_eq!(pos.cols, 1, "info_nce: pos must be n x 1");
+        assert_eq!(neg.cols, 1, "info_nce: neg must be (n*group) x 1");
+        assert!(group >= 1, "info_nce: group must be at least 1");
+        assert!(
+            temperature.is_finite() && temperature > 0.0,
+            "info_nce: temperature must be positive and finite"
+        );
+        assert_eq!(neg.rows, pos.rows * group, "info_nce: neg rows must be pos rows * group");
+        let inv_temp = 1.0 / temperature;
+        let (pm, nm) = (self.value(pos), self.value(neg));
+        let mut total = 0.0f64;
+        for i in 0..pos.rows {
+            let p = pm.get(i, 0) * inv_temp;
+            let mut m = p;
+            for r in 0..group {
+                m = m.max(nm.get(i * group + r, 0) * inv_temp);
+            }
+            let mut s = (p - m).exp();
+            for r in 0..group {
+                s += (nm.get(i * group + r, 0) * inv_temp - m).exp();
+            }
+            total += (m + s.ln() - p) as f64;
+        }
+        let value = self.mat_full(1, 1, (total / pos.rows.max(1) as f64) as f32);
+        self.push(
+            Stored::Owned(value),
+            Op::InfoNce { pos: pos.id, neg: neg.id, group, inv_temp },
+        )
+    }
+
     // ---- backward -----------------------------------------------------
 
     /// Runs reverse-mode differentiation from the scalar `loss`, returning
@@ -802,6 +851,33 @@ impl<'s> Tape<'s> {
                         gl.set(i, 0, scale * w * (y - t));
                     }
                     accum(&mut grads, *logits, gl, self.ws);
+                    self.reclaim_mat(g);
+                }
+                Op::InfoNce { pos, neg, group, inv_temp } => {
+                    let (pm, nm) = (self.nval(*pos), self.nval(*neg));
+                    let scale = g.get(0, 0) * inv_temp / pm.rows().max(1) as f32;
+                    let mut gp = self.mat_zeroed(pm.rows(), 1);
+                    let mut gn = self.mat_zeroed(nm.rows(), 1);
+                    for i in 0..pm.rows() {
+                        let p = pm.get(i, 0) * inv_temp;
+                        let mut m = p;
+                        for r in 0..*group {
+                            m = m.max(nm.get(i * group + r, 0) * inv_temp);
+                        }
+                        let ep = (p - m).exp();
+                        let mut s = ep;
+                        for r in 0..*group {
+                            s += (nm.get(i * group + r, 0) * inv_temp - m).exp();
+                        }
+                        // d/d logit = softmax - onehot(positive).
+                        gp.set(i, 0, scale * (ep / s - 1.0));
+                        for r in 0..*group {
+                            let e = (nm.get(i * group + r, 0) * inv_temp - m).exp();
+                            gn.set(i * group + r, 0, scale * (e / s));
+                        }
+                    }
+                    accum(&mut grads, *pos, gp, self.ws);
+                    accum(&mut grads, *neg, gn, self.ws);
                     self.reclaim_mat(g);
                 }
             }
@@ -1201,5 +1277,57 @@ mod tests {
         // -log(sigmoid(0)) = ln 2; -log(1 - sigmoid(2)) = ln(1 + e^2).
         let manual = ((2.0f32).ln() + (1.0 + (2.0f32).exp()).ln()) / 2.0;
         assert!((t.scalar(loss) - manual).abs() < 1e-5, "{} vs {}", t.scalar(loss), expected);
+    }
+
+    #[test]
+    fn info_nce_matches_manual_computation() {
+        // One anchor, two negatives, τ = 0.5: loss = lse([p,n1,n2]/τ) - p/τ.
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let pos = t.input(Matrix::column_vector(&[1.0]));
+        let neg = t.input(Matrix::column_vector(&[0.5, -0.25]));
+        let loss = t.info_nce(pos, neg, 2, 0.5);
+        let (p, n1, n2) = (2.0f64, 1.0f64, -0.5f64);
+        let manual = (p.exp() + n1.exp() + n2.exp()).ln() - p;
+        assert!(
+            (t.scalar(loss) as f64 - manual).abs() < 1e-6,
+            "{} vs {manual}",
+            t.scalar(loss)
+        );
+    }
+
+    #[test]
+    fn info_nce_is_stable_at_extreme_logits() {
+        let store = ParamStore::new();
+        let mut t = Tape::new(&store);
+        let pos = t.input(Matrix::column_vector(&[400.0, -400.0]));
+        let neg = t.input(Matrix::column_vector(&[-400.0, 400.0]));
+        let loss = t.info_nce(pos, neg, 1, 1.0);
+        assert!(t.scalar(loss).is_finite());
+        // Anchor 0 is trivially right (≈0 loss), anchor 1 trivially
+        // wrong (≈800 nats): the mean sits near 400.
+        assert!((t.scalar(loss) - 400.0).abs() < 1.0, "{}", t.scalar(loss));
+        let grads = t.backward(loss);
+        drop(grads);
+    }
+
+    #[test]
+    fn info_nce_gradients_check() {
+        // Similarities produced by dot_rows over two parameter tables, the
+        // exact graph shape the contrastive objective builds.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut store = ParamStore::new();
+        let a = store.add("a", xavier_uniform(3, 4, &mut rng));
+        let b = store.add("b", xavier_uniform(3, 4, &mut rng));
+        let npool = store.add("npool", xavier_uniform(6, 4, &mut rng));
+        check_param_grads(&store, &[a, b, npool], 1e-2, 2e-2, move |t| {
+            let av = t.param(a);
+            let bv = t.param(b);
+            let nv = t.param(npool);
+            let pos = t.dot_rows(av, bv);
+            let a_rep = t.gather_rows(av, &[0, 0, 1, 1, 2, 2]);
+            let neg = t.dot_rows(a_rep, nv);
+            t.info_nce(pos, neg, 2, 0.4)
+        });
     }
 }

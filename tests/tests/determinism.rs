@@ -310,6 +310,35 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Objective-refactor parity: the `EdgeReconstruction` objective is the
+// Eq. 5 loss *extracted* from the pre-objective trainer, and extraction
+// must not move a single bit. The golden hash below is the FNV-1a of
+// the serialised `build_at(1)` hierarchy captured on the commit
+// immediately before the `Objective` trait was introduced; the default
+// configuration (objective = EdgeReconstruction) must keep reproducing
+// it forever, at 1 and 4 threads.
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[test]
+fn edge_reconstruction_matches_pre_refactor_golden() {
+    let bytes = build_at(1);
+    assert_eq!(
+        fnv1a(&bytes),
+        6_834_896_770_852_577_748,
+        "EdgeReconstruction diverged from the pre-refactor trainer (1 thread)"
+    );
+    assert_eq!(build_at(4), bytes, "EdgeReconstruction diverged at 4 threads");
+}
+
 #[test]
 fn grad_shards_change_bits_but_threads_never_do() {
     // Sanity check of the contract's two halves: grad_shards is part of
