@@ -1,0 +1,178 @@
+//! Serving-engine benchmark: trains a hierarchy on a synthetic
+//! Taobao-like graph, then measures the hierarchy-as-index top-k engine
+//! end to end —
+//!
+//! * per-request latency (p50/p99) and QPS at 1/2/4 serving threads,
+//! * recall@k against the exhaustive-scoring oracle at several beam
+//!   widths (and beam ∞, which must be *bitwise* identical),
+//! * 1-thread vs 4-thread batch equality (bitwise).
+//!
+//! Violating either bitwise contract exits 5 (divergence), matching the
+//! workspace's determinism benches. Results land in `BENCH_serve.json`.
+//!
+//! ```sh
+//! cargo run --release -p hignn-bench --bin serve -- [--scale F] [--seed N] [--levels L] [--quick]
+//! ```
+
+use hignn_bench::report::banner;
+use hignn_bench::{pipeline, ExpArgs};
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_serve::{
+    latency_sweep, recall_sweep, BeamWidth, ServeModel, TopKRequest, DEFAULT_BEAM_WIDTH,
+    DEFAULT_SCORER_SEED, DEFAULT_TOP_K,
+};
+use hignn_tensor::ParallelExecutor;
+use std::fmt::Write as _;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const BEAM_WIDTHS: [BeamWidth; 6] = [
+    BeamWidth::Finite(1),
+    BeamWidth::Finite(2),
+    BeamWidth::Finite(4),
+    BeamWidth::Finite(8),
+    BeamWidth::Finite(16),
+    BeamWidth::Infinite,
+];
+
+/// Bits of a batch result, for exact cross-thread comparison.
+fn result_bits(results: &[Result<Vec<hignn_serve::ScoredItem>, hignn::error::HignnError>]) -> Vec<(u32, u32)> {
+    results
+        .iter()
+        .flat_map(|r| {
+            r.as_ref()
+                .expect("bench requests are valid")
+                .iter()
+                .map(|s| (s.item, s.score.to_bits()))
+        })
+        .collect()
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let levels = args.levels.unwrap_or(2);
+    let k = DEFAULT_TOP_K;
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let ds = generate_taobao(&TaobaoConfig { seed: args.seed, ..TaobaoConfig::taobao1(args.scale) });
+    banner("Serving engine — hierarchy-as-index top-k retrieval");
+    println!(
+        "host cores: {host_cores} | graph: {} users x {} items, {} edges | scale {} | L = {levels}",
+        ds.num_users(),
+        ds.num_items(),
+        ds.graph.num_edges(),
+        args.scale
+    );
+
+    let hierarchy = pipeline::train_hierarchy(&ds, levels, 5.0, args.seed);
+    let model = ServeModel::from_hierarchy(hierarchy, DEFAULT_SCORER_SEED);
+    println!(
+        "model: {} users, {} items, {} levels | scorer seed {DEFAULT_SCORER_SEED}",
+        model.num_users(),
+        model.num_items(),
+        model.num_levels()
+    );
+
+    // --- Latency/QPS at the default beam width, 1..N threads. ---
+    let requests: usize = if args.quick { 64 } else { 512 };
+    let stream: Vec<TopKRequest> = (0..requests)
+        .map(|i| TopKRequest { user: i % model.num_users(), k, beam: DEFAULT_BEAM_WIDTH })
+        .collect();
+    let mut latency = Vec::new();
+    for &threads in &THREAD_COUNTS {
+        let p = latency_sweep(&model, &stream, threads);
+        println!(
+            "threads {threads}: p50 {:.1}us | p99 {:.1}us | {:.0} qps{}",
+            p.p50_us,
+            p.p99_us,
+            p.qps,
+            if threads > host_cores { "  [core-gated]" } else { "" },
+        );
+        latency.push(p);
+    }
+
+    // --- Recall@k vs beam width, against the exhaustive oracle. ---
+    let users: Vec<usize> = (0..model.num_users().min(128)).collect();
+    let mut recall = Vec::new();
+    for beam in BEAM_WIDTHS {
+        let p = recall_sweep(&model, &users, k, beam);
+        println!("beam {:>4}: recall@{k} {:.4}", beam.to_string(), p.recall);
+        recall.push(p);
+    }
+
+    // --- Bitwise contracts. ---
+    // Beam ∞ must return exactly the exhaustive items *and score bits*.
+    let mut beam_inf_bitwise = true;
+    for &user in &users {
+        let approx = model.top_k(user, k, BeamWidth::Infinite).unwrap();
+        let exact = model.exhaustive_top_k(user, k).unwrap();
+        let ab: Vec<(u32, u32)> = approx.iter().map(|s| (s.item, s.score.to_bits())).collect();
+        let eb: Vec<(u32, u32)> = exact.iter().map(|s| (s.item, s.score.to_bits())).collect();
+        if ab != eb {
+            eprintln!("DIVERGENCE: beam-inf top-{k} for user {user} != exhaustive");
+            beam_inf_bitwise = false;
+        }
+    }
+    // A fixed request stream must serve bitwise identically at 1 and 4
+    // threads.
+    let one = result_bits(&model.serve_batch(&stream, &ParallelExecutor::new(1)));
+    let four = result_bits(&model.serve_batch(&stream, &ParallelExecutor::new(4)));
+    let threads_bitwise = one == four;
+    if !threads_bitwise {
+        eprintln!("DIVERGENCE: 4-thread serve_batch differs from 1-thread");
+    }
+    println!(
+        "beam-inf bitwise == exhaustive: {beam_inf_bitwise} | 1 vs 4 threads bitwise: {threads_bitwise}"
+    );
+
+    // --- BENCH_serve.json ---
+    let mut lat_json = String::from("  \"latency\": [\n");
+    for (i, p) in latency.iter().enumerate() {
+        let comma = if i + 1 < latency.len() { "," } else { "" };
+        let _ = writeln!(
+            lat_json,
+            "    {{\"threads\": {}, \"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"qps\": {:.1}, \"core_gated\": {}}}{comma}",
+            p.threads,
+            p.requests,
+            p.p50_us,
+            p.p99_us,
+            p.qps,
+            p.threads > host_cores,
+        );
+    }
+    lat_json.push_str("  ]");
+    let mut rec_json = String::from("  \"recall\": [\n");
+    for (i, p) in recall.iter().enumerate() {
+        let comma = if i + 1 < recall.len() { "," } else { "" };
+        let _ = writeln!(
+            rec_json,
+            "    {{\"beam_width\": \"{}\", \"recall\": {:.6}}}{comma}",
+            p.beam, p.recall
+        );
+    }
+    rec_json.push_str("  ]");
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"scale\": {},\n  \"seed\": {},\n  \"levels\": {levels},\n  \
+         \"k\": {k},\n  \"default_beam_width\": \"{DEFAULT_BEAM_WIDTH}\",\n  \
+         \"scorer_seed\": {DEFAULT_SCORER_SEED},\n  \
+         \"num_users\": {},\n  \"num_items\": {},\n  \"available_cores\": {host_cores},\n\
+         {lat_json},\n{rec_json},\n  \
+         \"beam_inf_bitwise_exhaustive\": {beam_inf_bitwise},\n  \
+         \"threads_bitwise_identical\": {threads_bitwise},\n  \
+         \"note\": \"Latency percentiles are nearest-rank over per-request wall times at the \
+         default beam width; QPS is batch wall-clock. Entries with core_gated = true ran more \
+         serving threads than available_parallelism, so they measure dispatch overhead, not \
+         scaling. Recall@k is measured against exhaustively scoring every item; beam width `inf` \
+         is asserted bitwise identical to the exhaustive oracle, and a fixed request stream is \
+         asserted bitwise identical at 1 and 4 serving threads.\"\n}}\n",
+        args.scale,
+        args.seed,
+        model.num_users(),
+        model.num_items(),
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+    if !beam_inf_bitwise || !threads_bitwise {
+        std::process::exit(5);
+    }
+}

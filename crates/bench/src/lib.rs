@@ -14,6 +14,9 @@
 //! * `table7_taxonomy_quality` — Table VII (SHOAL vs HiGNN).
 //! * `fig5_case_study` — Figure 5 (rendered topic tree).
 //! * `ab_taxonomy_ctr` — Section V.D.4 (taxonomy-matched recommendation CTR).
+//! * `serve` — serving engine: top-k latency/QPS vs threads and
+//!   recall@k vs beam width against the exhaustive oracle
+//!   (`BENCH_serve.json`).
 
 #![warn(missing_docs)]
 

@@ -11,6 +11,10 @@ use hignn::prelude::*;
 use hignn::stack::GuardPolicy;
 use hignn_graph::edgelist::{read_edge_list_with, LinePolicy, ParsedEdgeList};
 use hignn_graph::GraphStats;
+use hignn_serve::{
+    latency_sweep, recall_sweep, BeamWidth, ServeModel, TopKRequest, DEFAULT_BEAM_WIDTH,
+    DEFAULT_SCORER_SEED, DEFAULT_TOP_K,
+};
 use hignn_tensor::serialize::write_matrix;
 use hignn_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -34,6 +38,10 @@ USAGE:
   hignn info     --model MODEL
   hignn embed    --model MODEL --side user|item --out FILE.hgmx
   hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
+  hignn topk     --model MODEL --user U [--topk 10] [--beam-width 16]
+                 [--scorer-seed 2020]
+  hignn serve-bench --model MODEL [--topk 10] [--beam-width 16]
+                 [--serve-threads N] [--requests 256] [--scorer-seed 2020]
   hignn help
 
 OBJECTIVES:
@@ -75,6 +83,18 @@ OBSERVABILITY:
   trained model. Counter totals ride inside checkpoint metadata, so a
   resumed run continues its counters instead of restarting at zero.
 
+SERVING:
+  `topk` answers one recommendation request by coarse-to-fine beam
+  search over the trained cluster tree: level-L cluster representatives
+  are scored first, the best --beam-width branches descend, and the
+  surviving leaves are re-ranked exactly (Eq. 7 MLP). --beam-width inf
+  prunes nothing and is bitwise identical to exhaustively scoring every
+  item. The Eq. 7 head is derived deterministically from --scorer-seed,
+  so (model, seed) fully determines every ranking. `serve-bench` replays
+  --requests requests through the engine on --serve-threads workers
+  (default: all cores; any N is bitwise identical to 1) and reports
+  p50/p99 latency, QPS, and recall@k against the exhaustive oracle.
+
 EXIT CODES:
   0 ok | 2 usage/config | 3 I/O | 4 corrupt data | 5 diverged
   6 injected fault | 7 deadline exceeded (checkpointed; resumable)
@@ -95,6 +115,8 @@ pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
         "info" => info(opts, out),
         "embed" => embed(opts, out),
         "generate" => generate(opts, out),
+        "topk" => topk(opts, out),
+        "serve-bench" => serve_bench(opts, out),
         "help" | "" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -412,6 +434,82 @@ fn generate(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
             ds.num_items()
         ),
     );
+    Ok(())
+}
+
+/// Parses `--beam-width` (positive integer or `inf`; defaults to the
+/// engine's default width).
+fn parse_beam(opts: &Opts) -> Result<BeamWidth, HignnError> {
+    match opts.get("beam-width") {
+        None => Ok(DEFAULT_BEAM_WIDTH),
+        Some(token) => token
+            .parse()
+            .map_err(|e: String| HignnError::Config(format!("--beam-width: {e}"))),
+    }
+}
+
+fn topk(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&["model", "user", "topk", "beam-width", "scorer-seed"]))?;
+    let path = usage(opts.require("model"))?;
+    let user: usize = usage(opts.require("user"))?
+        .parse()
+        .map_err(|_| HignnError::Config("--user must be a non-negative integer".into()))?;
+    let k: usize = usage(opts.get_or("topk", DEFAULT_TOP_K))?;
+    let beam = parse_beam(opts)?;
+    let seed: u64 = usage(opts.get_or("scorer-seed", DEFAULT_SCORER_SEED))?;
+    let model = ServeModel::load(path, seed)?;
+    let ranked = model.top_k(user, k, beam)?;
+    emit(out, format!("user {user} top-{k} (beam {beam}, scorer seed {seed}):"));
+    for (rank, s) in ranked.iter().enumerate() {
+        emit(out, format!("  {:>3}. item {:<10} score {:+.6}", rank + 1, s.item, s.score));
+    }
+    Ok(())
+}
+
+fn serve_bench(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    usage(opts.assert_known(&[
+        "model", "topk", "beam-width", "serve-threads", "requests", "scorer-seed",
+    ]))?;
+    let path = usage(opts.require("model"))?;
+    let k: usize = usage(opts.get_or("topk", DEFAULT_TOP_K))?;
+    let beam = parse_beam(opts)?;
+    let seed: u64 = usage(opts.get_or("scorer-seed", DEFAULT_SCORER_SEED))?;
+    let default_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads: usize = usage(opts.get_or("serve-threads", default_threads))?;
+    if threads == 0 {
+        return Err(HignnError::Config("--serve-threads must be at least 1".into()));
+    }
+    let requests: usize = usage(opts.get_or("requests", 256))?;
+    if requests == 0 {
+        return Err(HignnError::Config("--requests must be at least 1".into()));
+    }
+    let model = ServeModel::load(path, seed)?;
+    // Surface bad (k, user-range) combinations as usage errors before
+    // the sweep, which asserts requests are valid.
+    model.top_k(0, k, beam)?;
+    let stream: Vec<TopKRequest> = (0..requests)
+        .map(|i| TopKRequest { user: i % model.num_users(), k, beam })
+        .collect();
+    emit(
+        out,
+        format!(
+            "serve-bench: {} users, {} items, {} levels | {requests} requests, beam {beam}",
+            model.num_users(),
+            model.num_items(),
+            model.num_levels()
+        ),
+    );
+    let lat = latency_sweep(&model, &stream, threads);
+    emit(
+        out,
+        format!(
+            "latency ({} threads): p50 {:.1}us | p99 {:.1}us | {:.0} qps",
+            lat.threads, lat.p50_us, lat.p99_us, lat.qps
+        ),
+    );
+    let users: Vec<usize> = (0..model.num_users().min(64)).collect();
+    let rec = recall_sweep(&model, &users, k, beam);
+    emit(out, format!("recall@{k} vs exhaustive (beam {beam}): {:.4}", rec.recall));
     Ok(())
 }
 
@@ -811,6 +909,114 @@ mod tests {
         assert_eq!(err.exit_code(), 2);
         let _ = std::fs::remove_file(model);
         let _ = std::fs::remove_file(edges);
+    }
+
+    /// Generates and trains a tiny model, returning its path (caller
+    /// removes it).
+    fn tiny_model(tag: &str) -> std::path::PathBuf {
+        let edges = temp_path(&format!("{tag}_edges.tsv"));
+        let model = temp_path(&format!("{tag}_model.hgh"));
+        let (res, _) =
+            run_args(&["generate", "--out", edges.to_str().unwrap(), "--scale", "0.05", "--seed", "7"]);
+        assert!(res.is_ok(), "{res:?}");
+        let (res, _) = run_args(&[
+            "train", "--edges", edges.to_str().unwrap(), "--out", model.to_str().unwrap(),
+            "--levels", "2", "--dim", "8", "--epochs", "1", "--alpha", "6",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        let _ = std::fs::remove_file(edges);
+        model
+    }
+
+    #[test]
+    fn topk_serves_and_beam_inf_matches_default_schema() {
+        let model = tiny_model("topk");
+        let model_s = model.to_str().unwrap();
+        let (res, text) = run_args(&["topk", "--model", model_s, "--user", "0", "--topk", "5"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("top-5"), "{text}");
+        assert_eq!(text.lines().filter(|l| l.contains("item")).count(), 5, "{text}");
+
+        // Beam inf parses and serves too.
+        let (res, text) = run_args(&[
+            "topk", "--model", model_s, "--user", "1", "--beam-width", "inf",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("beam inf"), "{text}");
+
+        // Identical query, identical output (engine determinism through
+        // the CLI surface).
+        let (_, a) = run_args(&["topk", "--model", model_s, "--user", "2"]);
+        let (_, b) = run_args(&["topk", "--model", model_s, "--user", "2"]);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn malformed_serve_requests_are_usage_errors_not_panics() {
+        let model = tiny_model("badreq");
+        let model_s = model.to_str().unwrap();
+        // k = 0.
+        let (res, _) = run_args(&["topk", "--model", model_s, "--user", "0", "--topk", "0"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        // k > number of items.
+        let (res, _) = run_args(&["topk", "--model", model_s, "--user", "0", "--topk", "9999999"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        // Unknown user.
+        let (res, _) = run_args(&["topk", "--model", model_s, "--user", "9999999"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("unknown user"), "{err}");
+        // Bad beam width.
+        for bad in ["0", "wide"] {
+            let (res, _) =
+                run_args(&["topk", "--model", model_s, "--user", "0", "--beam-width", bad]);
+            let err = res.unwrap_err();
+            assert_eq!(err.exit_code(), 2, "beam `{bad}`: {err}");
+            assert!(err.to_string().contains("beam-width"), "{err}");
+        }
+        // serve-bench validates its own knobs.
+        let (res, _) = run_args(&["serve-bench", "--model", model_s, "--serve-threads", "0"]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+        let (res, _) = run_args(&["serve-bench", "--model", model_s, "--requests", "0"]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn corrupt_model_is_a_structured_serve_error() {
+        let model = tiny_model("corrupt_serve");
+        let model_s = model.to_str().unwrap();
+        let mut bytes = std::fs::read(&model).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&model, &bytes).unwrap();
+        let (res, _) = run_args(&["topk", "--model", model_s, "--user", "0"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 4, "corrupt model must exit 4: {err}");
+        // Missing model file stays an I/O error.
+        let (res, _) = run_args(&["topk", "--model", "/nonexistent/m.hgh", "--user", "0"]);
+        assert_eq!(res.unwrap_err().exit_code(), 3);
+        let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn serve_bench_reports_latency_and_perfect_recall_at_beam_inf() {
+        let model = tiny_model("sbench");
+        let model_s = model.to_str().unwrap();
+        let (res, text) = run_args(&[
+            "serve-bench", "--model", model_s, "--requests", "16", "--serve-threads", "2",
+            "--beam-width", "inf", "--topk", "5",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("qps"), "{text}");
+        assert!(text.contains("recall@5 vs exhaustive (beam inf): 1.0000"), "{text}");
+        let _ = std::fs::remove_file(model);
     }
 
     #[test]

@@ -113,6 +113,146 @@ pub(crate) fn read_section<R: Read>(r: &mut R, what: &str) -> io::Result<Vec<u8>
 }
 
 // ---------------------------------------------------------------------
+// Zero-copy section access for read-only consumers (serving).
+
+/// A zero-copy reader over CRC-framed sections held in memory.
+///
+/// Where the streaming reader copies each payload out of a `Read`
+/// stream, the cursor walks a byte slice already in memory and hands
+/// back *borrowed* payload slices after verifying the frame: declared
+/// length within the 1 GiB plausibility cap and the buffer, and the trailing
+/// CRC32 matching the payload. Nothing is copied and nothing is
+/// mutated, which is what a serving process wants — validate once at
+/// load, then parse sections in place.
+///
+/// Corruption surfaces as `InvalidData`, which [`crate::error::HignnError::io`]
+/// promotes to `Corrupt` (exit code 4); a truncated or bit-flipped file
+/// can never panic the reader or silently yield wrong sections.
+#[derive(Clone, Debug)]
+pub struct SectionCursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SectionCursor<'a> {
+    /// A cursor over raw section frames (no container magic/version).
+    pub fn new(buf: &'a [u8]) -> SectionCursor<'a> {
+        SectionCursor { buf, pos: 0 }
+    }
+
+    /// A cursor positioned after the `HGHI` magic and version word of a
+    /// v2 hierarchy image. Rejects bad magic, v1 (which has no section
+    /// framing — use [`read_hierarchy`]), and unknown versions.
+    pub fn over_hierarchy(bytes: &'a [u8]) -> io::Result<SectionCursor<'a>> {
+        if bytes.len() < 8 {
+            return Err(bad_data("hierarchy: truncated before version word"));
+        }
+        if &bytes[..4] != HIERARCHY_MAGIC {
+            return Err(bad_data("hierarchy: bad magic"));
+        }
+        match u32::from_le_bytes(bytes[4..8].try_into().unwrap()) {
+            FORMAT_VERSION => Ok(SectionCursor { buf: bytes, pos: 8 }),
+            FORMAT_VERSION_V1 => Err(bad_data(
+                "hierarchy: v1 files have no section framing (read with read_hierarchy)",
+            )),
+            other => Err(bad_data(&format!(
+                "hierarchy: unsupported version {other} (this build reads v1 and v2)"
+            ))),
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole buffer.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Verifies and returns the next section's payload as a borrowed
+    /// slice, advancing past its frame.
+    pub fn next_section(&mut self, what: &str) -> io::Result<&'a [u8]> {
+        let rest = &self.buf[self.pos..];
+        if rest.len() < 8 {
+            return Err(bad_data(&format!("{what}: truncated section (length missing)")));
+        }
+        let len = u64::from_le_bytes(rest[..8].try_into().unwrap());
+        if len > MAX_SECTION_LEN {
+            return Err(bad_data(&format!("{what}: implausible section length {len}")));
+        }
+        let len = len as usize;
+        let body = &rest[8..];
+        if body.len() < len {
+            return Err(bad_data(&format!(
+                "{what}: truncated section (declared {len} bytes, found {})",
+                body.len()
+            )));
+        }
+        let payload = &body[..len];
+        let tail = &body[len..];
+        if tail.len() < 4 {
+            return Err(bad_data(&format!("{what}: truncated section (checksum missing)")));
+        }
+        let expected = u32::from_le_bytes(tail[..4].try_into().unwrap());
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(bad_data(&format!(
+                "{what}: checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            )));
+        }
+        self.pos += 8 + len + 4;
+        Ok(payload)
+    }
+}
+
+/// Reads a hierarchy from an in-memory byte image.
+///
+/// The v2 path walks the image with a [`SectionCursor`], so payload
+/// bytes are CRC-verified and parsed *in place* — no per-section copy —
+/// and each level is decoded exactly once. Legacy v1 images fall back
+/// to the streaming [`read_hierarchy`]. This is the loading path of the
+/// read-only serving view (`hignn-serve`).
+pub fn read_hierarchy_bytes(bytes: &[u8]) -> io::Result<Hierarchy> {
+    // v1 has no section framing; delegate to the streaming reader.
+    if bytes.len() >= 8
+        && &bytes[..4] == HIERARCHY_MAGIC
+        && u32::from_le_bytes(bytes[4..8].try_into().unwrap()) == FORMAT_VERSION_V1
+    {
+        return read_hierarchy(&mut &bytes[..]);
+    }
+    let mut cursor = SectionCursor::over_hierarchy(bytes)?;
+    let header = cursor.next_section("hierarchy header")?;
+    if header.len() != 24 {
+        return Err(bad_data(&format!(
+            "hierarchy header: expected 24 bytes, got {}",
+            header.len()
+        )));
+    }
+    let num_users = u64::from_le_bytes(header[..8].try_into().unwrap()) as usize;
+    let num_items = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+    let num_levels = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+    if num_levels > 64 {
+        return Err(bad_data("hierarchy: implausible level count"));
+    }
+    let mut levels = Vec::with_capacity(num_levels);
+    for l in 0..num_levels {
+        let what = format!("hierarchy level {}", l + 1);
+        let payload = cursor.next_section(&what)?;
+        levels.push(decode_level(payload, &what)?);
+    }
+    if !cursor.is_exhausted() {
+        return Err(bad_data(&format!(
+            "hierarchy: {} trailing bytes after the last level",
+            cursor.remaining()
+        )));
+    }
+    Hierarchy::from_parts(levels, num_users, num_items)
+        .map_err(|e| bad_data(&format!("hierarchy: {e}")))
+}
+
+// ---------------------------------------------------------------------
 // Assignment + level codecs.
 
 fn write_assignment<W: Write>(w: &mut W, a: &Assignment) -> io::Result<()> {
@@ -200,7 +340,11 @@ pub(crate) fn encode_level(level: &Level) -> Vec<u8> {
 }
 
 /// Decodes one level from a buffer, rejecting trailing garbage.
-pub(crate) fn decode_level(bytes: &[u8], what: &str) -> io::Result<Level> {
+///
+/// Public so read-only consumers (the serving engine) can decode level
+/// payloads handed out by a [`SectionCursor`] without re-reading the
+/// file through the copying [`read_hierarchy`] path.
+pub fn decode_level(bytes: &[u8], what: &str) -> io::Result<Level> {
     let mut slice = bytes;
     let level = read_level(&mut slice)?;
     if !slice.is_empty() {
@@ -476,6 +620,74 @@ mod tests {
         let err = read_hierarchy(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn zero_copy_reader_matches_streaming_reader() {
+        let h = tiny_hierarchy();
+        let mut buf = Vec::new();
+        write_hierarchy(&mut buf, &h).unwrap();
+        let zc = read_hierarchy_bytes(&buf).unwrap();
+        let streamed = read_hierarchy(&mut buf.as_slice()).unwrap();
+        assert_eq!(zc.num_levels(), streamed.num_levels());
+        for (a, b) in zc.levels().iter().zip(streamed.levels()) {
+            assert_eq!(a.user_embeddings, b.user_embeddings);
+            assert_eq!(a.item_embeddings, b.item_embeddings);
+            assert_eq!(a.user_assignment, b.user_assignment);
+            assert_eq!(a.item_assignment, b.item_assignment);
+            assert_eq!(a.coarsened.edges(), b.coarsened.edges());
+            assert_eq!(a.epoch_losses, b.epoch_losses);
+        }
+        // v1 images take the legacy fallback and still load.
+        let mut v1 = Vec::new();
+        write_hierarchy_v1(&mut v1, &h).unwrap();
+        let back = read_hierarchy_bytes(&v1).unwrap();
+        assert_eq!(back.num_levels(), h.num_levels());
+    }
+
+    #[test]
+    fn zero_copy_reader_rejects_every_truncation_and_corruption() {
+        let h = tiny_hierarchy();
+        let mut clean = Vec::new();
+        write_hierarchy(&mut clean, &h).unwrap();
+        // Every prefix truncation errors instead of panicking.
+        for cut in (0..clean.len()).step_by(23) {
+            let err = read_hierarchy_bytes(&clean[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "cut at {cut}: {err}");
+        }
+        // Every spread single-byte flip is detected.
+        for pos in (0..clean.len()).step_by(17) {
+            let mut evil = clean.clone();
+            evil[pos] ^= 0x40;
+            assert!(read_hierarchy_bytes(&evil).is_err(), "flip at byte {pos} went undetected");
+        }
+        // Trailing garbage after the last level is rejected.
+        let mut padded = clean.clone();
+        padded.extend_from_slice(&[0u8; 9]);
+        let err = read_hierarchy_bytes(&padded).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // An implausible section length is rejected without allocating.
+        let mut huge = clean.clone();
+        huge[8..16].copy_from_slice(&(1u64 << 60).to_le_bytes());
+        let err = read_hierarchy_bytes(&huge).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn section_cursor_returns_borrowed_payloads() {
+        let mut framed = Vec::new();
+        write_section(&mut framed, b"alpha").unwrap();
+        write_section(&mut framed, b"").unwrap();
+        write_section(&mut framed, b"omega").unwrap();
+        let mut cur = SectionCursor::new(&framed);
+        let a = cur.next_section("a").unwrap();
+        assert_eq!(a, b"alpha");
+        // Zero-copy: the payload slice points into the framed buffer.
+        assert_eq!(a.as_ptr(), framed[8..].as_ptr());
+        assert_eq!(cur.next_section("b").unwrap(), b"");
+        assert_eq!(cur.next_section("c").unwrap(), b"omega");
+        assert!(cur.is_exhausted());
+        assert!(cur.next_section("past end").is_err());
     }
 
     #[test]

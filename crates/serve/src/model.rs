@@ -1,0 +1,229 @@
+//! The read-only serving view of a trained hierarchy.
+
+use crate::scorer::Scorer;
+use hignn::error::HignnError;
+use hignn::io::read_hierarchy_bytes;
+use hignn::stack::Hierarchy;
+use hignn_tensor::Matrix;
+use std::path::Path;
+
+/// A trained HGHI model prepared for serving.
+///
+/// Loading decodes the file once (zero-copy CRC-verified sections, see
+/// `hignn::io::read_hierarchy_bytes`) and precomputes everything a
+/// request needs, so [`crate::engine`]'s per-request path only ever
+/// reads borrowed rows:
+///
+/// * `user_features` / `item_features` — the paper's `z_u^H` / `z_i^H`
+///   hierarchical embeddings for every original user and item;
+/// * `node_reps[l-1]` — representative features for every tier-`l`
+///   cluster node, recursively the mean of its children's features
+///   (tier 0 = the exact leaf `z_i^H`). A node therefore carries its
+///   *own* ancestor-chain components exactly (children share them) and
+///   descendant summaries in the finer components;
+/// * `children[l-1]` — the tier-`l-1` children of every tier-`l` node.
+///
+/// The struct is immutable after construction and `Sync`, so one model
+/// serves any number of threads.
+#[derive(Clone)]
+pub struct ServeModel {
+    hierarchy: Hierarchy,
+    user_features: Matrix,
+    item_features: Matrix,
+    node_reps: Vec<Matrix>,
+    children: Vec<Vec<Vec<u32>>>,
+    scorer: Scorer,
+}
+
+impl std::fmt::Debug for ServeModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeModel")
+            .field("num_users", &self.num_users())
+            .field("num_items", &self.num_items())
+            .field("num_levels", &self.num_levels())
+            .field("scorer", &self.scorer)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeModel {
+    /// Loads a model file read-only and prepares it for serving with
+    /// the given scorer seed.
+    ///
+    /// A truncated or CRC-corrupt file surfaces as
+    /// [`HignnError::Corrupt`] (exit code 4); a missing or unreadable
+    /// file as [`HignnError::Io`] (exit code 3). Never panics on bad
+    /// bytes.
+    pub fn load(path: impl AsRef<Path>, scorer_seed: u64) -> Result<ServeModel, HignnError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| HignnError::io_path(path, e))?;
+        let hierarchy = read_hierarchy_bytes(&bytes).map_err(|e| HignnError::io_path(path, e))?;
+        Ok(Self::from_hierarchy(hierarchy, scorer_seed))
+    }
+
+    /// Prepares an in-memory hierarchy for serving (the load path after
+    /// decoding; also the entry point for tests and benches that train
+    /// in process).
+    pub fn from_hierarchy(hierarchy: Hierarchy, scorer_seed: u64) -> ServeModel {
+        let user_features = hierarchy.hierarchical_users();
+        let item_features = hierarchy.hierarchical_items();
+        let num_levels = hierarchy.num_levels();
+        let item_dim = hierarchy.item_dim();
+
+        let mut children = Vec::with_capacity(num_levels);
+        let mut node_reps: Vec<Matrix> = Vec::with_capacity(num_levels);
+        for l in 0..num_levels {
+            let assignment = &hierarchy.levels()[l].item_assignment;
+            let members = assignment.members();
+            // Representative feature of a tier-(l+1) node: the mean of
+            // its children's representatives, accumulated in child-id
+            // order (deterministic). Empty clusters keep a zero row.
+            let finer: &Matrix = if l == 0 { &item_features } else { &node_reps[l - 1] };
+            let mut reps = Matrix::zeros(members.len(), item_dim);
+            for (node, kids) in members.iter().enumerate() {
+                if kids.is_empty() {
+                    continue;
+                }
+                let row = reps.row_mut(node);
+                for &kid in kids {
+                    for (acc, &v) in row.iter_mut().zip(finer.row(kid as usize)) {
+                        *acc += v;
+                    }
+                }
+                let inv = 1.0 / kids.len() as f32;
+                for acc in row.iter_mut() {
+                    *acc *= inv;
+                }
+            }
+            node_reps.push(reps);
+            children.push(members);
+        }
+
+        let scorer = Scorer::new(hierarchy.user_dim(), item_dim, scorer_seed);
+        ServeModel { hierarchy, user_features, item_features, node_reps, children, scorer }
+    }
+
+    /// Number of users the model covers.
+    pub fn num_users(&self) -> usize {
+        self.hierarchy.num_users()
+    }
+
+    /// Number of items the model covers.
+    pub fn num_items(&self) -> usize {
+        self.hierarchy.num_items()
+    }
+
+    /// Number of hierarchy levels (= prunable tiers above the leaves).
+    pub fn num_levels(&self) -> usize {
+        self.hierarchy.num_levels()
+    }
+
+    /// The decoded hierarchy (read-only).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Precomputed `z_u^H` rows (`num_users x user_dim`).
+    pub fn user_features(&self) -> &Matrix {
+        &self.user_features
+    }
+
+    /// Precomputed `z_i^H` rows (`num_items x item_dim`).
+    pub fn item_features(&self) -> &Matrix {
+        &self.item_features
+    }
+
+    /// Representative features of tier-`l` nodes (1-based tier).
+    pub fn node_reps(&self, l: usize) -> &Matrix {
+        &self.node_reps[l - 1]
+    }
+
+    /// Children (at tier `l-1`) of every tier-`l` node (1-based tier;
+    /// tier-0 children are original item ids).
+    pub fn children(&self, l: usize) -> &[Vec<u32>] {
+        &self.children[l - 1]
+    }
+
+    /// The ranking head.
+    pub fn scorer(&self) -> &Scorer {
+        &self.scorer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hignn::stack::Level;
+    use hignn_graph::{Assignment, BipartiteGraph};
+
+    /// A tiny hand-built 2-level hierarchy: 2 users, 4 items, item tree
+    /// 4 leaves -> 2 tier-1 clusters -> 1 tier-2 root. All values
+    /// dyadic so means are exact.
+    fn tiny() -> Hierarchy {
+        let level1 = Level {
+            user_embeddings: Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+            item_embeddings: Matrix::from_vec(
+                4,
+                2,
+                vec![1.0, 0.0, 0.5, 0.5, -1.0, 0.0, -0.5, -0.5],
+            ),
+            user_assignment: Assignment::new(vec![0, 0], 1),
+            item_assignment: Assignment::new(vec![0, 0, 1, 1], 2),
+            coarsened: BipartiteGraph::from_edges(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]),
+            epoch_losses: vec![],
+        };
+        let level2 = Level {
+            user_embeddings: Matrix::from_vec(1, 2, vec![0.25, 0.25]),
+            item_embeddings: Matrix::from_vec(2, 2, vec![0.75, 0.25, -0.75, -0.25]),
+            user_assignment: Assignment::new(vec![0], 1),
+            item_assignment: Assignment::new(vec![0, 0], 1),
+            coarsened: BipartiteGraph::from_edges(1, 1, vec![(0, 0, 2.0)]),
+            epoch_losses: vec![],
+        };
+        Hierarchy::from_parts(vec![level1, level2], 2, 4).unwrap()
+    }
+
+    #[test]
+    fn representatives_are_descendant_means_with_exact_ancestor_chain() {
+        let m = ServeModel::from_hierarchy(tiny(), 0);
+        assert_eq!(m.num_levels(), 2);
+        // Leaf features: z_i^H = [level-1 emb | tier-1 ancestor's level-2 emb].
+        assert_eq!(m.item_features().row(0), &[1.0, 0.0, 0.75, 0.25]);
+        assert_eq!(m.item_features().row(2), &[-1.0, 0.0, -0.75, -0.25]);
+        // Tier-1 node 0 = mean of leaves 0,1; its level-2 component is
+        // its own embedding (children share it).
+        assert_eq!(m.node_reps(1).row(0), &[0.75, 0.25, 0.75, 0.25]);
+        assert_eq!(m.node_reps(1).row(1), &[-0.75, -0.25, -0.75, -0.25]);
+        // Tier-2 root = mean of the two tier-1 reps.
+        assert_eq!(m.node_reps(2).row(0), &[0.0, 0.0, 0.0, 0.0]);
+        // Children lists descend the tree.
+        assert_eq!(m.children(1), &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(m.children(2), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn load_roundtrip_and_corruption() {
+        let h = tiny();
+        let dir = std::env::temp_dir().join(format!("hignn_serve_model_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.hgh");
+        hignn::io::save_hierarchy(&path, &h).unwrap();
+        let m = ServeModel::load(&path, 3).unwrap();
+        assert_eq!(m.num_users(), 2);
+        assert_eq!(m.num_items(), 4);
+
+        // Corrupt one payload byte: structured Corrupt error, exit 4.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ServeModel::load(&path, 3).unwrap_err();
+        assert!(matches!(err, HignnError::Corrupt { .. }), "{err}");
+        assert_eq!(err.exit_code(), 4);
+
+        // Missing file: I/O error, exit 3.
+        let err = ServeModel::load(dir.join("absent.hgh"), 3).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden-file regression test for the serving engine.
+//!
+//! A committed model fixture plus byte-exact expected top-10 lists for
+//! three users pin the *entire* serving path: file decode, feature
+//! extraction, representative computation, scorer initialisation, MLP
+//! inference, and the ranking order. Any bit-level drift in any stage
+//! breaks the comparison. (CI and the development hosts are all Linux
+//! x86_64, so libm variance does not churn the fixture; regenerate with
+//! the ignored test below after an intentional change.)
+//!
+//! ```text
+//! cargo test -p hignn-integration-tests --test serve_golden -- --ignored
+//! ```
+
+use hignn::io::save_hierarchy;
+use hignn::stack::{Hierarchy, Level};
+use hignn_graph::{Assignment, BipartiteGraph};
+use hignn_serve::{ServeModel, DEFAULT_BEAM_WIDTH, DEFAULT_SCORER_SEED};
+use hignn_tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN_USERS: [usize; 3] = [0, 3, 7];
+const GOLDEN_K: usize = 10;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name)
+}
+
+/// The fixture hierarchy: deterministic pseudo-random embeddings (fixed
+/// seed, fixed draw order), 8 users x 24 items, 2 levels.
+fn golden_hierarchy() -> Hierarchy {
+    let mut rng = StdRng::seed_from_u64(0x90_1de2);
+    let dim = 4;
+    let mut embed = |n: usize| {
+        Matrix::from_vec(n, dim, (0..n * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+    };
+    let user_embeddings = embed(8);
+    let item_embeddings = embed(24);
+    let user_embeddings2 = embed(3);
+    let item_embeddings2 = embed(6);
+    let level1 = Level {
+        user_embeddings,
+        item_embeddings,
+        user_assignment: Assignment::new((0..8).map(|v| (v % 3) as u32).collect(), 3),
+        item_assignment: Assignment::new((0..24).map(|v| (v % 6) as u32).collect(), 6),
+        coarsened: BipartiteGraph::from_edges(3, 6, vec![(0, 0, 1.0)]),
+        epoch_losses: vec![0.5],
+    };
+    let level2 = Level {
+        user_embeddings: user_embeddings2,
+        item_embeddings: item_embeddings2,
+        user_assignment: Assignment::new(vec![0, 1, 0], 2),
+        item_assignment: Assignment::new(vec![0, 1, 2, 0, 1, 2], 3),
+        coarsened: BipartiteGraph::from_edges(2, 3, vec![(0, 0, 1.0)]),
+        epoch_losses: vec![0.25],
+    };
+    Hierarchy::from_parts(vec![level1, level2], 8, 24).unwrap()
+}
+
+/// Serves the golden queries and renders them in the fixture's text
+/// form: one line per ranked item, `user rank item score-bits-hex`.
+fn render_golden_topk(model: &ServeModel) -> String {
+    let mut out = String::from("# user rank item score_bits_hex (beam inf, k = 10)\n");
+    for &user in &GOLDEN_USERS {
+        let ranked = model.top_k(user, GOLDEN_K, hignn_serve::BeamWidth::Infinite).unwrap();
+        for (rank, s) in ranked.iter().enumerate() {
+            let _ = writeln!(out, "{user} {rank} {} {:08x}", s.item, s.score.to_bits());
+        }
+    }
+    out
+}
+
+#[test]
+fn fixture_model_serves_the_committed_topk_lists_byte_exactly() {
+    let model = ServeModel::load(fixture_path("serve_model_v2.hghi"), DEFAULT_SCORER_SEED)
+        .expect("fixture missing — run the ignored regenerate test and commit the files");
+    let want = std::fs::read_to_string(fixture_path("serve_topk_golden.txt"))
+        .expect("fixture missing — run the ignored regenerate test and commit the files");
+    assert_eq!(
+        render_golden_topk(&model),
+        want,
+        "serving output drifted from the committed golden lists"
+    );
+}
+
+#[test]
+fn fixture_bytes_match_the_in_memory_golden_hierarchy() {
+    let bytes = std::fs::read(fixture_path("serve_model_v2.hghi")).unwrap();
+    let mut reencoded = Vec::new();
+    hignn::io::write_hierarchy(&mut reencoded, &golden_hierarchy()).unwrap();
+    assert_eq!(reencoded, bytes, "the fixture no longer matches its generator");
+}
+
+/// At the default (finite) beam width the golden model must still reach
+/// full recall on the golden users — the fixture doubles as a recall
+/// canary for the default serving configuration.
+#[test]
+fn default_beam_width_reaches_full_recall_on_the_golden_model() {
+    let model =
+        ServeModel::load(fixture_path("serve_model_v2.hghi"), DEFAULT_SCORER_SEED).unwrap();
+    for &user in &GOLDEN_USERS {
+        let approx = model.top_k(user, GOLDEN_K, DEFAULT_BEAM_WIDTH).unwrap();
+        let exact = model.exhaustive_top_k(user, GOLDEN_K).unwrap();
+        let exact_items: Vec<u32> = exact.iter().map(|s| s.item).collect();
+        for s in &exact {
+            assert!(
+                approx.iter().any(|a| a.item == s.item),
+                "user {user}: default beam missed item {} of exact top-10 {exact_items:?}",
+                s.item
+            );
+        }
+    }
+}
+
+/// Writes the fixtures. Ignored by default — run explicitly (and commit
+/// the result) only after an intentional serving or format change.
+#[test]
+#[ignore = "regenerates the committed fixtures; run only on intentional serving changes"]
+fn regenerate_serve_golden_fixtures() {
+    let h = golden_hierarchy();
+    std::fs::create_dir_all(fixture_path("")).unwrap();
+    save_hierarchy(fixture_path("serve_model_v2.hghi"), &h).unwrap();
+    let model = ServeModel::load(fixture_path("serve_model_v2.hghi"), DEFAULT_SCORER_SEED).unwrap();
+    std::fs::write(fixture_path("serve_topk_golden.txt"), render_golden_topk(&model)).unwrap();
+}
