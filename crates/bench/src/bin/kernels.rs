@@ -1,15 +1,20 @@
 //! Kernel-level benchmark for the vectorized/zero-allocation hot path.
 //!
 //! Times (a) the register-tiled matmul kernels over training-shaped
-//! operands, (b) the fused gather + mean-pool against the unfused
+//! operands in both math tiers (Bitwise and FastMath, see DESIGN.md
+//! §14), (b) the fused gather + mean-pool against the unfused
 //! gather-then-pool composition, (c) one autograd tape step with a warm
 //! buffer pool against the same step with fresh allocations, and (d) one
-//! full single-thread unsupervised training epoch. Every fused/pooled
-//! variant is asserted **bitwise identical** to its reference, and the
-//! epoch is run twice to assert run-to-run determinism; any divergence
-//! flips `deterministic` to false and exits with status 5.
+//! full single-thread unsupervised training epoch per tier. Every
+//! fused/pooled Bitwise variant is asserted **bitwise identical** to its
+//! reference; every FastMath kernel is differentially checked against an
+//! f64 oracle in-process, and the FastMath epoch must be
+//! self-deterministic and end-metric equivalent (mean loss,
+//! link-prediction AUC) to the Bitwise epoch. Any violation exits with
+//! status 5.
 //!
-//! Writes machine-readable `BENCH_kernels.json`.
+//! Writes machine-readable `BENCH_kernels.json` (top-level figures are
+//! the Bitwise tier; the FastMath tier lives under `"fastmath"`).
 //!
 //! ```sh
 //! cargo run --release -p hignn-bench --bin kernels -- [--scale F] [--seed N] [--quick]
@@ -19,7 +24,8 @@ use hignn::prelude::*;
 use hignn_bench::report::banner;
 use hignn_bench::ExpArgs;
 use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
-use hignn_tensor::{init, Gradients, Matrix, ParamStore, Tape, Workspace};
+use hignn_metrics::auc;
+use hignn_tensor::{init, simd, Gradients, MathMode, Matrix, ParamStore, Tape, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -28,6 +34,12 @@ use std::time::Instant;
 /// 1-thread `train_epoch` edges/sec measured before this optimization
 /// pass (BENCH_parallel.json, scale 0.5, seed 2020).
 const BASELINE_EDGES_PER_SEC: f64 = 3805.3;
+
+/// End-metric equivalence tolerances between the tiers (scale 0.5,
+/// seed 2020 is the reference configuration; the same bounds are
+/// checked at any configuration).
+const LOSS_REL_TOL: f64 = 0.02;
+const AUC_ABS_TOL: f64 = 0.02;
 
 struct MatmulTiming {
     name: &'static str,
@@ -46,34 +58,170 @@ fn time_reps(reps: usize, mut f: impl FnMut()) -> f64 {
     t0.elapsed().as_secs_f64() / reps as f64
 }
 
-fn bench_matmuls(rng: &mut StdRng, reps: usize) -> Vec<MatmulTiming> {
+fn bench_matmuls(rng: &mut StdRng, reps: usize, mode: MathMode) -> Vec<MatmulTiming> {
     // Training-shaped operands: (batch x d) x (d x d) forward products,
     // their two transposed backward products, and an odd-sized shape that
     // exercises the scalar remainder edges of the tiled kernels.
     let shapes: [(usize, usize, usize); 4] =
         [(2048, 32, 32), (2048, 64, 64), (256, 128, 128), (513, 33, 65)];
-    let mut out = Vec::new();
+    let mut timings = Vec::new();
     for &(m, k, n) in &shapes {
         let a = init::xavier_uniform(m, k, rng);
         let b = init::xavier_uniform(k, n, rng);
         let bt = init::xavier_uniform(n, k, rng);
         let at = init::xavier_uniform(k, m, rng);
         let flops = (2 * m * k * n) as f64;
+        let mut out = Matrix::zeros(m, n);
         for (name, secs) in [
             ("nn", time_reps(reps, || {
-                std::hint::black_box(a.matmul(&b));
+                a.matmul_into_mode(&b, &mut out, mode);
+                std::hint::black_box(&out);
             })),
             ("nt", time_reps(reps, || {
-                std::hint::black_box(a.matmul_nt(&bt));
+                a.matmul_nt_into_mode(&bt, &mut out, mode);
+                std::hint::black_box(&out);
             })),
             ("tn", time_reps(reps, || {
-                std::hint::black_box(at.matmul_tn(&b));
+                at.matmul_tn_into_mode(&b, &mut out, mode);
+                std::hint::black_box(&out);
             })),
         ] {
-            out.push(MatmulTiming { name, m, k, n, seconds: secs, gflops: flops / secs / 1e9 });
+            timings.push(MatmulTiming { name, m, k, n, seconds: secs, gflops: flops / secs / 1e9 });
         }
     }
-    out
+    timings
+}
+
+/// Differential check of every FastMath kernel against an f64 oracle,
+/// run in-process before anything is timed. Matmul layouts (including
+/// the fused concat2 form) are toleranced; the value-identical kernels
+/// (gather+mean-pool, leaky ReLU) must match the scalar bits exactly.
+/// Returns human-readable failure descriptions (empty = all green).
+fn verify_fast_kernels() -> Vec<String> {
+    let mut failures: Vec<String> = Vec::new();
+    let val = |i: usize, j: usize, s: usize| (((i * 31 + j * 7 + s * 13) % 97) as f32 - 48.0) / 32.0;
+    let close = |got: f32, want: f64, tol: f64| ((got as f64) - want).abs() <= tol * (1.0 + want.abs());
+
+    // Matmul layouts at a tile-aligned shape and a remainder shape that
+    // crosses every scalar edge of the AVX2 microkernel.
+    for &(m, k, n) in &[(64usize, 64usize, 64usize), (33, 47, 65)] {
+        let a = Matrix::from_fn(m, k, |i, j| val(i, j, 1));
+        let b = Matrix::from_fn(k, n, |i, j| val(i, j, 2));
+        let mut oracle = vec![0f64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a.get(i, p) as f64;
+                for j in 0..n {
+                    oracle[i * n + j] += av * b.get(p, j) as f64;
+                }
+            }
+        }
+        let mut check = |name: &str, got: &Matrix| {
+            for i in 0..m {
+                for j in 0..n {
+                    if !close(got.get(i, j), oracle[i * n + j], 1e-4) {
+                        failures.push(format!(
+                            "{name} {m}x{k}x{n} at ({i},{j}): {} vs oracle {}",
+                            got.get(i, j),
+                            oracle[i * n + j]
+                        ));
+                        return;
+                    }
+                }
+            }
+        };
+        check("fast matmul nn", &a.matmul_mode(&b, MathMode::FastMath));
+        let bt = Matrix::from_fn(n, k, |i, j| b.get(j, i));
+        let mut out = Matrix::zeros(m, n);
+        a.matmul_nt_into_mode(&bt, &mut out, MathMode::FastMath);
+        check("fast matmul nt", &out);
+        let at = Matrix::from_fn(k, m, |i, j| a.get(j, i));
+        at.matmul_tn_into_mode(&b, &mut out, MathMode::FastMath);
+        check("fast matmul tn", &out);
+        let c1 = k / 3 + 1;
+        let a1 = Matrix::from_fn(m, c1, |i, j| a.get(i, j));
+        let a2 = Matrix::from_fn(m, k - c1, |i, j| a.get(i, c1 + j));
+        check("fast concat2-matmul", &Matrix::concat2_matmul_mode(&a1, &a2, &b, MathMode::FastMath));
+    }
+
+    // Fused gather + mean-pool: value-identical tier rule — the fast
+    // kernel must reproduce the Bitwise bits, not just a tolerance.
+    let table = Matrix::from_fn(50, 33, |i, j| val(i, j, 3));
+    let idx: Vec<usize> = (0..64).map(|i| (i * 7) % 50).collect();
+    let reference = table.gather_mean_pool_rows(&idx, 4);
+    let mut fast = Matrix::zeros(16, 33);
+    table.gather_mean_pool_rows_into_mode(&idx, 4, &mut fast, MathMode::FastMath);
+    if reference.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        != fast.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    {
+        failures.push("fast gather+mean-pool is not value-identical to the scalar kernel".into());
+    }
+
+    // Leaky ReLU forward/backward: value-identical tier rule.
+    let x: Vec<f32> = (0..100).map(|i| val(i, 0, 4)).collect();
+    let mut fwd = x.clone();
+    simd::leaky_relu_fast(&mut fwd, 0.01);
+    let fwd_ref: Vec<f32> = x.iter().map(|&v| if v > 0.0 { v } else { 0.01 * v }).collect();
+    if fwd.iter().map(|v| v.to_bits()).ne(fwd_ref.iter().map(|v| v.to_bits())) {
+        failures.push("fast leaky_relu is not value-identical to the scalar kernel".into());
+    }
+    let mut bwd: Vec<f32> = (0..100).map(|i| val(i, 1, 5)).collect();
+    let bwd_ref: Vec<f32> =
+        bwd.iter().zip(&x).map(|(&g, &v)| if v > 0.0 { g } else { 0.01 * g }).collect();
+    simd::leaky_relu_bwd_fast(&mut bwd, &x, 0.01);
+    if bwd.iter().map(|v| v.to_bits()).ne(bwd_ref.iter().map(|v| v.to_bits())) {
+        failures.push("fast leaky_relu_bwd is not value-identical to the scalar kernel".into());
+    }
+
+    // Fused Adam step vs an f64 oracle of the same update.
+    let g: Vec<f32> = (0..100).map(|i| val(i, 2, 6)).collect();
+    let mut p: Vec<f32> = (0..100).map(|i| val(i, 3, 7)).collect();
+    let mut m: Vec<f32> = (0..100).map(|i| val(i, 4, 8) * 0.1).collect();
+    let mut v: Vec<f32> = (0..100).map(|i| (val(i, 5, 9) * 0.1).abs()).collect();
+    let (lr, b1, b2, eps, bc1, bc2) = (1e-3f32, 0.9f32, 0.999f32, 1e-8f32, 0.1f32, 0.001f32);
+    let oracle_p: Vec<f64> = (0..100)
+        .map(|i| {
+            let gi = g[i] as f64;
+            let mi = 0.9 * m[i] as f64 + 0.1 * gi;
+            let vi = 0.999 * v[i] as f64 + 0.001 * gi * gi;
+            p[i] as f64 - 1e-3 * (mi / 0.1) / ((vi / 0.001).sqrt() + 1e-8)
+        })
+        .collect();
+    simd::adam_step_fast(&mut p, &mut m, &mut v, &g, lr, b1, b2, eps, bc1, bc2);
+    for i in 0..100 {
+        if !close(p[i], oracle_p[i], 1e-5) {
+            failures.push(format!("fast adam_step at [{i}]: {} vs oracle {}", p[i], oracle_p[i]));
+            break;
+        }
+    }
+
+    // Squared distance (k-means assignment) vs an f64 oracle.
+    let a: Vec<f32> = (0..100).map(|i| val(i, 6, 10)).collect();
+    let b: Vec<f32> = (0..100).map(|i| val(i, 7, 11)).collect();
+    let oracle: f64 = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum();
+    let fast = simd::sq_dist_fast(&a, &b);
+    if !close(fast, oracle, 1e-5) {
+        failures.push(format!("fast sq_dist: {fast} vs oracle {oracle}"));
+    }
+
+    // FastMath self-determinism: the tier reorders accumulation, but a
+    // rerun must reproduce the exact same bits.
+    let a = Matrix::from_fn(33, 47, |i, j| val(i, j, 12));
+    let b = Matrix::from_fn(47, 65, |i, j| val(i, j, 13));
+    let once = a.matmul_mode(&b, MathMode::FastMath);
+    let twice = a.matmul_mode(&b, MathMode::FastMath);
+    if once.data().iter().map(|v| v.to_bits()).ne(twice.data().iter().map(|v| v.to_bits())) {
+        failures.push("fast matmul is not self-deterministic across reruns".into());
+    }
+
+    failures
 }
 
 struct PairTiming {
@@ -185,6 +333,20 @@ fn bench_tape_step(rng: &mut StdRng, reps: usize) -> (PairTiming, u64) {
     )
 }
 
+fn matmul_json(timings: &[MatmulTiming], indent: &str) -> String {
+    let mut s = format!("{indent}\"matmul\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "{indent}  {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"seconds\": {:.9}, \"gflops\": {:.3}}}{comma}",
+            t.name, t.m, t.k, t.n, t.seconds, t.gflops
+        );
+    }
+    let _ = write!(s, "{indent}]");
+    s
+}
+
 fn main() {
     let args = ExpArgs::parse();
     let reps = if args.quick { 5 } else { 30 };
@@ -192,19 +354,36 @@ fn main() {
 
     banner("Kernel microbenchmarks — tiled matmul, fused gather, pooled tape");
     let mut deterministic = true;
+    let mut fast_ok = true;
+    let backend = simd::backend().name();
+    println!("simd backend: {backend} (FastMath tier)");
 
-    let matmuls = bench_matmuls(&mut rng, reps);
-    for t in &matmuls {
-        println!(
-            "matmul {}  {:>4}x{:<3} * {:>3}x{:<4} {:>9.1} us  {:>6.2} GFLOP/s",
-            t.name,
-            t.m,
-            t.k,
-            t.k,
-            t.n,
-            t.seconds * 1e6,
-            t.gflops
-        );
+    // Differential verification gates the FastMath timings: a broken
+    // fast kernel must fail the run (exit 5), not publish numbers.
+    let kernel_failures = verify_fast_kernels();
+    for f in &kernel_failures {
+        eprintln!("FASTMATH TOLERANCE VIOLATION: {f}");
+    }
+    if !kernel_failures.is_empty() {
+        fast_ok = false;
+    }
+
+    let matmuls = bench_matmuls(&mut rng, reps, MathMode::Bitwise);
+    let fast_matmuls = bench_matmuls(&mut rng, reps, MathMode::FastMath);
+    for (tier, set) in [("bitwise", &matmuls), ("fast", &fast_matmuls)] {
+        for t in set {
+            println!(
+                "matmul {:<7} {}  {:>4}x{:<3} * {:>3}x{:<4} {:>9.1} us  {:>6.2} GFLOP/s",
+                tier,
+                t.name,
+                t.m,
+                t.k,
+                t.k,
+                t.n,
+                t.seconds * 1e6,
+                t.gflops
+            );
+        }
     }
 
     let gather = bench_gather_aggregate(&mut rng, reps);
@@ -250,7 +429,7 @@ fn main() {
     let sage_cfg = BipartiteSageConfig { input_dim: ds.user_features.cols(), ..Default::default() };
     let train_cfg = SageTrainConfig { epochs: 1, ..Default::default() };
     let exec = ParallelExecutor::single();
-    let run_epoch = |observed: bool| -> (f64, Vec<u32>) {
+    let run_epoch = |observed: bool, cfg: &SageTrainConfig| -> (f64, Vec<u32>, TrainedSage) {
         if observed {
             hignn_obs::global().reset();
             hignn_obs::set_enabled(true);
@@ -261,7 +440,7 @@ fn main() {
             &ds.user_features,
             &ds.item_features,
             sage_cfg.clone(),
-            &train_cfg,
+            cfg,
             args.seed,
             &exec,
             TrainGuard::default(),
@@ -272,10 +451,11 @@ fn main() {
         if observed {
             hignn_obs::set_enabled(false);
         }
-        (secs, trained.epoch_losses.iter().map(|l| l.to_bits()).collect())
+        let bits = trained.epoch_losses.iter().map(|l| l.to_bits()).collect();
+        (secs, bits, trained)
     };
 
-    let (epoch_secs, expected_bits) = run_epoch(false);
+    let (epoch_secs, expected_bits, bitwise_model) = run_epoch(false, &train_cfg);
     let pairs = if args.quick { 3 } else { 5 };
     let mut off_samples = Vec::new();
     let mut on_samples = Vec::new();
@@ -283,7 +463,7 @@ fn main() {
     let mut obs_inert = true;
     for pair in 0..pairs {
         let mut timed_epoch = |observed: bool| -> f64 {
-            let (secs, bits) = run_epoch(observed);
+            let (secs, bits, _) = run_epoch(observed, &train_cfg);
             if bits != expected_bits {
                 if observed {
                     eprintln!(
@@ -346,20 +526,85 @@ fn main() {
         }
     );
 
-    let mut matmul_json = String::from("  \"matmul\": [\n");
-    for (i, t) in matmuls.iter().enumerate() {
-        let comma = if i + 1 < matmuls.len() { "," } else { "" };
-        let _ = writeln!(
-            matmul_json,
-            "    {{\"kernel\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"seconds\": {:.9}, \"gflops\": {:.3}}}{comma}",
-            t.name, t.m, t.k, t.n, t.seconds, t.gflops
-        );
+    // FastMath tier epoch: cold-run timing comparable to the Bitwise
+    // figure above, plus the tier's contract — self-determinism
+    // (reruns reproduce the same bits) and end-metric equivalence
+    // (mean loss, link-prediction AUC) to the Bitwise model.
+    let train_cfg_fast = SageTrainConfig { epochs: 1, math: MathMode::FastMath, ..train_cfg };
+    let (fast_secs, fast_bits, fast_model) = run_epoch(false, &train_cfg_fast);
+    let (_, fast_bits_again, _) = run_epoch(false, &train_cfg_fast);
+    let fast_self_deterministic = fast_bits == fast_bits_again;
+    if !fast_self_deterministic {
+        eprintln!("DETERMINISM VIOLATION: FastMath epoch loss diverged across reruns");
+        fast_ok = false;
     }
-    matmul_json.push_str("  ]");
+    let fast_edges_per_sec = g.num_edges() as f64 / fast_secs;
+    let speedup_fast = fast_edges_per_sec / edges_per_sec;
+    println!(
+        "train epoch  1 thread  {:.3}s  ({:.0} edges/s, fast tier, {:.2}x vs bitwise)",
+        fast_secs, fast_edges_per_sec, speedup_fast
+    );
+
+    // Link-prediction AUC over the training graph: stride-sampled
+    // positive edges against LCG-drawn non-edges, scored by each
+    // trained model (inference itself runs Bitwise in both, so the
+    // diff isolates what FastMath training changed in the weights).
+    let eval_auc = |model: &TrainedSage| -> f64 {
+        let (zu, zi) = model.embed_all_with(g, &ds.user_features, &ds.item_features, &exec);
+        let take = g.num_edges().min(1500);
+        let stride = (g.num_edges() / take).max(1);
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(2 * take);
+        let mut labels: Vec<bool> = Vec::with_capacity(2 * take);
+        for &(u, i, _) in g.edges().iter().step_by(stride).take(take) {
+            pairs.push((u, i));
+            labels.push(true);
+        }
+        let mut state = args.seed ^ 0x5EED;
+        let mut negs = 0;
+        while negs < take {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) as usize) % g.num_left();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = ((state >> 33) as usize) % g.num_right();
+            if g.edge_weight(u, i).is_none() {
+                pairs.push((u as u32, i as u32));
+                labels.push(false);
+                negs += 1;
+            }
+        }
+        let scores = model.score_pairs(&zu, &zi, &pairs, 1.0);
+        auc(&scores, &labels)
+    };
+    let loss_bitwise = *bitwise_model.epoch_losses.last().expect("one epoch") as f64;
+    let loss_fast = *fast_model.epoch_losses.last().expect("one epoch") as f64;
+    let loss_rel_diff = (loss_fast - loss_bitwise).abs() / loss_bitwise.abs().max(1e-9);
+    if loss_rel_diff > LOSS_REL_TOL {
+        eprintln!(
+            "FASTMATH TOLERANCE VIOLATION: epoch loss {loss_fast} vs bitwise {loss_bitwise} \
+             (rel diff {loss_rel_diff:.4} > {LOSS_REL_TOL})"
+        );
+        fast_ok = false;
+    }
+    let auc_bitwise = eval_auc(&bitwise_model);
+    let auc_fast = eval_auc(&fast_model);
+    let auc_abs_diff = (auc_fast - auc_bitwise).abs();
+    if auc_abs_diff > AUC_ABS_TOL {
+        eprintln!(
+            "FASTMATH TOLERANCE VIOLATION: AUC {auc_fast:.4} vs bitwise {auc_bitwise:.4} \
+             (abs diff {auc_abs_diff:.4} > {AUC_ABS_TOL})"
+        );
+        fast_ok = false;
+    }
+    println!(
+        "fastmath equivalence  loss {loss_bitwise:.5} vs {loss_fast:.5} (rel {loss_rel_diff:.5})  \
+         auc {auc_bitwise:.4} vs {auc_fast:.4} (abs {auc_abs_diff:.4})  kernels {}",
+        if kernel_failures.is_empty() { "ok" } else { "FAILED" }
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"kernels\",\n  \"scale\": {},\n  \"seed\": {},\n\
-         {matmul_json},\n  \
+        "{{\n  \"bench\": \"kernels\",\n  \"scale\": {},\n  \"seed\": {},\n  \
+         \"mode\": \"bitwise\",\n  \"simd_backend\": \"{backend}\",\n\
+         {},\n  \
          \"gather_aggregate\": {{\"unfused_seconds\": {:.9}, \"fused_seconds\": {:.9}, \"speedup\": {:.3}}},\n  \
          \"tape_step\": {{\"fresh_seconds\": {:.9}, \"pooled_seconds\": {:.9}, \"speedup\": {:.3}, \"fresh_allocs_after_warmup\": {leaked_allocs}}},\n  \
          \"train_epoch\": {{\"threads\": 1, \"seconds\": {:.6}, \"edges_per_sec\": {:.1}, \
@@ -368,15 +613,30 @@ fn main() {
          \"overhead_pct\": {obs_overhead_pct:.3}, \"noise_pct\": {noise_pct:.3}, \
          \"within_noise\": {within_noise}, \"batches_recorded\": {batches_recorded}, \
          \"inert\": {obs_inert}}},\n  \
+         \"fastmath\": {{\n    \"mode\": \"fast\",\n    \"simd_backend\": \"{backend}\",\n    \
+         \"kernel_checks_passed\": {},\n    \"kernel_failures\": {},\n\
+         {},\n    \
+         \"train_epoch\": {{\"threads\": 1, \"seconds\": {fast_secs:.6}, \"edges_per_sec\": {fast_edges_per_sec:.1}, \
+         \"speedup_vs_bitwise\": {speedup_fast:.3}}},\n    \
+         \"equivalence\": {{\"loss_bitwise\": {loss_bitwise:.6}, \"loss_fast\": {loss_fast:.6}, \
+         \"loss_rel_diff\": {loss_rel_diff:.6}, \"loss_rel_tol\": {LOSS_REL_TOL}, \
+         \"auc_bitwise\": {auc_bitwise:.6}, \"auc_fast\": {auc_fast:.6}, \
+         \"auc_abs_diff\": {auc_abs_diff:.6}, \"auc_abs_tol\": {AUC_ABS_TOL}}},\n    \
+         \"self_deterministic\": {fast_self_deterministic},\n    \
+         \"ok\": {fast_ok}\n  }},\n  \
          \"deterministic\": {deterministic},\n  \
-         \"note\": \"every fused/pooled kernel is asserted bitwise identical to its naive \
-         reference in-process; speedup_vs_baseline is only meaningful at scale 0.5, seed 2020 \
-         (the configuration of the recorded baseline) and is null otherwise. Observability \
-         overhead_pct is the median of per-pair (on-off)/off estimates over warmed, \
+         \"note\": \"top-level figures are the Bitwise tier: every fused/pooled kernel is asserted \
+         bitwise identical to its naive reference in-process; speedup_vs_baseline is only \
+         meaningful at scale 0.5, seed 2020 (the configuration of the recorded baseline) and is \
+         null otherwise. The fastmath section is the SIMD tier (DESIGN.md §14): kernels are \
+         differentially verified against an f64 oracle, the epoch must be self-deterministic, and \
+         loss/AUC must match the Bitwise tier within the stated tolerances — any violation exits 5. \
+         Observability overhead_pct is the median of per-pair (on-off)/off estimates over warmed, \
          order-alternating off/on pairs; noise_pct is half the spread of those estimates, and \
          an overhead inside that band is indistinguishable from zero.\"\n}}\n",
         args.scale,
         args.seed,
+        matmul_json(&matmuls, "  "),
         gather.reference_secs,
         gather.optimized_secs,
         gather.speedup(),
@@ -386,10 +646,13 @@ fn main() {
         epoch_secs,
         edges_per_sec,
         if is_baseline_config { format!("{speedup_vs_baseline:.3}") } else { "null".to_string() },
+        kernel_failures.is_empty(),
+        kernel_failures.len(),
+        matmul_json(&fast_matmuls, "    "),
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json (deterministic = {deterministic})");
-    if !deterministic {
+    println!("\nwrote BENCH_kernels.json (deterministic = {deterministic}, fastmath ok = {fast_ok})");
+    if !deterministic || !fast_ok {
         std::process::exit(5);
     }
 }

@@ -16,7 +16,7 @@ use hignn_serve::{
     DEFAULT_SCORER_SEED, DEFAULT_TOP_K,
 };
 use hignn_tensor::serialize::write_matrix;
-use hignn_tensor::{init, Matrix};
+use hignn_tensor::{init, MathMode, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
@@ -31,6 +31,7 @@ USAGE:
   hignn train    --edges FILE --out MODEL [--levels 3] [--alpha 5]
                  [--dim 32] [--epochs 4] [--seed 0] [--no-normalize]
                  [--objective edge|contrastive|cluster]
+                 [--math bitwise|fast]
                  [--threads N] [--checkpoint DIR | --resume DIR]
                  [--on-divergence abort|rollback|off] [--lenient]
                  [--deadline-secs N] [--max-retries N]
@@ -39,9 +40,10 @@ USAGE:
   hignn embed    --model MODEL --side user|item --out FILE.hgmx
   hignn generate --out FILE [--kind taobao1|taobao2] [--scale 0.5] [--seed 0]
   hignn topk     --model MODEL --user U [--topk 10] [--beam-width 16]
-                 [--scorer-seed 2020]
+                 [--scorer-seed 2020] [--math bitwise|fast]
   hignn serve-bench --model MODEL [--topk 10] [--beam-width 16]
                  [--serve-threads N] [--requests 256] [--scorer-seed 2020]
+                 [--math bitwise|fast]
   hignn help
 
 OBJECTIVES:
@@ -50,6 +52,15 @@ OBJECTIVES:
   cross-level alignment), or `cluster` (edge reconstruction plus a
   centroid-tightening penalty). The objective is recorded in checkpoint
   metadata, so --resume refuses to continue under a different one.
+
+MATH TIERS:
+  --math selects the numeric contract (DESIGN.md §14): `bitwise` (the
+  default; every kernel is bit-identical to the naive scalar oracle) or
+  `fast` (SIMD kernels that may reorder within-row accumulation;
+  verified against an f64 oracle within stated tolerances). Both tiers
+  are deterministic — reruns and any thread count reproduce the same
+  bits within a tier. The tier is recorded in checkpoint metadata, so
+  --resume refuses to continue under a different one (exit 2).
 
 THREADS:
   --threads N trains, infers, and clusters on N worker threads
@@ -155,7 +166,7 @@ fn stats(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
 fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     usage(opts.assert_known(&[
         "edges", "out", "levels", "alpha", "dim", "epochs", "seed", "no-normalize", "objective",
-        "threads", "checkpoint", "resume", "on-divergence", "lenient", "fault", "metrics",
+        "math", "threads", "checkpoint", "resume", "on-divergence", "lenient", "fault", "metrics",
         "log-format", "deadline-secs", "max-retries", "retry-base-ms",
     ]))?;
     let model_path = usage(opts.require("out"))?.to_string();
@@ -170,6 +181,7 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
         Some(token) => ObjectiveSpec::parse(token).map_err(HignnError::Config)?,
         None => ObjectiveSpec::default(),
     };
+    let math = parse_math(opts)?;
 
     // Crash-safety options. `--resume DIR` implies checkpointing to DIR.
     let (ckpt_dir, resume) = match (opts.get("resume"), opts.get("checkpoint")) {
@@ -254,6 +266,7 @@ fn train(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
         // tables (the featureless-graph treatment, see DESIGN.md §6).
         .trainable_features(true)
         .objective(objective)
+        .math(math)
         .alpha_decay(alpha)
         .kmeans(KMeansAlgo::Lloyd)
         .normalize(!opts.flag("no-normalize"))
@@ -448,8 +461,18 @@ fn parse_beam(opts: &Opts) -> Result<BeamWidth, HignnError> {
     }
 }
 
+/// Parses `--math` (`bitwise` | `fast`; defaults to bitwise).
+fn parse_math(opts: &Opts) -> Result<MathMode, HignnError> {
+    match opts.get("math") {
+        None => Ok(MathMode::default()),
+        Some(token) => {
+            MathMode::parse(token).map_err(|e| HignnError::Config(format!("--math: {e}")))
+        }
+    }
+}
+
 fn topk(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
-    usage(opts.assert_known(&["model", "user", "topk", "beam-width", "scorer-seed"]))?;
+    usage(opts.assert_known(&["model", "user", "topk", "beam-width", "scorer-seed", "math"]))?;
     let path = usage(opts.require("model"))?;
     let user: usize = usage(opts.require("user"))?
         .parse()
@@ -457,7 +480,8 @@ fn topk(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     let k: usize = usage(opts.get_or("topk", DEFAULT_TOP_K))?;
     let beam = parse_beam(opts)?;
     let seed: u64 = usage(opts.get_or("scorer-seed", DEFAULT_SCORER_SEED))?;
-    let model = ServeModel::load(path, seed)?;
+    let math = parse_math(opts)?;
+    let model = ServeModel::load_with_math(path, seed, math)?;
     let ranked = model.top_k(user, k, beam)?;
     emit(out, format!("user {user} top-{k} (beam {beam}, scorer seed {seed}):"));
     for (rank, s) in ranked.iter().enumerate() {
@@ -468,7 +492,7 @@ fn topk(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
 
 fn serve_bench(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     usage(opts.assert_known(&[
-        "model", "topk", "beam-width", "serve-threads", "requests", "scorer-seed",
+        "model", "topk", "beam-width", "serve-threads", "requests", "scorer-seed", "math",
     ]))?;
     let path = usage(opts.require("model"))?;
     let k: usize = usage(opts.get_or("topk", DEFAULT_TOP_K))?;
@@ -483,7 +507,8 @@ fn serve_bench(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
     if requests == 0 {
         return Err(HignnError::Config("--requests must be at least 1".into()));
     }
-    let model = ServeModel::load(path, seed)?;
+    let math = parse_math(opts)?;
+    let model = ServeModel::load_with_math(path, seed, math)?;
     // Surface bad (k, user-range) combinations as usage errors before
     // the sweep, which asserts requests are valid.
     model.top_k(0, k, beam)?;
@@ -714,6 +739,65 @@ mod tests {
         assert_eq!(err.exit_code(), 2, "--objective sideways must exit 2: {err}");
         assert!(err.to_string().contains("objective"), "{err}");
         assert!(err.to_string().contains("contrastive"), "should list valid tokens: {err}");
+    }
+
+    #[test]
+    fn bad_math_is_a_usage_error() {
+        let (res, _) =
+            run_args(&["train", "--edges", "e.tsv", "--out", "m.hgh", "--math", "sloppy"]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "--math sloppy must exit 2: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("--math"), "{msg}");
+        assert!(msg.contains("bitwise") && msg.contains("fast"), "should list tokens: {msg}");
+        // The serving commands validate the same token.
+        let (res, _) = run_args(&["topk", "--model", "m.hgh", "--user", "0", "--math", "x"]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+    }
+
+    #[test]
+    fn resume_with_different_math_is_refused() {
+        let edges = temp_path("math_edges.tsv");
+        let model = temp_path("math_model.hgh");
+        let ckpt = temp_path("math_ckpt");
+        let edges_s = edges.to_str().unwrap();
+        let ckpt_s = ckpt.to_str().unwrap();
+
+        let (res, _) = run_args(&["generate", "--out", edges_s, "--scale", "0.04", "--seed", "9"]);
+        assert!(res.is_ok(), "{res:?}");
+        let base = [
+            "train", "--edges", edges_s, "--out", model.to_str().unwrap(), "--levels", "2",
+            "--dim", "8", "--epochs", "1", "--alpha", "6", "--seed", "3", "--math", "fast",
+        ];
+        // Checkpoint one level under the fast tier, crash.
+        let mut crash = base.to_vec();
+        crash.extend(["--checkpoint", ckpt_s, "--fault", "crash-after-level=1"]);
+        let (res, _) = run_args(&crash);
+        assert_eq!(res.unwrap_err().exit_code(), 6);
+
+        // Resuming under the other tier must be refused with an error
+        // naming both tiers (a hierarchy is built under one contract).
+        let mut resume = base.to_vec();
+        resume.extend(["--resume", ckpt_s]);
+        let flip = resume.iter().position(|a| *a == "fast").unwrap();
+        resume[flip] = "bitwise";
+        let (res, _) = run_args(&resume);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "math mismatch is a config error: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("math tier"), "{msg}");
+        assert!(msg.contains("`fast`") && msg.contains("`bitwise`"), "{msg}");
+
+        // The matching tier still resumes fine.
+        let mut ok = base.to_vec();
+        ok.extend(["--resume", ckpt_s]);
+        let (res, text) = run_args(&ok);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("resuming from checkpoint: 1/2"), "{text}");
+
+        let _ = std::fs::remove_file(edges);
+        let _ = std::fs::remove_file(model);
+        let _ = std::fs::remove_dir_all(&ckpt);
     }
 
     #[test]

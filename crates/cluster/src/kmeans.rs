@@ -10,7 +10,7 @@
 //! bit-identical clusterings (see [`hignn_tensor::parallel`]).
 
 use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
-use hignn_tensor::Matrix;
+use hignn_tensor::{simd, Matrix, MathMode};
 use rand::Rng;
 
 /// Configuration for [`kmeans`].
@@ -81,6 +81,23 @@ pub fn kmeans_with(
     rng: &mut impl Rng,
     exec: &ParallelExecutor,
 ) -> KMeansResult {
+    kmeans_with_mode(data, cfg, rng, exec, MathMode::Bitwise)
+}
+
+/// [`kmeans_with`] in the given math tier.
+///
+/// The mode only switches the distance kernel of the assignment steps
+/// (the O(n·k·d) bulk of Lloyd); k-means++ seeding and the centroid
+/// update keep the bitwise scalar path in both tiers, so FastMath
+/// changes at most which centroid wins a near-tie, never the RNG
+/// consumption pattern.
+pub fn kmeans_with_mode(
+    data: &Matrix,
+    cfg: &KMeansConfig,
+    rng: &mut impl Rng,
+    exec: &ParallelExecutor,
+    mode: MathMode,
+) -> KMeansResult {
     let _span = hignn_obs::span("cluster.kmeans");
     assert!(data.rows() > 0, "kmeans: empty data");
     assert!(cfg.k > 0, "kmeans: k must be positive");
@@ -100,7 +117,7 @@ pub fn kmeans_with(
         iterations = iter + 1;
         // Assignment step (parallel over row chunks).
         let new_inertia;
-        (assignment, new_inertia) = assign_all(&centroids, data, exec);
+        (assignment, new_inertia) = assign_all_mode(&centroids, data, exec, mode);
         // Update step: per-chunk partial sums/counts, merged in chunk
         // order so the f32 accumulation order is fixed.
         let partials = exec.map_chunks(data.rows(), ROW_CHUNK, |_, range| {
@@ -154,7 +171,7 @@ pub fn kmeans_with(
     }
 
     // Final assignment against the last centroid update.
-    let (assignment, final_inertia) = assign_all(&centroids, data, exec);
+    let (assignment, final_inertia) = assign_all_mode(&centroids, data, exec, mode);
     if hignn_obs::enabled() {
         hignn_obs::counter_add("cluster.kmeans_runs", 1);
         hignn_obs::counter_add("cluster.kmeans_iterations", iterations as u64);
@@ -173,12 +190,24 @@ pub fn assign_all(
     data: &Matrix,
     exec: &ParallelExecutor,
 ) -> (Vec<u32>, f64) {
+    assign_all_mode(centroids, data, exec, MathMode::Bitwise)
+}
+
+/// [`assign_all`] in the given math tier (FastMath vectorises the
+/// per-point squared distances; chunking and merge order are
+/// unchanged, so each mode is still thread-count-invariant).
+pub fn assign_all_mode(
+    centroids: &Matrix,
+    data: &Matrix,
+    exec: &ParallelExecutor,
+    mode: MathMode,
+) -> (Vec<u32>, f64) {
     let exec = &exec.throttle(data.rows() * data.cols() * centroids.rows());
     let chunks = exec.map_chunks(data.rows(), ROW_CHUNK, |_, range| {
         let mut assigned = Vec::with_capacity(range.len());
         let mut inertia = 0f64;
         for i in range {
-            let (c, d) = nearest_centroid(centroids, data.row(i));
+            let (c, d) = nearest_centroid_mode(centroids, data.row(i), mode);
             assigned.push(c as u32);
             inertia += d as f64;
         }
@@ -235,10 +264,19 @@ pub fn kmeans_pp_seed(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
 /// Index and squared distance of the centroid nearest to `point`.
 #[inline]
 pub fn nearest_centroid(centroids: &Matrix, point: &[f32]) -> (usize, f32) {
+    nearest_centroid_mode(centroids, point, MathMode::Bitwise)
+}
+
+/// [`nearest_centroid`] in the given math tier.
+#[inline]
+pub fn nearest_centroid_mode(centroids: &Matrix, point: &[f32], mode: MathMode) -> (usize, f32) {
     let mut best = 0usize;
     let mut best_d = f32::MAX;
     for c in 0..centroids.rows() {
-        let d = centroids.row_sq_dist(c, point);
+        let d = match mode {
+            MathMode::Bitwise => centroids.row_sq_dist(c, point),
+            MathMode::FastMath => simd::sq_dist_fast(centroids.row(c), point),
+        };
         if d < best_d {
             best_d = d;
             best = c;
@@ -376,6 +414,23 @@ mod tests {
             assert_eq!(r.centroids.data(), base.centroids.data(), "workers = {workers}");
             assert_eq!(r.inertia.to_bits(), base.inertia.to_bits(), "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn fastmath_assignment_recovers_blobs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (data, truth) = blobs(&mut rng);
+        let exec = ParallelExecutor::single();
+        let res =
+            kmeans_with_mode(&data, &KMeansConfig::new(3), &mut rng, &exec, MathMode::FastMath);
+        assert!(rand_index(&res.assignment, &truth) > 0.99);
+        // FastMath is itself deterministic: same seed, same bits.
+        let mut rng2 = StdRng::seed_from_u64(42);
+        let (data2, _) = blobs(&mut rng2);
+        let res2 =
+            kmeans_with_mode(&data2, &KMeansConfig::new(3), &mut rng2, &exec, MathMode::FastMath);
+        assert_eq!(res.assignment, res2.assignment);
+        assert_eq!(res.centroids.data(), res2.centroids.data());
     }
 
     #[test]

@@ -5,13 +5,14 @@
 //! record per completed hierarchy level:
 //!
 //! ```text
-//! <dir>/meta.hgck      := "HGCK" u32(version=4) section(meta)
+//! <dir>/meta.hgck      := "HGCK" u32(version=5) section(meta)
 //! meta                 := u64(fingerprint) u64(seed)
 //!                         u64(levels_total) u64(levels_done)
 //!                         u64(threads)            -- v2+; v1 lacks it
 //!                         u64(objective)          -- v4+; see below
+//!                         u64(math)               -- v5+; see below
 //!                         metrics_snapshot        -- v3+; see below
-//! <dir>/level_NN.hgcl  := "HGCL" u32(version=4) section(level)
+//! <dir>/level_NN.hgcl  := "HGCL" u32(version=5) section(level)
 //! section              := u64(payload_len) payload u32(crc32)
 //! ```
 //!
@@ -38,6 +39,15 @@
 //! inputs differ"). v1-v3 records read back objective id 0 — edge
 //! reconstruction, the only objective those builds had.
 //!
+//! Version-5 records insert the math tier's stable id
+//! ([`hignn_tensor::MathMode::id`]) between the objective and the
+//! snapshot. Like the objective, it is load-bearing: Bitwise and
+//! FastMath order float accumulation differently, so resuming a
+//! hierarchy under the other tier would splice two numeric contracts
+//! into one artifact and [`CheckpointStore::load_state`] refuses with a
+//! config error naming both tiers. v1-v4 records read back math id 0 —
+//! Bitwise, the only tier those builds had.
+//!
 //! Every write is atomic (temp file + fsync + rename), and the meta
 //! record is only advanced *after* its level record is durably on disk,
 //! so the meta is the commit point: a crash at any instant leaves a
@@ -62,7 +72,7 @@ use std::path::{Path, PathBuf};
 
 const META_MAGIC: &[u8; 4] = b"HGCK";
 const LEVEL_MAGIC: &[u8; 4] = b"HGCL";
-const CKPT_VERSION: u32 = 4;
+const CKPT_VERSION: u32 = 5;
 /// Oldest checkpoint version this build still reads.
 const CKPT_MIN_VERSION: u32 = 1;
 
@@ -90,6 +100,12 @@ pub struct CheckpointMeta {
     /// different objective. v1-v3 records read back 0 (edge
     /// reconstruction, the only objective those builds had).
     pub objective: u64,
+    /// Stable id of the math tier the run used
+    /// ([`hignn_tensor::MathMode::id`]). Load-bearing like `objective`:
+    /// [`CheckpointStore::load_state`] refuses to resume under a
+    /// different tier. v1-v4 records read back 0 (Bitwise, the only
+    /// tier those builds had).
+    pub math: u64,
 }
 
 /// A directory of per-level training checkpoints.
@@ -144,13 +160,14 @@ impl CheckpointStore {
         meta: &CheckpointMeta,
         snapshot: &MetricsSnapshot,
     ) -> Result<(), HignnError> {
-        let mut payload = Vec::with_capacity(52);
+        let mut payload = Vec::with_capacity(60);
         payload.extend_from_slice(&meta.fingerprint.to_le_bytes());
         payload.extend_from_slice(&meta.seed.to_le_bytes());
         payload.extend_from_slice(&meta.levels_total.to_le_bytes());
         payload.extend_from_slice(&meta.levels_done.to_le_bytes());
         payload.extend_from_slice(&meta.threads.to_le_bytes());
         payload.extend_from_slice(&meta.objective.to_le_bytes());
+        payload.extend_from_slice(&meta.math.to_le_bytes());
         payload.extend_from_slice(&snapshot.encode());
         let mut buf = Vec::new();
         buf.extend_from_slice(META_MAGIC);
@@ -197,7 +214,8 @@ impl CheckpointStore {
         let fixed_len = match version {
             1 => 32,
             2 | 3 => 40,
-            _ => 48,
+            4 => 48,
+            _ => 56,
         };
         let len_ok = if version >= 3 {
             // v3 appends a variable-length metrics snapshot.
@@ -225,6 +243,7 @@ impl CheckpointStore {
             levels_done: word(3),
             threads: if version >= 2 { word(4) } else { 0 },
             objective: if version >= 4 { word(5) } else { 0 },
+            math: if version >= 5 { word(6) } else { 0 },
         };
         if meta.levels_done > meta.levels_total {
             return Err(HignnError::corrupt(
@@ -285,10 +304,11 @@ impl CheckpointStore {
     /// `expected_fingerprint`, and `levels_total`, then loads every
     /// completed level.
     ///
-    /// The objective check runs *first*: a mismatched objective also
-    /// fails the fingerprint (the objective is part of the config), but
-    /// checking it separately yields an error that names the two
-    /// objectives instead of a bare fingerprint diff.
+    /// The objective check runs *first*, then the math tier, then the
+    /// fingerprint: a mismatched objective or tier also fails the
+    /// fingerprint (both are part of the config), but checking them
+    /// separately yields errors that name the two objectives or tiers
+    /// instead of a bare fingerprint diff.
     ///
     /// When metrics are enabled and the meta record carries a snapshot
     /// (v3+), the snapshot's counters are added into the global
@@ -299,6 +319,7 @@ impl CheckpointStore {
         expected_fingerprint: u64,
         levels_total: usize,
         expected_objective: u64,
+        expected_math: u64,
     ) -> Result<(CheckpointMeta, Vec<Level>), HignnError> {
         let (meta, snapshot) = self.read_meta_with_metrics()?;
         if meta.objective != expected_objective {
@@ -312,6 +333,20 @@ impl CheckpointStore {
                 self.dir.display(),
                 describe(meta.objective),
                 describe(expected_objective),
+            )));
+        }
+        if meta.math != expected_math {
+            let describe = |id: u64| match hignn_tensor::MathMode::from_id(id) {
+                Some(mode) => format!("`{}`", mode.name()),
+                None => format!("unknown math id {id}"),
+            };
+            return Err(HignnError::Config(format!(
+                "checkpoint in {} was trained with math tier {} but the current run uses \
+                 math tier {}; refusing to resume (a hierarchy must be built under one \
+                 accumulation contract)",
+                self.dir.display(),
+                describe(meta.math),
+                describe(expected_math),
             )));
         }
         if meta.fingerprint != expected_fingerprint {
@@ -613,6 +648,7 @@ mod tests {
             levels_done: 1,
             threads: 4,
             objective: 2,
+            math: 1,
         };
         store.write_meta(&meta).unwrap();
         assert!(store.has_meta());
@@ -659,6 +695,7 @@ mod tests {
             levels_done: 2,
             threads: 1,
             objective: 1,
+            math: 0,
         };
         let snap = MetricsSnapshot {
             counters: vec![("train.batches".into(), 120), ("train.epochs".into(), 6)],
@@ -728,22 +765,76 @@ mod tests {
             levels_done: 0,
             threads: 1,
             objective: 0,
+            math: 0,
         };
         store.write_meta(&meta).unwrap();
         // Wrong objective AND wrong fingerprint: the objective error
         // must win, naming both losses.
-        let err = store.load_state(0x2222, 2, 1).unwrap_err();
+        let err = store.load_state(0x2222, 2, 1, 0).unwrap_err();
         assert_eq!(err.exit_code(), 2, "objective mismatch is a config error: {err}");
         let msg = err.to_string();
         assert!(msg.contains("objective"), "{msg}");
         assert!(msg.contains("`edge`") && msg.contains("`contrastive`"), "{msg}");
         // Matching objective falls through to the fingerprint check.
-        let err = store.load_state(0x2222, 2, 0).unwrap_err();
+        let err = store.load_state(0x2222, 2, 0, 0).unwrap_err();
         assert!(err.to_string().contains("fingerprint"), "{err}");
         // Everything matching loads (no levels done, so no level files).
-        let (got, levels) = store.load_state(0x1111, 2, 0).unwrap();
+        let (got, levels) = store.load_state(0x1111, 2, 0, 0).unwrap();
         assert_eq!(got, meta);
         assert!(levels.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_state_refuses_math_mismatch_before_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_math_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        let meta = CheckpointMeta {
+            fingerprint: 0x3333,
+            seed: 1,
+            levels_total: 2,
+            levels_done: 0,
+            threads: 1,
+            objective: 0,
+            math: 0,
+        };
+        store.write_meta(&meta).unwrap();
+        // Matching objective, wrong math AND wrong fingerprint: the
+        // math error must win, naming both tiers.
+        let err = store.load_state(0x4444, 2, 0, 1).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "math mismatch is a config error: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("math tier"), "{msg}");
+        assert!(msg.contains("`bitwise`") && msg.contains("`fast`"), "{msg}");
+        // Matching math falls through to the fingerprint check.
+        let err = store.load_state(0x4444, 2, 0, 0).unwrap_err();
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+        let (got, levels) = store.load_state(0x3333, 2, 0, 0).unwrap();
+        assert_eq!(got, meta);
+        assert!(levels.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version4_meta_without_math_still_loads() {
+        let dir = std::env::temp_dir().join(format!("hignn_ckpt_v4_{}", std::process::id()));
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Hand-build a v4 record: 48 fixed bytes + empty snapshot,
+        // version word 4 — no math word.
+        let mut payload = Vec::with_capacity(52);
+        for w in [0xCAFEu64, 5, 2, 1, 2, 1] {
+            payload.extend_from_slice(&w.to_le_bytes());
+        }
+        payload.extend_from_slice(&MetricsSnapshot::default().encode());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(META_MAGIC);
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        write_section(&mut buf, &payload).unwrap();
+        std::fs::write(dir.join("meta.hgck"), &buf).unwrap();
+        let meta = store.read_meta().unwrap();
+        assert_eq!(meta.fingerprint, 0xCAFE);
+        assert_eq!(meta.objective, 1);
+        assert_eq!(meta.math, 0, "v4 records read back math 0 (bitwise)");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -278,7 +278,14 @@ impl BipartiteSage {
                     let (src, slot) = src_for(p_max);
                     let pooled = match src {
                         FeatureSource::Fixed(m) => {
-                            tape.input(m.gather_mean_pool_rows(&layers[p_max], fanout))
+                            let mut out = Matrix::zeros(layers[p_max].len() / fanout, m.cols());
+                            m.gather_mean_pool_rows_into_mode(
+                                &layers[p_max],
+                                fanout,
+                                &mut out,
+                                tape.math(),
+                            );
+                            tape.input(out)
                         }
                         FeatureSource::Trainable(pid) => {
                             let table = table_var(tape, &mut trainable_vars, slot, pid);

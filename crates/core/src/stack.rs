@@ -20,7 +20,7 @@ use crate::trainer::{
     train_unsupervised_checked, EpochHooks, SageTrainConfig, TrainError, TrainGuard,
 };
 use hignn_cluster::ch_index::select_k_by_ch;
-use hignn_cluster::kmeans::{kmeans_with, mean_by_cluster, KMeansConfig};
+use hignn_cluster::kmeans::{kmeans_with_mode, mean_by_cluster, KMeansConfig};
 use hignn_cluster::streaming::single_pass_kmeans_with;
 use hignn_graph::{coarsen, Assignment, BipartiteGraph};
 use hignn_tensor::parallel::{ParallelExecutor, ROW_CHUNK};
@@ -528,7 +528,10 @@ fn build_one_level(
                 return a;
             }
             match cfg.kmeans {
-                KMeansAlgo::Lloyd => kmeans_with(z, &KMeansConfig::new(k), rng, exec).assignment,
+                KMeansAlgo::Lloyd => {
+                    kmeans_with_mode(z, &KMeansConfig::new(k), rng, exec, cfg.train.math)
+                        .assignment
+                }
                 KMeansAlgo::SinglePass => single_pass_kmeans_with(z, k, 4 * k, rng, exec).1,
             }
         };
@@ -627,7 +630,12 @@ pub fn build_hierarchy_with(
     if let Some(store) = opts.checkpoint {
         if opts.resume {
             let (_meta, loaded) =
-                store.load_state(fingerprint, cfg.levels, cfg.train.objective.kind().id())?;
+                store.load_state(
+                    fingerprint,
+                    cfg.levels,
+                    cfg.train.objective.kind().id(),
+                    cfg.train.math.id(),
+                )?;
             levels = loaded;
             if hignn_obs::log_enabled() {
                 hignn_obs::log_event(
@@ -645,6 +653,7 @@ pub fn build_hierarchy_with(
                     levels_done: 0,
                     threads: opts.threads.max(1) as u64,
                     objective: cfg.train.objective.kind().id(),
+                    math: cfg.train.math.id(),
                 })
             })?;
         }
@@ -756,6 +765,7 @@ pub fn build_hierarchy_with(
                         levels_done: level as u64,
                         threads: opts.threads.max(1) as u64,
                         objective: cfg.train.objective.kind().id(),
+                        math: cfg.train.math.id(),
                     })
                 })?;
             }

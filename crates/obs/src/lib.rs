@@ -94,6 +94,15 @@ pub fn histogram_record(name: &str, value: f64) {
     }
 }
 
+/// Flush a batch of counter deltas, histogram samples, and series
+/// appends into the global registry under one lock acquisition (no-op
+/// when disabled). See [`Registry::record_batch`].
+pub fn record_batch(counters: &[(&str, u64)], histograms: &[(&str, f64)], series: &[(&str, f64)]) {
+    if enabled() {
+        global().record_batch(counters, histograms, series);
+    }
+}
+
 /// Append to global series `name` (no-op when disabled).
 pub fn series_push(name: &str, value: f64) {
     if enabled() {

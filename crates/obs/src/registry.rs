@@ -146,6 +146,31 @@ impl Registry {
             .record(value);
     }
 
+    /// Record a whole batch of metric mutations under a single lock
+    /// acquisition: counter deltas, then histogram samples, then series
+    /// appends. Hot loops that would otherwise take the registry lock
+    /// many times per iteration (e.g. the per-minibatch block in the
+    /// trainer) should collect their updates and flush them through
+    /// this entry point.
+    pub fn record_batch(
+        &self,
+        counters: &[(&str, u64)],
+        histograms: &[(&str, f64)],
+        series: &[(&str, f64)],
+    ) {
+        let mut g = self.lock();
+        for &(name, delta) in counters {
+            let c = g.counters.entry(name.to_owned()).or_insert(0);
+            *c = c.saturating_add(delta);
+        }
+        for &(name, value) in histograms {
+            g.histograms.entry(name.to_owned()).or_default().record(value);
+        }
+        for &(name, value) in series {
+            g.series.entry(name.to_owned()).or_default().push(value);
+        }
+    }
+
     /// Read a snapshot of histogram `name`, if any samples were recorded.
     pub fn histogram_get(&self, name: &str) -> Option<Histogram> {
         self.lock().histograms.get(name).cloned()
@@ -301,6 +326,28 @@ mod tests {
         r.reset();
         assert!(r.span_get("s").is_none());
         assert!(r.series_get("x").is_empty());
+    }
+
+    #[test]
+    fn record_batch_matches_individual_calls() {
+        let batched = Registry::new();
+        batched.record_batch(
+            &[("c", 2), ("c", 3), ("d", 1)],
+            &[("h", 0.5), ("h", 1.5)],
+            &[("s", 1.0), ("s", 2.0)],
+        );
+        let single = Registry::new();
+        single.counter_add("c", 2);
+        single.counter_add("c", 3);
+        single.counter_add("d", 1);
+        single.histogram_record("h", 0.5);
+        single.histogram_record("h", 1.5);
+        single.series_push("s", 1.0);
+        single.series_push("s", 2.0);
+        assert_eq!(batched.counter_get("c"), single.counter_get("c"));
+        assert_eq!(batched.counter_get("d"), single.counter_get("d"));
+        assert_eq!(batched.histogram_get("h"), single.histogram_get("h"));
+        assert_eq!(batched.series_get("s"), single.series_get("s"));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use hignn_tensor::nn::{Activation, Mlp};
 use hignn_tensor::param::ParamStore;
-use hignn_tensor::Matrix;
+use hignn_tensor::{MathMode, Matrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -38,6 +38,7 @@ pub struct Scorer {
     mlp: Mlp,
     user_dim: usize,
     item_dim: usize,
+    math: MathMode,
 }
 
 impl std::fmt::Debug for Scorer {
@@ -59,7 +60,21 @@ impl Scorer {
         let mut rng = StdRng::seed_from_u64(seed);
         let dims = [user_dim + item_dim, HIDDEN[0], HIDDEN[1], 1];
         let mlp = Mlp::new(&mut store, "serve.scorer", &dims, Activation::LeakyRelu, &mut rng);
-        Scorer { store, mlp, user_dim, item_dim }
+        Scorer { store, mlp, user_dim, item_dim, math: MathMode::Bitwise }
+    }
+
+    /// Selects the math tier for inference. Bitwise (the default) keeps
+    /// the oracle-proven scalar kernels; FastMath vectorises them. Both
+    /// tiers keep scores per-row bitwise independent — only the
+    /// within-row accumulation order differs between tiers.
+    pub fn with_math(mut self, math: MathMode) -> Scorer {
+        self.math = math;
+        self
+    }
+
+    /// The math tier this scorer runs in.
+    pub fn math(&self) -> MathMode {
+        self.math
     }
 
     /// Input dimensionality (`user_dim + item_dim`).
@@ -86,7 +101,7 @@ impl Scorer {
             row[self.user_dim..].copy_from_slice(feats.row(id as usize));
             x.set_row(r, &row);
         }
-        let logits = self.mlp.infer(&self.store, &x);
+        let logits = self.mlp.infer_mode(&self.store, &x, self.math);
         (0..ids.len()).map(|r| logits.get(r, 0)).collect()
     }
 
@@ -146,6 +161,33 @@ mod tests {
         assert_eq!(subset[0].to_bits(), all[4].to_bits());
         assert_eq!(subset[1].to_bits(), all[1].to_bits());
         assert_eq!(subset[2].to_bits(), all[3].to_bits());
+    }
+
+    #[test]
+    fn fastmath_scores_stay_close_and_batch_independent() {
+        let bit = Scorer::new(4, 4, 7);
+        let fast = Scorer::new(4, 4, 7).with_math(MathMode::FastMath);
+        let feats = Matrix::from_fn(9, 4, |i, j| ((i * 4 + j) as f32).sin() * 0.5);
+        let user = [0.5, -0.25, 1.0, 0.125];
+        let ids: Vec<u32> = (0..9).collect();
+        let sb = bit.score_against(&user, &feats, &ids);
+        let sf = fast.score_against(&user, &feats, &ids);
+        for (i, (b, f)) in sb.iter().zip(&sf).enumerate() {
+            assert!((b - f).abs() < 1e-4, "item {i}: bitwise {b} vs fast {f}");
+        }
+        // FastMath keeps per-row independence: only the within-row
+        // accumulation order differs from Bitwise, so a candidate's
+        // score cannot depend on which other candidates share a batch.
+        for id in [0u32, 4, 8] {
+            let solo = fast.score_against(&user, &feats, &[id]);
+            assert_eq!(solo[0].to_bits(), sf[id as usize].to_bits(), "item {id}");
+        }
+        // And it is self-deterministic bit-for-bit.
+        let again = fast.score_against(&user, &feats, &ids);
+        assert_eq!(
+            sf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -62,11 +62,13 @@ pub mod optim;
 pub mod parallel;
 pub mod param;
 pub mod serialize;
+pub mod simd;
 pub mod tape;
 pub mod workspace;
 
 pub use matrix::Matrix;
 pub use parallel::ParallelExecutor;
 pub use param::{Gradients, ParamId, ParamStore};
+pub use simd::{MathMode, SimdBackend};
 pub use tape::{stable_sigmoid, Tape, Var};
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{AlignedBuf, Workspace, WorkspaceStats};

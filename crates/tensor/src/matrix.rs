@@ -18,16 +18,39 @@
 //! determinism contract"). The fused variants
 //! ([`Matrix::gather_mean_pool_rows`], [`Matrix::concat2_matmul`])
 //! preserve the same per-element order as the ops they fuse.
+//!
+//! The `nt` layout (`a * b^T`) is computed by **packing** a transposed
+//! copy of `b` into a 64-byte-aligned scratch panel and running the
+//! `nn` kernel over it: a copy is `O(k·n)` against the product's
+//! `O(m·k·n)`, and it turns the contraction-major `b` walk into the
+//! contiguous row loads the tiled kernel wants. Packing permutes only
+//! *where* elements live — per output element the contraction still
+//! ascends once from `+0.0` — so packed `nt` stays bitwise
+//! oracle-identical while matching the `nn` kernel's throughput.
+//!
+//! Every product and the fused gather→mean-pool also exist as `_mode`
+//! variants taking a [`MathMode`]: `Bitwise` dispatches to the kernels
+//! in this file, `FastMath` to the toleranced SIMD kernels in
+//! [`crate::simd`] (see DESIGN.md §14 for the two-tier contract).
 
+use crate::simd::{self, MathMode};
+use crate::workspace::AlignedBuf;
+use std::cell::RefCell;
 use std::fmt;
 
 /// Output-row block height of the register-tiled matmul micro-kernels.
 const MR: usize = 4;
 /// Output-column block width of the register-tiled matmul micro-kernels.
 const NR: usize = 8;
-/// Column block width for `matmul_nt` (both operands are contraction-
-/// major there, so the win is independent accumulator chains, not SIMD).
-const NR_NT: usize = 4;
+
+thread_local! {
+    /// Per-thread pack scratch for the `nt` layout's transposed B
+    /// panel. Retained across calls so steady-state `matmul_nt` (and
+    /// the tape ops built on it) allocates nothing; callers that hold a
+    /// [`crate::Workspace`] lease their panel from it instead via
+    /// [`Matrix::matmul_nt_into_scratch`].
+    static NT_PACK: RefCell<AlignedBuf> = RefCell::new(AlignedBuf::new());
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -202,13 +225,32 @@ impl Matrix {
     /// [`Matrix::matmul`] writing into a caller-provided output matrix
     /// (overwrites every entry; `out` need not be zeroed).
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_mode(rhs, out, MathMode::Bitwise);
+    }
+
+    /// [`Matrix::matmul_into`] under an explicit [`MathMode`].
+    pub fn matmul_into_mode(&self, rhs: &Matrix, out: &mut Matrix, mode: MathMode) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into: bad output shape");
-        mm_nn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+        match mode {
+            MathMode::Bitwise => {
+                mm_nn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data)
+            }
+            MathMode::FastMath => {
+                simd::mm_nn_fast(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data)
+            }
+        }
+    }
+
+    /// [`Matrix::matmul`] under an explicit [`MathMode`].
+    pub fn matmul_mode(&self, rhs: &Matrix, mode: MathMode) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into_mode(rhs, &mut out, mode);
+        out
     }
 
     /// Product of a contiguous row range of `self` with `rhs`
@@ -234,13 +276,42 @@ impl Matrix {
     /// [`Matrix::matmul_nt`] writing into a caller-provided output matrix
     /// (overwrites every entry; `out` need not be zeroed).
     pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_nt_into_mode(rhs, out, MathMode::Bitwise);
+    }
+
+    /// [`Matrix::matmul_nt_into`] under an explicit [`MathMode`], using
+    /// the per-thread pack scratch.
+    pub fn matmul_nt_into_mode(&self, rhs: &Matrix, out: &mut Matrix, mode: MathMode) {
+        NT_PACK.with(|cell| {
+            self.matmul_nt_into_scratch(rhs, out, mode, &mut cell.borrow_mut());
+        });
+    }
+
+    /// [`Matrix::matmul_nt_into_mode`] packing the transposed B panel
+    /// into a caller-provided aligned scratch buffer (lease it from a
+    /// [`crate::Workspace`] on the training hot path; contents are
+    /// overwritten).
+    pub fn matmul_nt_into_scratch(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        mode: MathMode,
+        scratch: &mut AlignedBuf,
+    ) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt: {}x{} * ({}x{})^T",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_nt_into: bad output shape");
-        mm_nt(&self.data, self.rows, self.cols, &rhs.data, rhs.rows, &mut out.data);
+        let (kk, n) = (self.cols, rhs.rows);
+        scratch.resize_for_overwrite(kk * n);
+        let bt = scratch.as_mut_slice();
+        pack_transposed(&rhs.data, n, kk, bt);
+        match mode {
+            MathMode::Bitwise => mm_nn(&self.data, self.rows, kk, bt, n, &mut out.data),
+            MathMode::FastMath => simd::mm_nn_fast(&self.data, self.rows, kk, bt, n, &mut out.data),
+        }
     }
 
     /// Matrix product `self^T * rhs` without materialising the transpose.
@@ -253,13 +324,25 @@ impl Matrix {
     /// [`Matrix::matmul_tn`] writing into a caller-provided output matrix
     /// (overwrites every entry; `out` need not be zeroed).
     pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_tn_into_mode(rhs, out, MathMode::Bitwise);
+    }
+
+    /// [`Matrix::matmul_tn_into`] under an explicit [`MathMode`].
+    pub fn matmul_tn_into_mode(&self, rhs: &Matrix, out: &mut Matrix, mode: MathMode) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn: ({}x{})^T * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         assert_eq!(out.shape(), (self.cols, rhs.cols), "matmul_tn_into: bad output shape");
-        mm_tn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data);
+        match mode {
+            MathMode::Bitwise => {
+                mm_tn(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data)
+            }
+            MathMode::FastMath => {
+                simd::mm_tn_fast(&self.data, self.rows, self.cols, &rhs.data, rhs.cols, &mut out.data)
+            }
+        }
     }
 
     /// Fused `[a | b] * w` without materialising the concatenation.
@@ -272,6 +355,11 @@ impl Matrix {
         Self::concat2_matmul_rows_range(a, 0..a.rows, b, w)
     }
 
+    /// [`Matrix::concat2_matmul`] under an explicit [`MathMode`].
+    pub fn concat2_matmul_mode(a: &Matrix, b: &Matrix, w: &Matrix, mode: MathMode) -> Matrix {
+        Self::concat2_matmul_rows_range_mode(a, 0..a.rows, b, w, mode)
+    }
+
     /// [`Matrix::concat2_matmul`] over a contiguous row range of `a`
     /// (`[a[range] | b] * w`); `b` must already have `range.len()` rows.
     pub fn concat2_matmul_rows_range(
@@ -280,13 +368,32 @@ impl Matrix {
         b: &Matrix,
         w: &Matrix,
     ) -> Matrix {
+        Self::concat2_matmul_rows_range_mode(a, range, b, w, MathMode::Bitwise)
+    }
+
+    /// [`Matrix::concat2_matmul_rows_range`] under an explicit
+    /// [`MathMode`].
+    pub fn concat2_matmul_rows_range_mode(
+        a: &Matrix,
+        range: std::ops::Range<usize>,
+        b: &Matrix,
+        w: &Matrix,
+        mode: MathMode,
+    ) -> Matrix {
         assert!(range.end <= a.rows, "concat2_matmul: range out of bounds");
         let m = range.len();
         assert_eq!(b.rows, m, "concat2_matmul: row mismatch");
         assert_eq!(a.cols + b.cols, w.rows, "concat2_matmul: inner dimension mismatch");
         let mut out = Matrix::zeros(m, w.cols);
         let a1 = &a.data[range.start * a.cols..range.end * a.cols];
-        mm_cat2(a1, a.cols, &b.data, b.cols, m, &w.data, w.cols, &mut out.data);
+        match mode {
+            MathMode::Bitwise => {
+                mm_cat2(a1, a.cols, &b.data, b.cols, m, &w.data, w.cols, &mut out.data)
+            }
+            MathMode::FastMath => {
+                simd::mm_cat2_fast(a1, a.cols, &b.data, b.cols, m, &w.data, w.cols, &mut out.data)
+            }
+        }
         out
     }
 
@@ -484,6 +591,37 @@ impl Matrix {
         out
     }
 
+    /// [`Matrix::gather_mean_pool_rows_into`] under an explicit
+    /// [`MathMode`]. The column lanes of a mean-pool never interact, so
+    /// FastMath here is value-identical — it differs only in using the
+    /// vector units.
+    pub fn gather_mean_pool_rows_into_mode(
+        &self,
+        idx: &[usize],
+        group: usize,
+        out: &mut Matrix,
+        mode: MathMode,
+    ) {
+        match mode {
+            MathMode::Bitwise => self.gather_mean_pool_rows_into(idx, group, out),
+            MathMode::FastMath => {
+                assert!(
+                    group > 0 && idx.len().is_multiple_of(group),
+                    "gather_mean_pool_rows_into: bad grouping"
+                );
+                assert_eq!(
+                    out.shape(),
+                    (idx.len() / group, self.cols),
+                    "gather_mean_pool_rows_into: bad output shape"
+                );
+                if let Some(&bad) = idx.iter().find(|&&i| i >= self.rows) {
+                    panic!("gather_mean_pool_rows_into: index {bad} out of bounds ({} rows)", self.rows);
+                }
+                simd::gather_mean_pool_fast(&self.data, self.cols, idx, group, &mut out.data);
+            }
+        }
+    }
+
     /// [`Matrix::gather_mean_pool_rows`] writing into a caller-provided
     /// output matrix (overwrites every entry; `out` need not be zeroed).
     pub fn gather_mean_pool_rows_into(&self, idx: &[usize], group: usize, out: &mut Matrix) {
@@ -642,50 +780,29 @@ fn mm_nn(a: &[f32], m: usize, kk: usize, b: &[f32], n: usize, out: &mut [f32]) {
     }
 }
 
-/// `out = a * b^T` where `a` is `m x kk` and `b` is `n x kk` (row-major).
-/// Both operands are contraction-major, so the micro-kernel's win is
-/// MR*NR_NT independent scalar accumulator chains (ILP), not SIMD.
-fn mm_nt(a: &[f32], m: usize, kk: usize, b: &[f32], n: usize, out: &mut [f32]) {
-    let mut i = 0;
-    while i < m {
-        let ib = MR.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let jb = NR_NT.min(n - j);
-            if ib == MR && jb == NR_NT {
-                let ar: [&[f32]; MR] =
-                    std::array::from_fn(|ii| &a[(i + ii) * kk..(i + ii + 1) * kk]);
-                let br: [&[f32]; NR_NT] =
-                    std::array::from_fn(|jj| &b[(j + jj) * kk..(j + jj + 1) * kk]);
-                let mut acc = [[0.0f32; NR_NT]; MR];
-                for t in 0..kk {
-                    let avs: [f32; MR] = std::array::from_fn(|ii| ar[ii][t]);
-                    let bvs: [f32; NR_NT] = std::array::from_fn(|jj| br[jj][t]);
-                    for ii in 0..MR {
-                        for jj in 0..NR_NT {
-                            acc[ii][jj] += avs[ii] * bvs[jj];
-                        }
-                    }
-                }
-                for ii in 0..MR {
-                    out[(i + ii) * n + j..(i + ii) * n + j + NR_NT].copy_from_slice(&acc[ii]);
-                }
-            } else {
-                for ii in 0..ib {
-                    let arow = &a[(i + ii) * kk..(i + ii + 1) * kk];
-                    for jj in 0..jb {
-                        let brow = &b[(j + jj) * kk..(j + jj + 1) * kk];
-                        let mut acc = 0.0f32;
-                        for (&av, &bv) in arow.iter().zip(brow) {
-                            acc += av * bv;
-                        }
-                        out[(i + ii) * n + j + jj] = acc;
-                    }
+/// Packs row-major `b` (`n x kk`) as its transpose (`kk x n`) into
+/// `bt`, in cache-blocked tiles. Packing only permutes element
+/// *positions* — the `nn` kernel run over the packed panel still
+/// accumulates each output element over ascending `t` from `+0.0`, so
+/// packed `nt` is bitwise the oracle's naive loop.
+fn pack_transposed(b: &[f32], n: usize, kk: usize, bt: &mut [f32]) {
+    const TB: usize = 32;
+    debug_assert!(b.len() >= n * kk && bt.len() >= kk * n);
+    let mut j0 = 0;
+    while j0 < n {
+        let jb = TB.min(n - j0);
+        let mut t0 = 0;
+        while t0 < kk {
+            let tb = TB.min(kk - t0);
+            for j in j0..j0 + jb {
+                let brow = &b[j * kk + t0..j * kk + t0 + tb];
+                for (t, &v) in brow.iter().enumerate() {
+                    bt[(t0 + t) * n + j] = v;
                 }
             }
-            j += jb;
+            t0 += tb;
         }
-        i += ib;
+        j0 += jb;
     }
 }
 
@@ -1031,6 +1148,66 @@ mod tests {
             let b2 = pseudo(k_, n_, (k_ * 71 + n_) as u32);
             assert_bits_eq(&at.matmul_tn(&b2), &naive_matmul(&at.transpose(), &b2), "tn");
         }
+    }
+
+    #[test]
+    fn packed_nt_is_bitwise_across_pack_tile_edges() {
+        // Shapes crossing the 32-wide pack tile in both k and n, plus
+        // exact-tile and one-off boundaries.
+        for &(m_, k_, n_) in &[(40, 65, 50), (4, 32, 32), (7, 33, 31), (2, 100, 3), (33, 1, 64)] {
+            let a = pseudo(m_, k_, (m_ * 19 + k_) as u32);
+            let b = pseudo(n_, k_, (n_ * 23 + k_) as u32);
+            assert_bits_eq(&a.matmul_nt(&b), &naive_matmul(&a, &b.transpose()), "nt packed");
+        }
+    }
+
+    #[test]
+    fn bitwise_mode_variants_match_the_modeless_entry_points() {
+        let a = pseudo(9, 14, 3);
+        let b = pseudo(14, 11, 4);
+        let bt = pseudo(11, 14, 5);
+        let at = pseudo(14, 9, 6);
+        assert_bits_eq(&a.matmul_mode(&b, MathMode::Bitwise), &a.matmul(&b), "nn mode");
+        let mut out = Matrix::zeros(9, 11);
+        a.matmul_nt_into_mode(&bt, &mut out, MathMode::Bitwise);
+        assert_bits_eq(&out, &a.matmul_nt(&bt), "nt mode");
+        let mut out_tn = Matrix::zeros(9, 11);
+        at.matmul_tn_into_mode(&b, &mut out_tn, MathMode::Bitwise);
+        assert_bits_eq(&out_tn, &at.matmul_tn(&b), "tn mode");
+        let b2 = pseudo(9, 5, 7);
+        let w = pseudo(19, 8, 8);
+        assert_bits_eq(
+            &Matrix::concat2_matmul_mode(&a, &b2, &w, MathMode::Bitwise),
+            &Matrix::concat2_matmul(&a, &b2, &w),
+            "cat2 mode",
+        );
+    }
+
+    #[test]
+    fn fastmath_variants_stay_close_to_naive() {
+        let close = |x: &Matrix, y: &Matrix, what: &str| {
+            assert_eq!(x.shape(), y.shape(), "{what}: shape");
+            assert!(x.max_abs_diff(y) < 1e-4, "{what}: diff {}", x.max_abs_diff(y));
+        };
+        let a = pseudo(13, 37, 9);
+        let b = pseudo(37, 21, 10);
+        close(&a.matmul_mode(&b, MathMode::FastMath), &naive_matmul(&a, &b), "nn fast");
+        let bt = pseudo(21, 37, 11);
+        let mut out = Matrix::zeros(13, 21);
+        // Exercise the caller-scratch variant, as the tape does.
+        let mut scratch = AlignedBuf::new();
+        a.matmul_nt_into_scratch(&bt, &mut out, MathMode::FastMath, &mut scratch);
+        close(&out, &naive_matmul(&a, &bt.transpose()), "nt fast");
+        let at = a.transpose(); // 37x13, so at^T * b == a * b
+        let mut out_tn = Matrix::zeros(13, 21);
+        at.matmul_tn_into_mode(&b, &mut out_tn, MathMode::FastMath);
+        close(&out_tn, &naive_matmul(&a, &b), "tn fast");
+        // Fused gather->pool under FastMath is value-identical.
+        let src = pseudo(9, 17, 12);
+        let idx = vec![0usize, 8, 3, 3, 1, 7, 2, 6, 5, 0, 4, 8];
+        let mut pooled = Matrix::zeros(6, 17);
+        src.gather_mean_pool_rows_into_mode(&idx, 2, &mut pooled, MathMode::FastMath);
+        assert_bits_eq(&pooled, &src.gather_mean_pool_rows(&idx, 2), "gather pool fast");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::init::{he_uniform, xavier_uniform};
 use crate::param::{ParamId, ParamStore};
+use crate::simd::{self, MathMode};
 use crate::tape::{Tape, Var};
 use crate::Matrix;
 use rand::Rng;
@@ -77,7 +78,13 @@ impl Linear {
 
     /// Tape-free inference.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        x.matmul(store.get(self.w)).add_row_broadcast(store.get(self.b))
+        self.infer_mode(store, x, MathMode::Bitwise)
+    }
+
+    /// Tape-free inference in the given math tier.
+    pub fn infer_mode(&self, store: &ParamStore, x: &Matrix, mode: MathMode) -> Matrix {
+        x.matmul_mode(store.get(self.w), mode)
+            .add_row_broadcast(store.get(self.b))
     }
 
     /// Weight parameter id.
@@ -152,16 +159,29 @@ impl Mlp {
 
     /// Tape-free inference producing logits.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut h = self.layers[0].infer(store, x);
+        self.infer_mode(store, x, MathMode::Bitwise)
+    }
+
+    /// Tape-free inference producing logits, in the given math tier.
+    ///
+    /// FastMath vectorises the matmuls and the leaky-ReLU activation;
+    /// `tanh` stays scalar in both tiers (no vector `tanh` kernel).
+    pub fn infer_mode(&self, store: &ParamStore, x: &Matrix, mode: MathMode) -> Matrix {
+        let mut h = self.layers[0].infer_mode(store, x, mode);
         for layer in &self.layers[1..] {
             // The previous layer was a hidden one: activate in place.
-            match self.activation {
-                Activation::LeakyRelu => h.map_assign(|v| if v > 0.0 { v } else { 0.01 * v }),
-                Activation::Relu => h.map_assign(|v| v.max(0.0)),
-                Activation::Tanh => h.map_assign(f32::tanh),
-                Activation::Identity => {}
+            match (self.activation, mode) {
+                (Activation::LeakyRelu, MathMode::FastMath) => {
+                    simd::leaky_relu_fast(h.data_mut(), 0.01)
+                }
+                (Activation::LeakyRelu, MathMode::Bitwise) => {
+                    h.map_assign(|v| if v > 0.0 { v } else { 0.01 * v })
+                }
+                (Activation::Relu, _) => h.map_assign(|v| v.max(0.0)),
+                (Activation::Tanh, _) => h.map_assign(f32::tanh),
+                (Activation::Identity, _) => {}
             }
-            h = layer.infer(store, &h);
+            h = layer.infer_mode(store, &h, mode);
         }
         h
     }
@@ -219,6 +239,17 @@ mod tests {
         let y = mlp.forward(&mut t, xv);
         let y_infer = mlp.infer(&store, &x);
         assert!(t.value(y).max_abs_diff(&y_infer) < 1e-6);
+    }
+
+    #[test]
+    fn fastmath_infer_stays_close_to_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut store = ParamStore::new();
+        let mlp = Mlp::new(&mut store, "m", &[5, 33, 17, 2], Activation::LeakyRelu, &mut rng);
+        let x = crate::init::xavier_uniform(9, 5, &mut rng);
+        let slow = mlp.infer(&store, &x);
+        let fast = mlp.infer_mode(&store, &x, MathMode::FastMath);
+        assert!(slow.max_abs_diff(&fast) < 1e-4);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 use crate::matrix::Matrix;
 use crate::param::{Gradients, ParamId, ParamStore};
+use crate::simd::{self, MathMode};
 use crate::workspace::Workspace;
 
 /// Handle to a value on the tape. Cheap to copy.
@@ -128,13 +129,14 @@ pub struct Tape<'s> {
     store: &'s ParamStore,
     nodes: Vec<Node>,
     ws: Option<&'s Workspace>,
+    math: MathMode,
 }
 
 impl<'s> Tape<'s> {
     /// Creates an empty tape bound to a parameter store. Intermediate
     /// buffers are heap-allocated per op.
     pub fn new(store: &'s ParamStore) -> Self {
-        Tape { store, nodes: Vec::new(), ws: None }
+        Tape { store, nodes: Vec::new(), ws: None, math: MathMode::Bitwise }
     }
 
     /// Creates an empty tape whose forward and backward buffers are
@@ -143,7 +145,22 @@ impl<'s> Tape<'s> {
     /// return the buffers for the next minibatch (a tape that simply
     /// drops frees them instead — correct, but the pool goes cold).
     pub fn with_workspace(store: &'s ParamStore, ws: &'s Workspace) -> Self {
-        Tape { store, nodes: Vec::new(), ws: Some(ws) }
+        Tape { store, nodes: Vec::new(), ws: Some(ws), math: MathMode::Bitwise }
+    }
+
+    /// Sets the [`MathMode`] every subsequent matmul / fused-aggregate /
+    /// activation op on this tape dispatches under (builder-style; the
+    /// default is [`MathMode::Bitwise`]). Record **and** backward must
+    /// run under one mode — the mode is a property of the tape, not of
+    /// individual ops.
+    pub fn with_math(mut self, math: MathMode) -> Self {
+        self.math = math;
+        self
+    }
+
+    /// The math mode this tape dispatches under.
+    pub fn math(&self) -> MathMode {
+        self.math
     }
 
     /// Consumes the tape, returning every pooled node buffer to the
@@ -282,7 +299,7 @@ impl<'s> Tape<'s> {
     /// `a * b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
         let mut out = self.mat_zeroed(a.rows, b.cols);
-        self.value(a).matmul_into(self.value(b), &mut out);
+        self.value(a).matmul_into_mode(self.value(b), &mut out, self.math);
         self.push(Stored::Owned(out), Op::MatMul(a.id, b.id))
     }
 
@@ -377,7 +394,7 @@ impl<'s> Tape<'s> {
             group
         );
         let mut out = self.mat_zeroed(idx.len() / group, src.cols);
-        self.value(src).gather_mean_pool_rows_into(idx, group, &mut out);
+        self.value(src).gather_mean_pool_rows_into_mode(idx, group, &mut out, self.math);
         self.push(
             Stored::Owned(out),
             Op::GatherMeanPoolRows { src: src.id, idx: idx.to_vec(), group },
@@ -468,7 +485,18 @@ impl<'s> Tape<'s> {
 
     /// Leaky ReLU with negative slope `alpha`.
     pub fn leaky_relu(&mut self, x: Var, alpha: f32) -> Var {
-        let value = self.mat_map(self.value(x), |v| if v > 0.0 { v } else { alpha * v });
+        let value = match self.math {
+            MathMode::Bitwise => {
+                self.mat_map(self.value(x), |v| if v > 0.0 { v } else { alpha * v })
+            }
+            MathMode::FastMath => {
+                // Value-identical to the scalar map (lanes never
+                // interact) — the blend just runs 8 lanes at a time.
+                let mut value = self.mat_copy(self.value(x));
+                simd::leaky_relu_fast(value.data_mut(), alpha);
+                value
+            }
+        };
         self.push(Stored::Owned(value), Op::LeakyRelu { src: x.id, alpha })
     }
 
@@ -628,9 +656,18 @@ impl<'s> Tape<'s> {
                 Op::MatMul(a, b) => {
                     let (av, bv) = (self.nval(*a), self.nval(*b));
                     let mut ga = self.mat_zeroed(g.rows(), bv.rows());
-                    g.matmul_nt_into(bv, &mut ga);
+                    match self.ws {
+                        // Lease the nt pack panel from the workspace so
+                        // the backward step stays allocation-free.
+                        Some(ws) => {
+                            let mut scratch = ws.lease_aligned(g.cols() * bv.rows());
+                            g.matmul_nt_into_scratch(bv, &mut ga, self.math, &mut scratch);
+                            ws.recycle_aligned(scratch);
+                        }
+                        None => g.matmul_nt_into_mode(bv, &mut ga, self.math),
+                    }
                     let mut gb = self.mat_zeroed(av.cols(), g.cols());
-                    av.matmul_tn_into(&g, &mut gb);
+                    av.matmul_tn_into_mode(&g, &mut gb, self.math);
                     accum(&mut grads, *a, ga, self.ws);
                     accum(&mut grads, *b, gb, self.ws);
                     self.reclaim_mat(g);
@@ -780,9 +817,16 @@ impl<'s> Tape<'s> {
                 Op::LeakyRelu { src, alpha } => {
                     let x = self.nval(*src);
                     let mut gx = g;
-                    for (gv, &xv) in gx.data_mut().iter_mut().zip(x.data()) {
-                        if xv <= 0.0 {
-                            *gv *= alpha;
+                    match self.math {
+                        MathMode::Bitwise => {
+                            for (gv, &xv) in gx.data_mut().iter_mut().zip(x.data()) {
+                                if xv <= 0.0 {
+                                    *gv *= alpha;
+                                }
+                            }
+                        }
+                        MathMode::FastMath => {
+                            simd::leaky_relu_bwd_fast(gx.data_mut(), x.data(), *alpha)
                         }
                     }
                     accum(&mut grads, *src, gx, self.ws);

@@ -42,6 +42,76 @@ pub const MIN_BUCKET: usize = 8;
 /// Maximum buffers retained per capacity bucket.
 pub const MAX_PER_BUCKET: usize = 32;
 
+/// Maximum [`AlignedBuf`]s retained by [`Workspace::recycle_aligned`].
+const MAX_ALIGNED: usize = 8;
+
+/// `f32` lanes per aligned storage chunk (one cache line).
+const CHUNK_LANES: usize = 16;
+
+/// One 64-byte-aligned cache line of `f32` lanes. Size equals
+/// alignment, so a `Vec<AlignedChunk>` is a contiguous, padding-free
+/// `f32` carpet starting on a 64-byte boundary.
+#[repr(C, align(64))]
+#[derive(Clone, Copy, Debug)]
+struct AlignedChunk([f32; CHUNK_LANES]);
+
+/// A growable `f32` buffer whose storage is 64-byte aligned — the
+/// alignment the FastMath SIMD kernels want for their packed panels
+/// (`Vec<f32>` only guarantees 4 bytes). Backed by whole cache-line
+/// chunks so the usual `Vec` grow/free machinery applies unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct AlignedBuf {
+    chunks: Vec<AlignedChunk>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    /// Creates an empty buffer (no allocation).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current logical length in `f32` elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated capacity in `f32` elements.
+    pub fn capacity(&self) -> usize {
+        self.chunks.len() * CHUNK_LANES
+    }
+
+    /// Sets the logical length to `len`, growing storage as needed.
+    /// Grown storage is zeroed once; **reused storage keeps stale
+    /// contents** — this is for pack buffers that overwrite every
+    /// element before reading any.
+    pub fn resize_for_overwrite(&mut self, len: usize) {
+        let chunks = len.div_ceil(CHUNK_LANES);
+        if chunks > self.chunks.len() {
+            self.chunks.resize(chunks, AlignedChunk([0.0; CHUNK_LANES]));
+        }
+        self.len = len;
+    }
+
+    /// The buffer as a 64-byte-aligned `f32` slice.
+    pub fn as_slice(&self) -> &[f32] {
+        // SAFETY: `chunks` is a contiguous array of `[f32; CHUNK_LANES]`
+        // with size == alignment (no padding), and `len <= capacity`.
+        unsafe { std::slice::from_raw_parts(self.chunks.as_ptr() as *const f32, self.len) }
+    }
+
+    /// The buffer as a mutable 64-byte-aligned `f32` slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        // SAFETY: as in `as_slice`, with unique access through `&mut`.
+        unsafe { std::slice::from_raw_parts_mut(self.chunks.as_mut_ptr() as *mut f32, self.len) }
+    }
+}
+
 /// One slot per power-of-two capacity class from [`MIN_BUCKET`] up to
 /// the largest allocation representable in a `usize`.
 const BUCKET_SLOTS: usize = (usize::BITS - MIN_BUCKET.trailing_zeros()) as usize;
@@ -54,6 +124,7 @@ const BUCKET_SLOTS: usize = (usize::BITS - MIN_BUCKET.trailing_zeros()) as usize
 #[derive(Debug)]
 pub struct Workspace {
     buckets: RefCell<[Vec<Vec<f32>>; BUCKET_SLOTS]>,
+    aligned: RefCell<Vec<AlignedBuf>>,
     leases: Cell<u64>,
     fresh: Cell<u64>,
 }
@@ -62,6 +133,7 @@ impl Default for Workspace {
     fn default() -> Self {
         Workspace {
             buckets: RefCell::new(std::array::from_fn(|_| Vec::new())),
+            aligned: RefCell::new(Vec::new()),
             leases: Cell::new(0),
             fresh: Cell::new(0),
         }
@@ -159,6 +231,42 @@ impl Workspace {
         }
     }
 
+    /// Leases a 64-byte-aligned buffer of logical length `len` whose
+    /// contents are **unspecified** (the caller must overwrite every
+    /// element before reading — this backs the matmul pack panels,
+    /// which always do). Best-fit reuse from the aligned pool keeps the
+    /// steady state allocation-free even when several panel sizes
+    /// interleave.
+    pub fn lease_aligned(&self, len: usize) -> AlignedBuf {
+        self.leases.set(self.leases.get() + 1);
+        let mut pool = self.aligned.borrow_mut();
+        let pick = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        let mut buf = match pick {
+            Some(i) => pool.swap_remove(i),
+            None => {
+                self.fresh.set(self.fresh.get() + 1);
+                AlignedBuf::new()
+            }
+        };
+        drop(pool);
+        buf.resize_for_overwrite(len);
+        buf
+    }
+
+    /// Returns an aligned buffer to the pool (retaining at most
+    /// [`MAX_ALIGNED`]; overflow is simply dropped).
+    pub fn recycle_aligned(&self, buf: AlignedBuf) {
+        let mut pool = self.aligned.borrow_mut();
+        if pool.len() < MAX_ALIGNED {
+            pool.push(buf);
+        }
+    }
+
     /// Total leases served so far.
     pub fn leases(&self) -> u64 {
         self.leases.get()
@@ -170,14 +278,16 @@ impl Workspace {
         self.fresh.get()
     }
 
-    /// Number of buffers currently retained, across all buckets.
+    /// Number of buffers currently retained, across all buckets and the
+    /// aligned pool.
     pub fn retained_buffers(&self) -> usize {
-        self.buckets.borrow().iter().map(Vec::len).sum()
+        self.buckets.borrow().iter().map(Vec::len).sum::<usize>() + self.aligned.borrow().len()
     }
 
     /// Total capacity (in `f32` elements) currently retained.
     pub fn retained_elems(&self) -> usize {
-        self.buckets.borrow().iter().flatten().map(Vec::capacity).sum()
+        self.buckets.borrow().iter().flatten().map(Vec::capacity).sum::<usize>()
+            + self.aligned.borrow().iter().map(AlignedBuf::capacity).sum::<usize>()
     }
 
     /// Point-in-time snapshot of the pool's usage counters, for
@@ -307,5 +417,46 @@ mod tests {
         let v = ws.lease_zeroed(0);
         assert!(v.is_empty());
         ws.recycle(v);
+    }
+
+    #[test]
+    fn aligned_buf_is_64_byte_aligned_and_grows() {
+        let mut b = AlignedBuf::new();
+        assert!(b.is_empty());
+        b.resize_for_overwrite(37);
+        assert_eq!(b.len(), 37);
+        assert!(b.capacity() >= 37);
+        assert_eq!(b.as_slice().as_ptr() as usize % 64, 0, "storage must be 64-byte aligned");
+        b.as_mut_slice().iter_mut().enumerate().for_each(|(i, v)| *v = i as f32);
+        // Growing preserves the prefix and stays aligned.
+        b.resize_for_overwrite(200);
+        assert_eq!(b.as_slice()[36], 36.0);
+        assert_eq!(b.as_slice().as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn aligned_leases_reach_a_zero_alloc_steady_state() {
+        let ws = Workspace::new();
+        // Two interleaved panel sizes, as a backward pass produces.
+        for _ in 0..100 {
+            let a = ws.lease_aligned(512);
+            let b = ws.lease_aligned(96);
+            ws.recycle_aligned(a);
+            ws.recycle_aligned(b);
+        }
+        assert_eq!(ws.fresh_allocs(), 2, "aligned steady state must not allocate");
+        let s = ws.stats();
+        assert_eq!(s.retained_buffers, 2);
+        assert!(s.retained_elems >= 512 + 96);
+    }
+
+    #[test]
+    fn aligned_pool_retention_is_capped() {
+        let ws = Workspace::new();
+        let many: Vec<_> = (0..2 * MAX_ALIGNED).map(|_| ws.lease_aligned(64)).collect();
+        for b in many {
+            ws.recycle_aligned(b);
+        }
+        assert_eq!(ws.retained_buffers(), MAX_ALIGNED);
     }
 }

@@ -20,7 +20,7 @@
 use hignn::io::write_hierarchy;
 use hignn::prelude::*;
 use hignn_graph::{BipartiteGraph, SamplingMode};
-use hignn_tensor::{init, Matrix};
+use hignn_tensor::{init, MathMode, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,6 +72,21 @@ fn serialize(h: &Hierarchy) -> Vec<u8> {
 
 fn build_at(threads: usize) -> Vec<u8> {
     let (g, uf, if_, cfg) = small_setup();
+    let h = build_hierarchy_with(
+        &g,
+        &uf,
+        &if_,
+        &cfg,
+        &BuildOptions { threads, ..Default::default() },
+    )
+    .unwrap();
+    serialize(&h)
+}
+
+/// [`build_at`] under an explicit math tier (DESIGN.md §14).
+fn build_at_math(threads: usize, math: MathMode) -> Vec<u8> {
+    let (g, uf, if_, mut cfg) = small_setup();
+    cfg.train.math = math;
     let h = build_hierarchy_with(
         &g,
         &uf,
@@ -207,6 +222,50 @@ fn env_selected_thread_count_matches_one_thread() {
         build_at(1),
         "HIGNN_TEST_THREADS={threads} build diverged from 1-thread build"
     );
+}
+
+// ---------------------------------------------------------------------
+// Math-tier determinism (DESIGN.md §14): N threads == 1 thread holds
+// *within* each tier, and each tier is self-deterministic across
+// reruns. FastMath bits may legitimately differ from Bitwise bits (a
+// different accumulation contract) — that cross-tier diff is bounded by
+// the differential-oracle suite, not asserted here.
+
+#[test]
+fn fastmath_tier_is_deterministic_and_thread_invariant() {
+    let fast1 = build_at_math(1, MathMode::FastMath);
+    assert_eq!(
+        build_at_math(4, MathMode::FastMath),
+        fast1,
+        "FastMath build diverged across thread counts"
+    );
+    assert_eq!(
+        build_at_math(1, MathMode::FastMath),
+        fast1,
+        "FastMath build is not self-deterministic"
+    );
+}
+
+// CI matrix knob: HIGNN_TEST_MATH re-runs the thread-invariance
+// contract in the workflow-selected tier (`bitwise` | `fast`, defaults
+// to bitwise).
+
+#[test]
+fn env_selected_math_tier_is_thread_invariant() {
+    let math = match std::env::var("HIGNN_TEST_MATH") {
+        Ok(tok) => MathMode::parse(&tok).expect("HIGNN_TEST_MATH must be bitwise|fast"),
+        Err(_) => MathMode::Bitwise,
+    };
+    let one = build_at_math(1, math);
+    assert_eq!(
+        build_at_math(4, math),
+        one,
+        "{} tier diverged across thread counts",
+        math.name()
+    );
+    if math == MathMode::Bitwise {
+        assert_eq!(one, build_at(1), "explicit Bitwise diverged from the default build");
+    }
 }
 
 // ---------------------------------------------------------------------
