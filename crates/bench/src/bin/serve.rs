@@ -79,7 +79,7 @@ fn main() {
         .collect();
     let mut latency = Vec::new();
     for &threads in &THREAD_COUNTS {
-        let p = latency_sweep(&model, &stream, threads);
+        let p = latency_sweep(&model, &stream, threads).expect("bench stream is non-empty");
         println!(
             "threads {threads}: p50 {:.1}us | p99 {:.1}us | {:.0} qps{}",
             p.p50_us,
@@ -94,7 +94,7 @@ fn main() {
     let users: Vec<usize> = (0..model.num_users().min(128)).collect();
     let mut recall = Vec::new();
     for beam in BEAM_WIDTHS {
-        let p = recall_sweep(&model, &users, k, beam);
+        let p = recall_sweep(&model, &users, k, beam).expect("bench user sample is non-empty");
         println!("beam {:>4}: recall@{k} {:.4}", beam.to_string(), p.recall);
         recall.push(p);
     }

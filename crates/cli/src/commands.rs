@@ -44,6 +44,10 @@ USAGE:
   hignn serve-bench --model MODEL [--topk 10] [--beam-width 16]
                  [--serve-threads N] [--requests 256] [--scorer-seed 2020]
                  [--math bitwise|fast]
+  hignn ingest   --model MODEL --base-edges FILE --new-edges FILE
+                 --out-model MODEL2 --out-delta DELTA
+                 [--drift-threshold 0.05] [--no-normalize] [--lenient]
+  hignn apply-delta --model MODEL --delta DELTA --out MODEL2
   hignn help
 
 OBJECTIVES:
@@ -106,6 +110,20 @@ SERVING:
   (default: all cores; any N is bitwise identical to 1) and reports
   p50/p99 latency, QPS, and recall@k against the exhaustive oracle.
 
+STREAMING (DESIGN.md §15):
+  `ingest` appends a batch of new interactions (which may introduce new
+  users and items — ids unseen in --base-edges declare new vertices) to
+  a trained model without retraining: new vertices get inductive
+  level-1 embeddings (weighted neighbour means), stream through the
+  single-pass K-means to join existing clusters, and clusters whose
+  centroid drifted past --drift-threshold are re-coarsened bounded to
+  their own members. The patched model is written to --out-model and a
+  CRC-framed HGHD delta to --out-delta. `apply-delta` replays such a
+  delta onto a replica's copy of the *base* model, producing the
+  identical patched model byte for byte; a delta applied to the wrong
+  base, or applied twice, is refused (fingerprint check, exit 4).
+  --no-normalize must match how the model was trained.
+
 EXIT CODES:
   0 ok | 2 usage/config | 3 I/O | 4 corrupt data | 5 diverged
   6 injected fault | 7 deadline exceeded (checkpointed; resumable)
@@ -128,6 +146,8 @@ pub fn run(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
         "generate" => generate(opts, out),
         "topk" => topk(opts, out),
         "serve-bench" => serve_bench(opts, out),
+        "ingest" => ingest(opts, out),
+        "apply-delta" => apply_delta_cmd(opts, out),
         "help" | "" => {
             let _ = writeln!(out, "{USAGE}");
             Ok(())
@@ -524,7 +544,7 @@ fn serve_bench(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
             model.num_levels()
         ),
     );
-    let lat = latency_sweep(&model, &stream, threads);
+    let lat = latency_sweep(&model, &stream, threads)?;
     emit(
         out,
         format!(
@@ -533,8 +553,118 @@ fn serve_bench(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
         ),
     );
     let users: Vec<usize> = (0..model.num_users().min(64)).collect();
-    let rec = recall_sweep(&model, &users, k, beam);
+    let rec = recall_sweep(&model, &users, k, beam)?;
     emit(out, format!("recall@{k} vs exhaustive (beam {beam}): {:.4}", rec.recall));
+    Ok(())
+}
+
+/// Reads one edge-list file under the shared `--lenient` policy.
+fn read_edges_file(
+    path: &str,
+    opts: &Opts,
+    out: &mut dyn Write,
+) -> Result<ParsedEdgeList, HignnError> {
+    let policy = if opts.flag("lenient") { LinePolicy::Lenient } else { LinePolicy::Strict };
+    let file = File::open(path).map_err(|e| HignnError::io(path, e))?;
+    let parsed = read_edge_list_with(file, policy).map_err(|e| HignnError::io(path, e))?;
+    if parsed.skipped_lines > 0 {
+        emit(out, format!("warning: skipped {} malformed lines in {path}", parsed.skipped_lines));
+    }
+    Ok(parsed)
+}
+
+fn ingest(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    use hignn::ingest::{save_delta, IngestConfig, IngestEngine};
+    use std::collections::HashMap;
+    usage(opts.assert_known(&[
+        "model", "base-edges", "new-edges", "out-model", "out-delta", "drift-threshold",
+        "no-normalize", "lenient",
+    ]))?;
+    let model_path = usage(opts.require("model"))?.to_string();
+    let base_path = usage(opts.require("base-edges"))?.to_string();
+    let new_path = usage(opts.require("new-edges"))?.to_string();
+    let out_model = usage(opts.require("out-model"))?.to_string();
+    let out_delta = usage(opts.require("out-delta"))?.to_string();
+    let drift_threshold: f32 = usage(opts.get_or("drift-threshold", 0.05_f32))?;
+    if drift_threshold.is_nan() || drift_threshold < 0.0 {
+        return Err(HignnError::Config("--drift-threshold must be >= 0".into()));
+    }
+    let cfg = IngestConfig { drift_threshold, normalize: !opts.flag("no-normalize") };
+
+    let hierarchy = load_hierarchy(&model_path).map_err(|e| HignnError::io(&model_path, e))?;
+    let base = read_edges_file(&base_path, opts, out)?;
+    let batch = read_edges_file(&new_path, opts, out)?;
+
+    // The model was trained on --base-edges with original ids compacted
+    // to dense ranges; remap the new batch through the same tables,
+    // handing unseen originals fresh dense ids above the base ranges.
+    let mut left: HashMap<u64, u32> =
+        base.left_ids.iter().enumerate().map(|(d, &o)| (o, d as u32)).collect();
+    let mut right: HashMap<u64, u32> =
+        base.right_ids.iter().enumerate().map(|(d, &o)| (o, d as u32)).collect();
+    let mut edges = Vec::with_capacity(batch.graph.num_edges());
+    for &(l, r, w) in batch.graph.edges() {
+        let nl = left.len() as u32;
+        let u = *left.entry(batch.left_ids[l as usize]).or_insert(nl);
+        let nr = right.len() as u32;
+        let i = *right.entry(batch.right_ids[r as usize]).or_insert(nr);
+        edges.push((u, i, w));
+    }
+
+    let mut engine = IngestEngine::new(hierarchy, base.graph, cfg)?;
+    let (report, delta) = engine.ingest(&edges)?;
+    emit(
+        out,
+        format!(
+            "ingested {} edges: +{} users, +{} items | moved {} users, {} items | \
+             dirty clusters {}u/{}i | max drift {:.2e}u/{:.2e}i | dead {}u/{}i",
+            report.new_edges,
+            report.new_users,
+            report.new_items,
+            report.moved_users,
+            report.moved_items,
+            report.dirty_user_clusters,
+            report.dirty_item_clusters,
+            report.max_user_drift,
+            report.max_item_drift,
+            report.dead_user_clusters,
+            report.dead_item_clusters,
+        ),
+    );
+    save_delta(&out_delta, &delta).map_err(|e| HignnError::io(&out_delta, e))?;
+    emit(out, format!("wrote delta seq {} to {out_delta}", delta.seq));
+    save_hierarchy(&out_model, engine.hierarchy()).map_err(|e| HignnError::io(&out_model, e))?;
+    emit(
+        out,
+        format!(
+            "saved patched model ({} users, {} items) to {out_model}",
+            engine.hierarchy().num_users(),
+            engine.hierarchy().num_items()
+        ),
+    );
+    Ok(())
+}
+
+fn apply_delta_cmd(opts: &Opts, out: &mut dyn Write) -> Result<(), HignnError> {
+    use hignn::ingest::load_delta;
+    usage(opts.assert_known(&["model", "delta", "out"]))?;
+    let model_path = usage(opts.require("model"))?.to_string();
+    let delta_path = usage(opts.require("delta"))?.to_string();
+    let out_path = usage(opts.require("out"))?.to_string();
+    let mut hierarchy =
+        load_hierarchy(&model_path).map_err(|e| HignnError::io(&model_path, e))?;
+    let delta = load_delta(&delta_path).map_err(|e| HignnError::io(&delta_path, e))?;
+    hignn::ingest::apply_delta(&mut hierarchy, &delta)?;
+    save_hierarchy(&out_path, &hierarchy).map_err(|e| HignnError::io(&out_path, e))?;
+    emit(
+        out,
+        format!(
+            "applied delta seq {} ({} users, {} items) -> {out_path}",
+            delta.seq,
+            hierarchy.num_users(),
+            hierarchy.num_items()
+        ),
+    );
     Ok(())
 }
 
@@ -1101,6 +1231,115 @@ mod tests {
         assert!(text.contains("qps"), "{text}");
         assert!(text.contains("recall@5 vs exhaustive (beam inf): 1.0000"), "{text}");
         let _ = std::fs::remove_file(model);
+    }
+
+    #[test]
+    fn ingest_patches_model_and_delta_replays_bitwise() {
+        let edges = temp_path("ing_edges.tsv");
+        let model = temp_path("ing_model.hgh");
+        let newe = temp_path("ing_new.tsv");
+        let patched = temp_path("ing_patched.hgh");
+        let replayed = temp_path("ing_replayed.hgh");
+        let delta = temp_path("ing_delta.hgd");
+        let edges_s = edges.to_str().unwrap();
+        let model_s = model.to_str().unwrap();
+
+        let (res, _) =
+            run_args(&["generate", "--out", edges_s, "--scale", "0.05", "--seed", "7"]);
+        assert!(res.is_ok(), "{res:?}");
+        let (res, _) = run_args(&[
+            "train", "--edges", edges_s, "--out", model_s, "--levels", "2", "--dim", "8",
+            "--epochs", "1", "--alpha", "6",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        let (_, info_before) = run_args(&["info", "--model", model_s]);
+        let users_before: usize = info_before
+            .split("levels | ")
+            .nth(1)
+            .and_then(|s| s.split(" users").next())
+            .unwrap()
+            .parse()
+            .unwrap();
+
+        // Original id 900000 is unseen in the base file -> a new user;
+        // 55 is a new item; ids 0/1 are existing vertices.
+        std::fs::write(
+            &newe,
+            "900000\t0\t1.0\n900000\t1\t2.0\n0\t900055\t1.0\n900000\t900055\t1.0\n",
+        )
+        .unwrap();
+        let (res, text) = run_args(&[
+            "ingest", "--model", model_s, "--base-edges", edges_s, "--new-edges",
+            newe.to_str().unwrap(), "--out-model", patched.to_str().unwrap(), "--out-delta",
+            delta.to_str().unwrap(),
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(text.contains("+1 users, +1 items"), "{text}");
+        assert!(text.contains("wrote delta seq 1"), "{text}");
+
+        // Replaying the delta on the base model reproduces the patched
+        // model byte for byte — the replica catch-up contract.
+        let (res, _) = run_args(&[
+            "apply-delta", "--model", model_s, "--delta", delta.to_str().unwrap(), "--out",
+            replayed.to_str().unwrap(),
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(
+            std::fs::read(&patched).unwrap(),
+            std::fs::read(&replayed).unwrap(),
+            "apply-delta output differs from the ingesting writer's model"
+        );
+
+        // The patched model serves the brand-new user.
+        let new_user = users_before.to_string();
+        let (res, text) = run_args(&[
+            "topk", "--model", patched.to_str().unwrap(), "--user", &new_user, "--topk", "5",
+        ]);
+        assert!(res.is_ok(), "new user must be servable: {res:?}");
+        assert!(text.contains("top-5"), "{text}");
+        // ...and the base model still does not know it.
+        let (res, _) = run_args(&["topk", "--model", model_s, "--user", &new_user]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+
+        // Applying the delta to the *patched* model (wrong base /
+        // double apply) is refused as corruption.
+        let (res, _) = run_args(&[
+            "apply-delta", "--model", patched.to_str().unwrap(), "--delta",
+            delta.to_str().unwrap(), "--out", replayed.to_str().unwrap(),
+        ]);
+        assert_eq!(res.unwrap_err().exit_code(), 4, "double apply must exit 4");
+
+        // A corrupt delta file is a structured error, exit 4.
+        let mut bytes = std::fs::read(&delta).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&delta, &bytes).unwrap();
+        let (res, _) = run_args(&[
+            "apply-delta", "--model", model_s, "--delta", delta.to_str().unwrap(), "--out",
+            replayed.to_str().unwrap(),
+        ]);
+        assert_eq!(res.unwrap_err().exit_code(), 4, "corrupt delta must exit 4");
+
+        for p in [edges, model, newe, patched, replayed, delta] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn ingest_flags_are_validated() {
+        // Missing required flags exit 2.
+        let (res, _) = run_args(&["ingest", "--model", "m.hgh"]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+        let (res, _) = run_args(&["apply-delta", "--model", "m.hgh"]);
+        assert_eq!(res.unwrap_err().exit_code(), 2);
+        // Negative drift threshold exits 2 before touching the disk.
+        let (res, _) = run_args(&[
+            "ingest", "--model", "m.hgh", "--base-edges", "b.tsv", "--new-edges", "n.tsv",
+            "--out-model", "p.hgh", "--out-delta", "d.hgd", "--drift-threshold", "-1",
+        ]);
+        let err = res.unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("drift-threshold"), "{err}");
     }
 
     #[test]

@@ -146,11 +146,18 @@ pub fn kmeans_with_mode(
             if count == 0 {
                 // Re-seed an empty cluster at the point farthest from its
                 // centroid, the standard fix that keeps k clusters alive.
+                // Non-finite distances are demoted below every finite one
+                // (`farthest_score`), so a NaN-feature row can neither
+                // panic the comparator nor become a reseed target.
                 let far = (0..data.rows())
                     .max_by(|&a, &b| {
-                        let da = centroids.row_sq_dist(assignment[a] as usize, data.row(a));
-                        let db = centroids.row_sq_dist(assignment[b] as usize, data.row(b));
-                        da.partial_cmp(&db).unwrap()
+                        let da = farthest_score(
+                            centroids.row_sq_dist(assignment[a] as usize, data.row(a)),
+                        );
+                        let db = farthest_score(
+                            centroids.row_sq_dist(assignment[b] as usize, data.row(b)),
+                        );
+                        da.total_cmp(&db)
                     })
                     .unwrap();
                 centroids.set_row(c, data.row(far));
@@ -224,25 +231,30 @@ pub fn assign_all_mode(
 
 /// k-means++ seeding: first centre uniform, subsequent centres with
 /// probability proportional to squared distance from the nearest chosen
-/// centre.
+/// centre. A row with non-finite distance (NaN features, overflow)
+/// gets zero seeding weight — it can never be drawn as a centre, and
+/// it cannot poison the cumulative sum into a `gen_range(0.0..NaN)`
+/// panic. For all-finite data this is the identity, so bits are
+/// unchanged.
 pub fn kmeans_pp_seed(data: &Matrix, k: usize, rng: &mut impl Rng) -> Matrix {
     let n = data.rows();
     let k = k.min(n);
     let mut centroids = Matrix::zeros(k, data.cols());
     let first = rng.gen_range(0..n);
     centroids.set_row(0, data.row(first));
+    let weight = |d: f32| if d.is_finite() { d as f64 } else { 0.0 };
     let mut dist2: Vec<f32> = (0..n)
         .map(|i| centroids.row_sq_dist(0, data.row(i)))
         .collect();
     for c in 1..k {
-        let total: f64 = dist2.iter().map(|&d| d as f64).sum();
+        let total: f64 = dist2.iter().map(|&d| weight(d)).sum();
         let chosen = if total <= 0.0 {
             rng.gen_range(0..n)
         } else {
             let mut x = rng.gen_range(0.0..total);
             let mut chosen = n - 1;
             for (i, &d) in dist2.iter().enumerate() {
-                x -= d as f64;
+                x -= weight(d);
                 if x <= 0.0 {
                     chosen = i;
                     break;
@@ -268,21 +280,45 @@ pub fn nearest_centroid(centroids: &Matrix, point: &[f32]) -> (usize, f32) {
 }
 
 /// [`nearest_centroid`] in the given math tier.
+///
+/// Distances compare under IEEE-754 total order (`f32::total_cmp`), so
+/// NaN sorts *last*: a NaN distance — from a NaN-feature point or a
+/// poisoned centroid — can never win over any finite or infinite one,
+/// and ties keep the lowest centroid index. Before this, `d < best_d`
+/// silently evaluated `false` for NaN, which happened to keep index 0
+/// but left the selection semantics an accident of comparator direction
+/// rather than a documented NaN-last policy. A point whose distance to
+/// *every* centroid is NaN deterministically maps to centroid 0 with
+/// reported distance `f32::INFINITY`.
 #[inline]
 pub fn nearest_centroid_mode(centroids: &Matrix, point: &[f32], mode: MathMode) -> (usize, f32) {
     let mut best = 0usize;
-    let mut best_d = f32::MAX;
+    let mut best_d = f32::INFINITY;
     for c in 0..centroids.rows() {
         let d = match mode {
             MathMode::Bitwise => centroids.row_sq_dist(c, point),
             MathMode::FastMath => simd::sq_dist_fast(centroids.row(c), point),
         };
-        if d < best_d {
+        if d.total_cmp(&best_d) == std::cmp::Ordering::Less {
             best_d = d;
             best = c;
         }
     }
     (best, best_d)
+}
+
+/// Maps a squared distance to a "how far" score for empty-cluster
+/// reseeding: non-finite values (NaN, `inf` from overflow) become
+/// `f32::NEG_INFINITY` so they are never chosen as reseed targets —
+/// copying a NaN row into a centroid would poison every later
+/// assignment round.
+#[inline]
+fn farthest_score(d: f32) -> f32 {
+    if d.is_finite() {
+        d
+    } else {
+        f32::NEG_INFINITY
+    }
 }
 
 /// Mean member embedding per cluster — the paper's cluster feature
@@ -440,6 +476,42 @@ mod tests {
         assert_eq!(m.row(0), &[1.0, 1.0]);
         assert_eq!(m.row(1), &[5.0, 5.0]);
         assert_eq!(m.row(2), &[0.0, 0.0]); // empty cluster
+    }
+
+    #[test]
+    fn nearest_centroid_is_nan_last() {
+        let centroids = Matrix::from_vec(3, 2, vec![0.0, 0.0, 10.0, 10.0, f32::NAN, f32::NAN]);
+        // A finite point never lands on the poisoned centroid 2, whose
+        // distance is NaN and therefore sorts last in total order.
+        let (c, d) = nearest_centroid(&centroids, &[9.0, 9.0]);
+        assert_eq!(c, 1);
+        assert!(d.is_finite());
+        // An all-NaN point has NaN distance to every centroid: it maps
+        // deterministically to centroid 0 with distance +inf.
+        let (c, d) = nearest_centroid(&centroids, &[f32::NAN, f32::NAN]);
+        assert_eq!(c, 0);
+        assert_eq!(d, f32::INFINITY);
+        // FastMath tier obeys the same policy.
+        let (c, _) = nearest_centroid_mode(&centroids, &[9.0, 9.0], MathMode::FastMath);
+        assert_eq!(c, 1);
+    }
+
+    #[test]
+    fn kmeans_survives_nan_row() {
+        // A NaN row must neither panic the empty-cluster reseed
+        // comparator (formerly `partial_cmp().unwrap()`) nor be copied
+        // into a centroid. The run stays deterministic.
+        let mut data = Matrix::from_vec(7, 1, vec![0.0, 0.1, 0.2, 9.9, 10.0, 10.1, 0.0]);
+        data.set(6, 0, f32::NAN);
+        let r1 = kmeans(&data, &KMeansConfig::new(2), &mut StdRng::seed_from_u64(4));
+        let r2 = kmeans(&data, &KMeansConfig::new(2), &mut StdRng::seed_from_u64(4));
+        assert_eq!(r1.assignment, r2.assignment);
+        assert_eq!(r1.centroids.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   r2.centroids.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        // The NaN row pollutes the running mean of whichever cluster it
+        // joins in the update step, but the reseed policy keeps at
+        // least one centroid finite, so finite points stay servable.
+        assert!((0..r1.k()).any(|c| r1.centroids.row(c).iter().all(|v| v.is_finite())));
     }
 
     #[test]

@@ -18,6 +18,24 @@ use rand::Rng;
 /// Centres are seeded with k-means++ on a bounded prefix sample, then each
 /// point is assigned to its nearest centre exactly once and the centre is
 /// moved by the running-mean rule `c += (x - c) / n_c`.
+///
+/// # Invariants
+///
+/// * `counts.len() == centroids.rows()`, always.
+/// * `counts[c] == 0` iff centre `c` has never received a point, in
+///   which case its row still holds its *seed position* — it is a
+///   **dead cluster**, not a zero row. [`Self::observe`] increments the
+///   count *before* forming the learning rate `1/counts[c]`, so the
+///   rate is always finite; no refactor may reorder those two steps
+///   (the `debug_assert!` guards it).
+/// * Dead clusters are a policy decision for the caller:
+///   [`Self::dead_clusters`] reports them, [`Self::reseed_dead`]
+///   relocates them onto real data. Nothing reseeds implicitly —
+///   streaming ingestion needs stable cluster ids.
+/// * Non-finite points (any NaN/±inf feature) are routed
+///   deterministically by the NaN-last [`nearest_centroid`] and **never
+///   update a centre**: one bad row cannot poison a running mean and
+///   thereby corrupt every later assignment.
 #[derive(Clone, Debug)]
 pub struct SequentialKMeans {
     centroids: Matrix,
@@ -32,10 +50,32 @@ impl SequentialKMeans {
         SequentialKMeans { centroids, counts }
     }
 
+    /// Reconstructs the estimator from persisted state — the entry
+    /// point for streaming ingestion, which resumes from the exact
+    /// per-cluster member means and sizes of a trained hierarchy.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != centroids.rows()`.
+    pub fn from_state(centroids: Matrix, counts: Vec<usize>) -> Self {
+        assert_eq!(
+            counts.len(),
+            centroids.rows(),
+            "SequentialKMeans::from_state: one count per centroid"
+        );
+        SequentialKMeans { centroids, counts }
+    }
+
     /// Consumes one point, returning its assigned cluster.
+    ///
+    /// A non-finite point is assigned (NaN-last, deterministic) but
+    /// does **not** move the centre or bump its count.
     pub fn observe(&mut self, point: &[f32]) -> u32 {
         let (c, _) = nearest_centroid(&self.centroids, point);
+        if !point.iter().all(|v| v.is_finite()) {
+            return c as u32;
+        }
         self.counts[c] += 1;
+        debug_assert!(self.counts[c] > 0, "count must be bumped before the learning rate");
         let lr = 1.0 / self.counts[c] as f32;
         let row = self.centroids.row_mut(c);
         for (cv, &pv) in row.iter_mut().zip(point) {
@@ -57,6 +97,58 @@ impl SequentialKMeans {
     /// Assigns a point without updating centres.
     pub fn assign(&self, point: &[f32]) -> u32 {
         nearest_centroid(&self.centroids, point).0 as u32
+    }
+
+    /// Overwrites one centre and its count with exact values (used
+    /// after a re-coarsen recomputes member means offline).
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range or `center` has the wrong length.
+    pub fn set_center(&mut self, c: usize, center: &[f32], count: usize) {
+        assert_eq!(center.len(), self.centroids.cols(), "set_center: dimension mismatch");
+        self.centroids.set_row(c, center);
+        self.counts[c] = count;
+    }
+
+    /// Ids of dead clusters — centres that never received a point and
+    /// therefore still sit at their seed position (the "report" half of
+    /// the reseed-or-report policy).
+    pub fn dead_clusters(&self) -> Vec<usize> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n == 0)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Relocates every dead cluster onto the data point farthest from
+    /// its nearest *live* centre (the "reseed" half of the policy),
+    /// deterministically: dead ids ascending, ties at equal distance
+    /// keep the lowest row index, non-finite rows never chosen.
+    /// Each reseeded centre starts with `counts == 1`. Returns the
+    /// reseeded ids.
+    pub fn reseed_dead(&mut self, data: &Matrix) -> Vec<usize> {
+        assert_eq!(data.cols(), self.centroids.cols(), "reseed_dead: dimension mismatch");
+        let mut reseeded = Vec::new();
+        for c in self.dead_clusters() {
+            let mut best: Option<(usize, f32)> = None;
+            for i in 0..data.rows() {
+                let (_, d) = nearest_centroid(&self.centroids, data.row(i));
+                if !d.is_finite() {
+                    continue;
+                }
+                if best.is_none_or(|(_, bd)| d > bd) {
+                    best = Some((i, d));
+                }
+            }
+            if let Some((i, _)) = best {
+                self.centroids.set_row(c, data.row(i));
+                self.counts[c] = 1;
+                reseeded.push(c);
+            }
+        }
+        reseeded
     }
 }
 
@@ -232,6 +324,68 @@ mod tests {
             assert_eq!(b, b1, "mini-batch workers = {workers}");
             assert_eq!(m.data(), m1.data(), "mini-batch workers = {workers}");
         }
+    }
+
+    #[test]
+    fn nan_row_is_routed_deterministically_and_never_poisons_a_centre() {
+        // Regression: a NaN-feature point used to win the running-mean
+        // update for whatever centre the broken comparator picked,
+        // turning that centroid NaN and corrupting every later
+        // assignment. Now it is assigned NaN-last (centre 0) and the
+        // estimator state is untouched.
+        let mut skm = SequentialKMeans::from_state(
+            Matrix::from_vec(2, 2, vec![0.0, 0.0, 10.0, 10.0]),
+            vec![4, 4],
+        );
+        let before = skm.centroids().clone();
+        let c = skm.observe(&[f32::NAN, 1.0]);
+        assert_eq!(c, 0, "NaN-last routing is deterministic");
+        assert_eq!(skm.centroids(), &before, "centre must not absorb NaN");
+        assert_eq!(skm.counts(), &[4, 4], "counts must not change");
+        // assign() follows the same policy.
+        assert_eq!(skm.assign(&[f32::NAN, f32::NAN]), 0);
+        // Later finite points still stream normally.
+        let c = skm.observe(&[9.0, 9.0]);
+        assert_eq!(c, 1);
+        assert_eq!(skm.counts(), &[4, 5]);
+        assert!(skm.centroids().row(1).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dead_cluster_keeps_seed_until_reseed_or_report() {
+        // Centre 2 is seeded far from all data: it never receives a
+        // point, keeps its seed position bit-exactly (documented
+        // invariant), and is reported by dead_clusters().
+        let mut skm = SequentialKMeans::from_state(
+            Matrix::from_vec(3, 1, vec![0.0, 10.0, 1000.0]),
+            vec![0, 0, 0],
+        );
+        let data = Matrix::from_vec(6, 1, vec![0.0, 1.0, -1.0, 9.0, 10.0, 11.0]);
+        for i in 0..data.rows() {
+            skm.observe(data.row(i));
+        }
+        assert_eq!(skm.counts()[2], 0);
+        assert_eq!(skm.centroids().get(2, 0), 1000.0, "dead centre keeps its seed");
+        assert_eq!(skm.dead_clusters(), vec![2]);
+
+        // Reseed policy: the dead centre relocates onto the data point
+        // farthest from its nearest centre and comes alive.
+        let reseeded = skm.reseed_dead(&data);
+        assert_eq!(reseeded, vec![2]);
+        assert_eq!(skm.counts()[2], 1);
+        let moved_to = skm.centroids().get(2, 0);
+        assert!(data.data().contains(&moved_to), "reseed lands on a real point");
+        assert!(skm.dead_clusters().is_empty());
+        // Deterministic: same state, same choice.
+        let mut again = SequentialKMeans::from_state(
+            Matrix::from_vec(3, 1, vec![0.0, 10.0, 1000.0]),
+            vec![0, 0, 0],
+        );
+        for i in 0..data.rows() {
+            again.observe(data.row(i));
+        }
+        again.reseed_dead(&data);
+        assert_eq!(again.centroids().data(), skm.centroids().data());
     }
 
     #[test]

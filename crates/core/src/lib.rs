@@ -27,6 +27,9 @@
 //!   descriptions (Eqs. 13-16).
 //! * [`io`] — binary persistence for trained hierarchies (CRC-checked
 //!   sections, atomic writes).
+//! * [`ingest`] — streaming edge ingestion: inductive inference for new
+//!   vertices, incremental cluster maintenance with bounded re-coarsen,
+//!   and the CRC-framed `HGHD` delta format for replica catch-up.
 //! * [`checkpoint`] — crash-safe per-level training checkpoints, resume,
 //!   and a deterministic fault-injection harness.
 //! * [`error`] — structured errors with distinct process exit codes.
@@ -74,6 +77,7 @@ pub mod builder;
 pub mod checkpoint;
 pub mod crc32;
 pub mod error;
+pub mod ingest;
 pub mod io;
 pub mod model;
 pub mod objective;
@@ -93,6 +97,10 @@ pub mod prelude {
         run_fingerprint, CheckpointMeta, CheckpointStore, FaultPlan, WriteSite,
     };
     pub use crate::error::HignnError;
+    pub use crate::ingest::{
+        apply_delta, hierarchy_fingerprint, load_delta, read_delta_bytes, save_delta, write_delta,
+        HierarchyDelta, IngestConfig, IngestEngine, IngestReport, NodeArrival,
+    };
     pub use crate::objective::{
         ClusterConstraint, EdgeReconstruction, HierarchicalContrastive, Objective, ObjectiveCtx,
         ObjectiveKind, ObjectiveSpec, ShardBatch,

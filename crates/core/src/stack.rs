@@ -127,22 +127,33 @@ impl Hierarchy {
         num_users: usize,
         num_items: usize,
     ) -> Result<Self, String> {
-        if levels.is_empty() {
+        let h = Hierarchy { levels, num_users, num_items };
+        h.validate()?;
+        Ok(h)
+    }
+
+    /// Checks the assignment-chain invariants (shared by
+    /// [`Hierarchy::from_parts`] and the streaming mutation path in
+    /// [`crate::ingest`], which revalidates after patching level 1).
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.levels.is_empty() {
             return Err("no levels".into());
         }
-        if levels[0].user_assignment.len() != num_users {
+        if self.levels[0].user_assignment.len() != self.num_users {
             return Err(format!(
-                "level 1 covers {} users, expected {num_users}",
-                levels[0].user_assignment.len()
+                "level 1 covers {} users, expected {}",
+                self.levels[0].user_assignment.len(),
+                self.num_users
             ));
         }
-        if levels[0].item_assignment.len() != num_items {
+        if self.levels[0].item_assignment.len() != self.num_items {
             return Err(format!(
-                "level 1 covers {} items, expected {num_items}",
-                levels[0].item_assignment.len()
+                "level 1 covers {} items, expected {}",
+                self.levels[0].item_assignment.len(),
+                self.num_items
             ));
         }
-        for w in levels.windows(2) {
+        for w in self.levels.windows(2) {
             if w[0].user_assignment.num_clusters() != w[1].user_assignment.len() {
                 return Err("user assignment chain mismatch".into());
             }
@@ -150,7 +161,17 @@ impl Hierarchy {
                 return Err("item assignment chain mismatch".into());
             }
         }
-        Ok(Hierarchy { levels, num_users, num_items })
+        Ok(())
+    }
+
+    /// Crate-private mutable access for the streaming ingest path
+    /// ([`crate::ingest::apply_delta`]), which appends level-1 vertices
+    /// and swaps coarsened graphs, then revalidates via
+    /// [`Hierarchy::validate`]. Not public: external code must go
+    /// through the delta protocol so the chain invariants cannot be
+    /// silently broken.
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<Level>, &mut usize, &mut usize) {
+        (&mut self.levels, &mut self.num_users, &mut self.num_items)
     }
 
     /// Number of levels actually built (may be fewer than requested when

@@ -2,6 +2,7 @@
 
 use crate::scorer::Scorer;
 use hignn::error::HignnError;
+use hignn::ingest::HierarchyDelta;
 use hignn::io::read_hierarchy_bytes;
 use hignn::stack::Hierarchy;
 use hignn_tensor::{MathMode, Matrix};
@@ -166,6 +167,139 @@ impl ServeModel {
     /// The ranking head.
     pub fn scorer(&self) -> &Scorer {
         &self.scorer
+    }
+
+    /// Catches this replica up to an ingesting writer by applying a
+    /// [`HierarchyDelta`] **in place** — no file reload, no full
+    /// feature recomputation.
+    ///
+    /// The hierarchy patch itself is delegated to
+    /// [`hignn::ingest::apply_delta`] (which validates everything,
+    /// including base/patched fingerprints, before mutating). The
+    /// precomputed serving state is then maintained incrementally:
+    ///
+    /// * `z^H` rows are appended for new vertices and recomputed only
+    ///   for moved ones (an unmoved vertex's ancestor chain is
+    ///   untouched, so its row is already exact);
+    /// * tier-1 children lists are re-derived from the patched level-1
+    ///   assignment; upper tiers are structurally frozen;
+    /// * representative features are recomputed only for *dirty* tier-1
+    ///   nodes (clusters that gained or lost a member), and dirtiness
+    ///   propagates up the item tree.
+    ///
+    /// The result is bitwise identical to rebuilding the model from the
+    /// patched hierarchy (asserted by the integration suite). On any
+    /// error the model is untouched.
+    pub fn apply_delta(&mut self, delta: &HierarchyDelta) -> Result<(), HignnError> {
+        let old_users = self.hierarchy.num_users();
+        let old_items = self.hierarchy.num_items();
+        // Old cluster of every moved item, captured before the patch
+        // (a moved *new* item's pre-move cluster is its arrival record).
+        let l0_items = &self.hierarchy.levels()[0].item_assignment;
+        let old_move_clusters: Vec<u32> = delta
+            .item_moves
+            .iter()
+            .map(|&(v, _)| {
+                if (v as usize) < old_items {
+                    l0_items.cluster_of(v as usize)
+                } else {
+                    delta.new_items[v as usize - old_items].cluster
+                }
+            })
+            .collect();
+
+        hignn::ingest::apply_delta(&mut self.hierarchy, delta)?;
+
+        // --- z^H rows: append new vertices, recompute moved ones. ---
+        let append_and_patch = |features: &mut Matrix,
+                                old_n: usize,
+                                new_n: usize,
+                                moves: &[(u32, u32)],
+                                row_of: &dyn Fn(usize) -> Vec<f32>| {
+            let (rows, cols) = features.shape();
+            debug_assert_eq!(rows, old_n);
+            let mut data = std::mem::replace(features, Matrix::zeros(0, 0)).into_data();
+            for v in old_n..new_n {
+                data.extend_from_slice(&row_of(v));
+            }
+            let mut m = Matrix::from_vec(new_n, cols, data);
+            for &(v, _) in moves {
+                m.set_row(v as usize, &row_of(v as usize));
+            }
+            *features = m;
+        };
+        let h = &self.hierarchy;
+        append_and_patch(
+            &mut self.user_features,
+            old_users,
+            h.num_users(),
+            &delta.user_moves,
+            &|u| h.hierarchical_user(u),
+        );
+        append_and_patch(
+            &mut self.item_features,
+            old_items,
+            h.num_items(),
+            &delta.item_moves,
+            &|i| h.hierarchical_item(i),
+        );
+
+        // --- Item tree: tier-1 membership changed; upper tiers are
+        // structurally frozen. ---
+        self.children[0] = self.hierarchy.levels()[0].item_assignment.members();
+
+        // Tier-1 nodes are dirty if they gained a new item or were on
+        // either end of a move.
+        let k1 = self.children[0].len();
+        let mut dirty = vec![false; k1];
+        let final_items = self.hierarchy.levels()[0].item_assignment.as_slice();
+        for i in old_items..self.hierarchy.num_items() {
+            dirty[final_items[i] as usize] = true;
+        }
+        for (&(_, to), &from) in delta.item_moves.iter().zip(&old_move_clusters) {
+            dirty[to as usize] = true;
+            dirty[from as usize] = true;
+        }
+        // Recompute dirty representatives tier by tier, propagating
+        // dirtiness through the (frozen) upper assignments. The
+        // accumulation is the exact from-scratch loop, so clean and
+        // dirty rows alike match a full rebuild bitwise.
+        for l in 0..self.node_reps.len() {
+            let (lower, upper) = self.node_reps.split_at_mut(l);
+            let finer: &Matrix = if l == 0 { &self.item_features } else { &lower[l - 1] };
+            let reps = &mut upper[0];
+            for (node, is_dirty) in dirty.iter().enumerate() {
+                if !is_dirty {
+                    continue;
+                }
+                let kids = &self.children[l][node];
+                let row = reps.row_mut(node);
+                row.fill(0.0);
+                if kids.is_empty() {
+                    continue;
+                }
+                for &kid in kids {
+                    for (acc, &v) in row.iter_mut().zip(finer.row(kid as usize)) {
+                        *acc += v;
+                    }
+                }
+                let inv = 1.0 / kids.len() as f32;
+                for acc in row.iter_mut() {
+                    *acc *= inv;
+                }
+            }
+            if l + 1 < self.node_reps.len() {
+                let parent_of = &self.hierarchy.levels()[l + 1].item_assignment;
+                let mut up = vec![false; self.children[l + 1].len()];
+                for (node, &is_dirty) in dirty.iter().enumerate() {
+                    if is_dirty {
+                        up[parent_of.cluster_of(node) as usize] = true;
+                    }
+                }
+                dirty = up;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,189 @@
+//! Streaming-ingestion contracts: the HGHD delta format fails closed on
+//! any corruption (the same discipline `persistence.rs` enforces for
+//! the model format), delta application is exact and refuses wrong
+//! bases, ingestion commutes with persistence bitwise, and a serving
+//! replica patched in place is indistinguishable from one rebuilt from
+//! scratch.
+
+use hignn::ingest::{
+    apply_delta, hierarchy_fingerprint, read_delta_bytes, write_delta, HierarchyDelta,
+    IngestConfig, IngestEngine,
+};
+use hignn::io::{read_hierarchy_bytes, save_hierarchy, write_hierarchy};
+use hignn::prelude::*;
+use hignn::stack::Hierarchy;
+use hignn_datasets::taobao::{generate_taobao, TaobaoConfig};
+use hignn_graph::BipartiteGraph;
+use hignn_serve::{BeamWidth, ServeModel};
+use hignn_tensor::init;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 8;
+
+type Batch = Vec<(u32, u32, f32)>;
+
+/// A trained base hierarchy over a prefix of a synthetic Taobao graph,
+/// plus the held-out suffix edges (which introduce new users and items)
+/// split into two ingestion batches.
+fn trained_base() -> (Hierarchy, BipartiteGraph, Batch, Batch) {
+    let ds = generate_taobao(&TaobaoConfig { seed: 11, ..TaobaoConfig::taobao1(0.05) });
+    let old_u = ds.num_users() - 3;
+    let old_i = ds.num_items() - 4;
+    let mut base = Vec::new();
+    let mut held = Vec::new();
+    for &(u, i, w) in ds.graph.edges() {
+        if (u as usize) < old_u && (i as usize) < old_i {
+            base.push((u, i, w));
+        } else {
+            held.push((u, i, w));
+        }
+    }
+    assert!(held.len() >= 4, "need a non-trivial holdout, got {}", held.len());
+    let graph = BipartiteGraph::from_edges(old_u, old_i, base);
+    let mut rng = StdRng::seed_from_u64(5);
+    let uf = init::xavier_uniform(old_u, DIM, &mut rng);
+    let if_ = init::xavier_uniform(old_i, DIM, &mut rng);
+    let hierarchy = HignnBuilder::new()
+        .levels(2)
+        .input_dim(DIM)
+        .embedding_dim(DIM)
+        .epochs(1)
+        .alpha_decay(6.0)
+        .seed(3)
+        .build()
+        .unwrap()
+        .run(&graph, &uf, &if_)
+        .unwrap();
+    let mid = held.len() / 2;
+    let batch2 = held.split_off(mid);
+    (hierarchy, graph, held, batch2)
+}
+
+fn bytes_of(h: &Hierarchy) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_hierarchy(&mut buf, h).unwrap();
+    buf
+}
+
+fn ingest_once() -> (Hierarchy, HierarchyDelta, Hierarchy) {
+    let (h, g, batch, _) = trained_base();
+    let base = h.clone();
+    let mut engine = IngestEngine::new(h, g, IngestConfig::default()).unwrap();
+    let (_, delta) = engine.ingest(&batch).unwrap();
+    let patched = engine.hierarchy().clone();
+    (base, delta, patched)
+}
+
+#[test]
+fn delta_corruption_corpus_fails_closed() {
+    let (_, delta, _) = ingest_once();
+    let mut clean = Vec::new();
+    write_delta(&mut clean, &delta).unwrap();
+    // The delta must decode cleanly...
+    read_delta_bytes(&clean).unwrap();
+    // ...but every spread single-byte flip is detected,
+    for pos in (0..clean.len()).step_by(17) {
+        let mut evil = clean.clone();
+        evil[pos] ^= 0x40;
+        assert!(read_delta_bytes(&evil).is_err(), "flip at byte {pos}/{} accepted", clean.len());
+    }
+    // every prefix truncation errors instead of panicking,
+    for cut in (0..clean.len()).step_by(23) {
+        assert!(read_delta_bytes(&clean[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+    // and trailing garbage is rejected.
+    let mut padded = clean.clone();
+    padded.extend_from_slice(b"junk");
+    assert!(read_delta_bytes(&padded).is_err());
+}
+
+#[test]
+fn apply_delta_is_exact_and_idempotence_is_refused() {
+    let (base, delta, patched) = ingest_once();
+    // Two independent fresh copies patch to identical bytes.
+    let mut a = base.clone();
+    let mut b = base;
+    apply_delta(&mut a, &delta).unwrap();
+    apply_delta(&mut b, &delta).unwrap();
+    assert_eq!(bytes_of(&a), bytes_of(&b));
+    assert_eq!(bytes_of(&a), bytes_of(&patched), "replica != writer");
+    assert_eq!(hierarchy_fingerprint(&a), delta.patched_fingerprint);
+    // A second application is refused (fingerprint/base checks) and the
+    // hierarchy is left byte-identical.
+    let before = bytes_of(&a);
+    let err = apply_delta(&mut a, &delta).unwrap_err();
+    assert_eq!(err.exit_code(), 4, "double apply must be corruption: {err}");
+    assert_eq!(bytes_of(&a), before, "failed apply must not mutate");
+}
+
+#[test]
+fn ingest_then_save_equals_save_then_ingest() {
+    let (h, g, batch, _) = trained_base();
+    // Path 1: ingest the live trained hierarchy, then serialise.
+    let mut e1 = IngestEngine::new(h.clone(), g.clone(), IngestConfig::default()).unwrap();
+    e1.ingest(&batch).unwrap();
+    let live = bytes_of(e1.hierarchy());
+    // Path 2: serialise, reload (as a restarted process would), ingest.
+    let reloaded = read_hierarchy_bytes(&bytes_of(&h)).unwrap();
+    let mut e2 = IngestEngine::new(reloaded, g, IngestConfig::default()).unwrap();
+    e2.ingest(&batch).unwrap();
+    let cold = bytes_of(e2.hierarchy());
+    assert_eq!(live, cold, "ingestion must commute with persistence bitwise");
+}
+
+#[test]
+fn serve_model_apply_delta_matches_full_rebuild_bitwise() {
+    let (base, delta, patched) = ingest_once();
+    let seed = 2020;
+    let mut live = ServeModel::from_hierarchy(base, seed);
+    live.apply_delta(&delta).unwrap();
+    let rebuilt = ServeModel::from_hierarchy(patched, seed);
+    assert_eq!(
+        live.user_features().data(),
+        rebuilt.user_features().data(),
+        "incremental z_u^H differs from rebuild"
+    );
+    assert_eq!(live.item_features().data(), rebuilt.item_features().data());
+    for l in 1..=live.num_levels() {
+        assert_eq!(live.children(l), rebuilt.children(l), "children at tier {l}");
+        assert_eq!(live.node_reps(l).data(), rebuilt.node_reps(l).data(), "reps at tier {l}");
+    }
+    // And the serving surface agrees bit for bit, old and new users.
+    let k = 5.min(live.num_users());
+    for user in [0, live.num_users() - 1] {
+        for beam in [BeamWidth::Finite(4), BeamWidth::Infinite] {
+            let a = live.top_k(user, k, beam).unwrap();
+            let b = rebuilt.top_k(user, k, beam).unwrap();
+            let ab: Vec<(u32, u32)> = a.iter().map(|s| (s.item, s.score.to_bits())).collect();
+            let bb: Vec<(u32, u32)> = b.iter().map(|s| (s.item, s.score.to_bits())).collect();
+            assert_eq!(ab, bb, "user {user} beam {beam}");
+        }
+    }
+}
+
+#[test]
+fn serve_replica_catches_up_across_two_deltas_without_reload() {
+    let (h, g, batch1, batch2) = trained_base();
+    let dir = std::env::temp_dir().join(format!("hignn_ingest_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("base.hgh");
+    save_hierarchy(&path, &h).unwrap();
+    // The replica loads the base model from disk once...
+    let mut replica = ServeModel::load(&path, 7).unwrap();
+    // ...while the writer keeps ingesting.
+    let mut writer = IngestEngine::new(h, g, IngestConfig::default()).unwrap();
+    let (_, d1) = writer.ingest(&batch1).unwrap();
+    let (_, d2) = writer.ingest(&batch2).unwrap();
+    assert_eq!((d1.seq, d2.seq), (1, 2));
+    assert_eq!(d2.base_fingerprint, d1.patched_fingerprint, "deltas chain");
+    // Catch up in order, never reloading the file.
+    replica.apply_delta(&d1).unwrap();
+    replica.apply_delta(&d2).unwrap();
+    assert_eq!(bytes_of(replica.hierarchy()), bytes_of(writer.hierarchy()));
+    // Out-of-order application is refused.
+    let mut stale = ServeModel::load(&path, 7).unwrap();
+    let err = stale.apply_delta(&d2).unwrap_err();
+    assert_eq!(err.exit_code(), 4, "skipping a delta must be detected: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
